@@ -1,0 +1,35 @@
+//! Criterion macro-benchmark: end-to-end community detection under each of
+//! the paper's four schemes on one community-rich input — the regression
+//! guard for Table 2's relative ordering.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grappolo_core::{detect_communities, Scheme};
+use grappolo_graph::gen::{planted_partition, PlantedConfig};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    let (g, _) = planted_partition(&PlantedConfig {
+        num_vertices: 10_000,
+        num_communities: 100,
+        ..Default::default()
+    });
+    for scheme in Scheme::ALL {
+        let mut cfg = scheme.config();
+        cfg.coloring_vertex_cutoff = 1_024;
+        group.bench_with_input(
+            BenchmarkId::new("scheme", scheme.name()),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| detect_communities(&g, cfg));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_end_to_end
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion micro-benchmark: workload-generator throughput, so regressions
+//! in input preparation don't masquerade as solver regressions in the
+//! experiment harnesses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grappolo_graph::gen::{
+    planted_partition, random_geometric, rmat, road_network, PlantedConfig, RggConfig,
+    RmatConfig, RoadConfig,
+};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.bench_function("planted_20k", |b| {
+        b.iter(|| {
+            planted_partition(&PlantedConfig {
+                num_vertices: 20_000,
+                num_communities: 200,
+                ..Default::default()
+            })
+        })
+    });
+    group.bench_function("rmat_s14", |b| {
+        b.iter(|| rmat(&RmatConfig { scale: 14, num_edges: 150_000, ..Default::default() }))
+    });
+    group.bench_function("rgg_20k", |b| {
+        b.iter(|| random_geometric(&RggConfig { num_vertices: 20_000, ..Default::default() }))
+    });
+    group.bench_function("road_20k", |b| {
+        b.iter(|| road_network(&RoadConfig { num_vertices: 20_000, ..Default::default() }))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_generators
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion micro-benchmark: the modularity kernel (Eq. 3) and the
+//! community-degree scatter — the per-iteration bookkeeping §5.5 optimizes
+//! by pre-aggregation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use grappolo_core::modularity::{community_degrees, intra_community_weight, modularity};
+use grappolo_graph::gen::{planted_partition, PlantedConfig};
+
+fn bench_modularity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("modularity");
+    let (g, truth) = planted_partition(&PlantedConfig {
+        num_vertices: 50_000,
+        num_communities: 500,
+        ..Default::default()
+    });
+    group.throughput(Throughput::Elements(g.num_adjacency_entries() as u64));
+    group.bench_with_input(BenchmarkId::new("full_q", "planted50k"), &g, |b, g| {
+        b.iter(|| modularity(g, &truth));
+    });
+    group.bench_with_input(BenchmarkId::new("e_in_only", "planted50k"), &g, |b, g| {
+        b.iter(|| intra_community_weight(g, &truth));
+    });
+    group.bench_with_input(BenchmarkId::new("community_degrees", "planted50k"), &g, |b, g| {
+        b.iter(|| community_degrees(g, &truth));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_modularity
+}
+criterion_main!(benches);

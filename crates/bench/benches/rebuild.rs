@@ -1,0 +1,45 @@
+//! Criterion micro-benchmark: the inter-phase graph rebuild (§5.5) —
+//! lock-map (the paper's strategy) vs sort-based aggregation, on a
+//! high-modularity partition (mostly intra edges, MG2-like) and a
+//! low-modularity one (mostly inter edges, NLPKKT-like), reproducing the
+//! §6.2.1 observation that inter-community edges make rebuild lock-heavy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grappolo_core::rebuild::rebuild;
+use grappolo_core::{RebuildStrategy, RenumberStrategy};
+use grappolo_graph::gen::{planted_partition, PlantedConfig};
+
+fn bench_rebuild(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rebuild");
+    let (g, truth) = planted_partition(&PlantedConfig {
+        num_vertices: 20_000,
+        num_communities: 200,
+        ..Default::default()
+    });
+    // High-modularity partition: the planted truth.
+    // Low-modularity partition: round-robin over 200 labels.
+    let scattered: Vec<u32> = (0..g.num_vertices() as u32).map(|v| v % 200).collect();
+
+    for (partition_name, assignment) in [("intra_heavy", &truth), ("inter_heavy", &scattered)] {
+        for (strat_name, strat) in [
+            ("lockmap", RebuildStrategy::LockMap),
+            ("sort", RebuildStrategy::SortAggregate),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(strat_name, partition_name),
+                &(&g, assignment),
+                |b, (g, a)| {
+                    b.iter(|| rebuild(g, a, strat, RenumberStrategy::Serial));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_rebuild
+}
+criterion_main!(benches);

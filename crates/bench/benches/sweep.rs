@@ -1,0 +1,31 @@
+//! Criterion micro-benchmark: one parallel Louvain iteration (the unordered
+//! sweep of Algorithm 1 lines 9–14) on a fixed planted graph — the kernel
+//! whose per-iteration complexity §5.6 analyzes as O((M+n·k̄)/p).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use grappolo_core::parallel::parallel_phase_unordered;
+use grappolo_graph::gen::{planted_partition, PlantedConfig};
+
+fn bench_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep");
+    for &n in &[5_000usize, 20_000] {
+        let (g, _) = planted_partition(&PlantedConfig {
+            num_vertices: n,
+            num_communities: n / 100,
+            ..Default::default()
+        });
+        group.throughput(Throughput::Elements(g.num_adjacency_entries() as u64));
+        group.bench_with_input(BenchmarkId::new("one_iteration", n), &g, |b, g| {
+            // max_iterations = 1 isolates a single sweep + modularity pass.
+            b.iter(|| parallel_phase_unordered(g, 1e-6, 1, 1.0));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sweep
+}
+criterion_main!(benches);

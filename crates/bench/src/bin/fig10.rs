@@ -1,0 +1,6 @@
+//! Thin wrapper: `cargo run -p grappolo-bench --release --bin fig10`.
+
+fn main() {
+    let ctx = grappolo_bench::ExperimentContext::from_env();
+    grappolo_bench::experiments::fig10::run(&ctx);
+}

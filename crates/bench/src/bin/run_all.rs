@@ -1,0 +1,32 @@
+//! Regenerates every table and figure of the paper in one invocation:
+//! `cargo run -p grappolo-bench --release --bin run_all`.
+//!
+//! Respects `GRAPPOLO_SCALE` / `GRAPPOLO_SEED` / `GRAPPOLO_RESULTS`.
+
+use grappolo_bench::experiments;
+
+fn main() {
+    let ctx = grappolo_bench::ExperimentContext::from_env();
+    println!(
+        "grappolo-rs experiment suite: scale={} seed={} threads={:?} results={}",
+        ctx.scale,
+        ctx.seed,
+        ctx.thread_counts,
+        ctx.results_dir.display()
+    );
+    let t = std::time::Instant::now();
+    experiments::table1::run(&ctx);
+    experiments::table2::run(&ctx);
+    experiments::table3::run(&ctx);
+    experiments::table4::run(&ctx);
+    experiments::table5::run(&ctx);
+    experiments::fig3_6::run(&ctx);
+    experiments::fig7::run(&ctx);
+    experiments::fig8::run(&ctx);
+    experiments::fig9::run(&ctx);
+    experiments::fig10::run(&ctx);
+    experiments::ablations::run(&ctx);
+    experiments::scaling::run(&ctx);
+    experiments::accuracy::run(&ctx);
+    println!("\nall experiments completed in {:.1?}", t.elapsed());
+}

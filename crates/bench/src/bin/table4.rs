@@ -1,0 +1,6 @@
+//! Thin wrapper: `cargo run -p grappolo-bench --release --bin table4`.
+
+fn main() {
+    let ctx = grappolo_bench::ExperimentContext::from_env();
+    grappolo_bench::experiments::table4::run(&ctx);
+}

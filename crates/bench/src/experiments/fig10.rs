@@ -1,0 +1,68 @@
+//! **Figure 10** — performance profiles across the heuristic combinations:
+//! final modularity (left) and run-time (right) as ratio-to-best CDFs over
+//! the 9-input collection with serial results (Europe-osm / friendster
+//! excluded, matching the paper).
+//!
+//! Shape claims under test: baseline+VF+Color leads the run-time profile
+//! (best on most inputs), serial trails everything, and all schemes are
+//! nearly indistinguishable on the modularity profile.
+
+use crate::harness::{run_scheme, ExperimentContext, TextTable};
+use grappolo_core::Scheme;
+use grappolo_graph::gen::paper_suite::PaperInput;
+use grappolo_metrics::perf_profile::{Direction, PerfProfile};
+
+/// Runs the Fig. 10 harness.
+pub fn run(ctx: &ExperimentContext) {
+    println!("\n=== Fig 10: performance profiles (modularity & run-time) ===\n");
+    let threads = 2;
+    let names: Vec<&str> = Scheme::ALL.iter().map(|s| s.name()).collect();
+
+    let mut q_rows: Vec<Vec<f64>> = vec![Vec::new(); Scheme::ALL.len()];
+    let mut t_rows: Vec<Vec<f64>> = vec![Vec::new(); Scheme::ALL.len()];
+    for input in PaperInput::WITH_SERIAL {
+        let g = ctx.generate(input);
+        for (s, scheme) in Scheme::ALL.iter().enumerate() {
+            let rec = run_scheme(ctx, &g, *scheme, threads);
+            q_rows[s].push(rec.modularity.max(1e-6));
+            t_rows[s].push(rec.time.as_secs_f64());
+        }
+    }
+
+    let q_profile = PerfProfile::compute(&names, &q_rows, Direction::HigherIsBetter);
+    let t_profile = PerfProfile::compute(&names, &t_rows, Direction::LowerIsBetter);
+
+    let mut table = TextTable::new(vec![
+        "scheme",
+        "Q: best on",
+        "Q: within 1.05x",
+        "time: best on",
+        "time: within 1.5x",
+        "time: within 3x",
+    ]);
+    for (i, name) in names.iter().enumerate() {
+        table.row(vec![
+            name.to_string(),
+            format!("{:.0}%", 100.0 * q_profile.curves[i].fraction_best()),
+            format!("{:.0}%", 100.0 * q_profile.curves[i].fraction_within(1.05)),
+            format!("{:.0}%", 100.0 * t_profile.curves[i].fraction_best()),
+            format!("{:.0}%", 100.0 * t_profile.curves[i].fraction_within(1.5)),
+            format!("{:.0}%", 100.0 * t_profile.curves[i].fraction_within(3.0)),
+        ]);
+    }
+
+    let rendered = table.render();
+    println!("{rendered}");
+    ctx.write_artifact("fig10_profiles.txt", &rendered);
+
+    // Full step curves for plotting.
+    let mut csv = String::from("metric,scheme,ratio_to_best,fraction_of_problems\n");
+    for (metric, profile) in [("modularity", &q_profile), ("runtime", &t_profile)] {
+        for curve in &profile.curves {
+            for (ratio, fraction) in curve.steps() {
+                csv.push_str(&format!("{metric},{},{ratio},{fraction}\n", curve.name));
+            }
+        }
+    }
+    ctx.write_artifact("fig10_profiles.csv", &csv);
+}

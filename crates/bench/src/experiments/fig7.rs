@@ -1,0 +1,52 @@
+//! **Figure 7** — speedup charts for baseline+VF+Color:
+//! * relative speedup: parallel time at T threads over the 2-thread run;
+//! * absolute speedup: over the serial Louvain implementation
+//!   (Europe-osm and friendster excluded from the paper's absolute chart
+//!   because its serial code crashed there; ours runs them, so they are
+//!   included and flagged).
+
+use crate::harness::{run_scheme, ExperimentContext, TextTable};
+use grappolo_core::Scheme;
+use grappolo_graph::gen::paper_suite::PaperInput;
+
+/// Runs the Fig. 7 harness.
+pub fn run(ctx: &ExperimentContext) {
+    println!("\n=== Fig 7: relative (vs 2-thread) and absolute (vs serial) speedup ===\n");
+    let mut table = TextTable::new(vec!["input", "threads", "time(s)", "rel speedup", "abs speedup"]);
+    let mut csv = String::from("input,threads,time_seconds,relative_speedup,absolute_speedup\n");
+
+    for input in PaperInput::ALL {
+        let g = ctx.generate(input);
+        let serial_time = run_scheme(ctx, &g, Scheme::Serial, 1).time.as_secs_f64();
+        let mut two_thread_time = None;
+        for &t in &ctx.thread_counts {
+            let rec = run_scheme(ctx, &g, Scheme::BaselineVfColor, t);
+            let secs = rec.time.as_secs_f64();
+            if t == 2 {
+                two_thread_time = Some(secs);
+            }
+            let rel = two_thread_time.map(|base| base / secs);
+            let abs = serial_time / secs;
+            table.row(vec![
+                input.id().to_string(),
+                t.to_string(),
+                format!("{secs:.3}"),
+                rel.map(|r| format!("{r:.2}")).unwrap_or_else(|| "-".into()),
+                format!("{abs:.2}"),
+            ]);
+            csv.push_str(&format!(
+                "{},{},{},{},{}\n",
+                input.id(),
+                t,
+                secs,
+                rel.unwrap_or(f64::NAN),
+                abs
+            ));
+        }
+    }
+
+    let rendered = table.render();
+    println!("{rendered}");
+    ctx.write_artifact("fig7_speedup.txt", &rendered);
+    ctx.write_artifact("fig7_speedup.csv", &csv);
+}

@@ -1,0 +1,66 @@
+//! **Figure 8** — run-time breakdown by algorithm step (coloring / graph
+//! rebuild incl. VF / clustering iterations) as a function of thread count,
+//! for the paper's four representative inputs (Europe-osm, NLPKKT240,
+//! Rgg, MG2).
+//!
+//! The shape claims under test: clustering dominates on community-rich
+//! inputs (Rgg, MG2), while rebuild takes a growing share on Europe-osm and
+//! NLPKKT240 (the low-first-phase-modularity inputs whose inter-community
+//! edges make rebuild lock-heavy, §6.2.1).
+
+use crate::harness::{run_scheme, ExperimentContext, TextTable};
+use grappolo_core::Scheme;
+use grappolo_graph::gen::paper_suite::PaperInput;
+
+const INPUTS: [PaperInput; 4] = [
+    PaperInput::EuropeOsm,
+    PaperInput::Nlpkkt240,
+    PaperInput::Rgg,
+    PaperInput::Mg2,
+];
+
+/// Runs the Fig. 8 harness.
+pub fn run(ctx: &ExperimentContext) {
+    println!("\n=== Fig 8: run-time breakdown (coloring / rebuild+VF / clustering) ===\n");
+    let mut table = TextTable::new(vec![
+        "input",
+        "threads",
+        "coloring(s)",
+        "rebuild+VF(s)",
+        "clustering(s)",
+        "clustering %",
+    ]);
+    let mut csv =
+        String::from("input,threads,coloring_s,rebuild_s,clustering_s,total_s\n");
+
+    for input in INPUTS {
+        let g = ctx.generate(input);
+        for &t in &ctx.thread_counts {
+            let rec = run_scheme(ctx, &g, Scheme::BaselineVfColor, t);
+            let b = rec.trace.timing_breakdown();
+            let total = b.total().as_secs_f64().max(1e-12);
+            table.row(vec![
+                input.id().to_string(),
+                t.to_string(),
+                format!("{:.3}", b.coloring.as_secs_f64()),
+                format!("{:.3}", b.rebuild.as_secs_f64()),
+                format!("{:.3}", b.clustering.as_secs_f64()),
+                format!("{:.1}", 100.0 * b.clustering.as_secs_f64() / total),
+            ]);
+            csv.push_str(&format!(
+                "{},{},{},{},{},{}\n",
+                input.id(),
+                t,
+                b.coloring.as_secs_f64(),
+                b.rebuild.as_secs_f64(),
+                b.clustering.as_secs_f64(),
+                total
+            ));
+        }
+    }
+
+    let rendered = table.render();
+    println!("{rendered}");
+    ctx.write_artifact("fig8_breakdown.txt", &rendered);
+    ctx.write_artifact("fig8_breakdown.csv", &csv);
+}

@@ -1,0 +1,74 @@
+//! **Table 3** — qualitative comparison of the parallel and serial outputs
+//! by composition: specificity, sensitivity, overlap quality, Rand index.
+//!
+//! The paper evaluated CNR and MG1 only, because its comparison enumerated
+//! all Θ(n²) vertex pairs; our contingency-table implementation is exact and
+//! near-linear, so the harness also reports the remaining inputs as a bonus
+//! block (marked `+`).
+
+use crate::harness::{run_scheme, ExperimentContext, TextTable};
+use grappolo_core::Scheme;
+use grappolo_graph::gen::paper_suite::PaperInput;
+use grappolo_metrics::{normalized_mutual_information, pairwise_comparison};
+
+/// Paper-reported Table 3 rows for reference printing.
+const PAPER_ROWS: [(PaperInput, f64, f64, f64, f64); 2] = [
+    (PaperInput::Cnr, 83.41, 89.71, 76.13, 99.42),
+    (PaperInput::Mg1, 99.60, 99.83, 99.43, 100.00),
+];
+
+/// Runs the Table 3 harness.
+pub fn run(ctx: &ExperimentContext) {
+    let threads = *ctx.thread_counts.iter().filter(|&&t| t <= 2).max().unwrap_or(&2);
+    println!("\n=== Table 3: parallel vs serial output composition ===\n");
+    let mut table = TextTable::new(vec![
+        "input",
+        "SP %",
+        "SE %",
+        "OQ %",
+        "Rand %",
+        "NMI %",
+        "SP/SE/OQ/Rand (paper)",
+    ]);
+
+    let paper_note = |input: PaperInput| -> String {
+        PAPER_ROWS
+            .iter()
+            .find(|(p, ..)| *p == input)
+            .map(|(_, sp, se, oq, rand)| format!("{sp:.2}/{se:.2}/{oq:.2}/{rand:.2}"))
+            .unwrap_or_else(|| "+ (not in paper)".into())
+    };
+
+    // The paper's two inputs first, then the rest.
+    let ordered: Vec<PaperInput> = [PaperInput::Cnr, PaperInput::Mg1]
+        .into_iter()
+        .chain(
+            PaperInput::WITH_SERIAL
+                .into_iter()
+                .filter(|p| !matches!(p, PaperInput::Cnr | PaperInput::Mg1)),
+        )
+        .collect();
+
+    for input in ordered {
+        let g = ctx.generate(input);
+        let serial = run_scheme(ctx, &g, Scheme::Serial, 1);
+        let parallel = run_scheme(ctx, &g, Scheme::BaselineVfColor, threads);
+        // Serial output is the benchmark S, parallel the candidate P (§6.2.3).
+        let m = pairwise_comparison(&serial.assignment, &parallel.assignment);
+        let nmi = normalized_mutual_information(&serial.assignment, &parallel.assignment);
+        table.row(vec![
+            input.reference().name.to_string(),
+            format!("{:.2}", 100.0 * m.specificity()),
+            format!("{:.2}", 100.0 * m.sensitivity()),
+            format!("{:.2}", 100.0 * m.overlap_quality()),
+            format!("{:.2}", 100.0 * m.rand_index()),
+            format!("{:.2}", 100.0 * nmi),
+            paper_note(input),
+        ]);
+    }
+
+    let rendered = table.render();
+    println!("{rendered}");
+    ctx.write_artifact("table3.txt", &rendered);
+    ctx.write_artifact("table3.csv", &table.to_csv());
+}

@@ -1,0 +1,282 @@
+//! Hand-rolled argument parsing (keeps the dependency set to the
+//! offline-sanctioned crates).
+
+use grappolo_core::Scheme;
+use std::path::PathBuf;
+
+/// Usage text printed on parse errors and `--help`.
+pub const USAGE: &str = "\
+grappolo — parallel Louvain community detection (grappolo-rs)
+
+USAGE:
+  grappolo generate <input-id> [--scale F] [--seed N] -o FILE
+      input-id: cnr | copapersdblp | channel | europe-osm | soc-livejournal |
+                mg1 | rgg | uk-2002 | nlpkkt240 | mg2 | friendster
+  grappolo stats <graph-file>
+  grappolo detect <graph-file> [--scheme serial|baseline|vf|color]
+                  [--threads N] [--gamma F] [--assignments FILE] [--trace FILE]
+  grappolo color <graph-file> [--balanced]
+  grappolo compare <assignments-a> <assignments-b>
+  grappolo convert <in-file> <out-file>
+
+Graph files: .edges/.txt (edge list), .graph/.metis (METIS), .bin (binary).";
+
+/// A parsed command.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Generate a paper-suite proxy graph.
+    Generate {
+        /// Paper-input id.
+        input: String,
+        /// Size multiplier.
+        scale: f64,
+        /// Generator seed.
+        seed: u64,
+        /// Output path.
+        output: PathBuf,
+    },
+    /// Print graph statistics (Table 1 columns).
+    Stats {
+        /// Graph path.
+        path: PathBuf,
+    },
+    /// Run community detection.
+    Detect {
+        /// Graph path.
+        path: PathBuf,
+        /// Heuristic scheme.
+        scheme: Scheme,
+        /// Thread count (None = default).
+        threads: Option<usize>,
+        /// Resolution γ.
+        gamma: f64,
+        /// Where to write `vertex community` lines.
+        assignments: Option<PathBuf>,
+        /// Where to write the JSON trace.
+        trace: Option<PathBuf>,
+    },
+    /// Color a graph and report class statistics.
+    Color {
+        /// Graph path.
+        path: PathBuf,
+        /// Apply the balancing post-pass.
+        balanced: bool,
+    },
+    /// Compare two assignment files with Table 3 metrics.
+    Compare {
+        /// Benchmark assignment path.
+        a: PathBuf,
+        /// Candidate assignment path.
+        b: PathBuf,
+    },
+    /// Convert between graph formats.
+    Convert {
+        /// Input path.
+        input: PathBuf,
+        /// Output path.
+        output: PathBuf,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Parses `argv` (without the program name).
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let mut it = argv.iter().map(String::as_str);
+    let sub = it.next().ok_or("missing subcommand")?;
+    let rest: Vec<&str> = it.collect();
+    match sub {
+        "-h" | "--help" | "help" => Ok(Command::Help),
+        "generate" => parse_generate(&rest),
+        "stats" => {
+            let path = positional(&rest, 0, "graph-file")?;
+            Ok(Command::Stats { path: path.into() })
+        }
+        "detect" => parse_detect(&rest),
+        "color" => {
+            let path = positional(&rest, 0, "graph-file")?;
+            let balanced = rest.contains(&"--balanced");
+            Ok(Command::Color { path: path.into(), balanced })
+        }
+        "compare" => {
+            let a = positional(&rest, 0, "assignments-a")?;
+            let b = positional(&rest, 1, "assignments-b")?;
+            Ok(Command::Compare { a: a.into(), b: b.into() })
+        }
+        "convert" => {
+            let input = positional(&rest, 0, "in-file")?;
+            let output = positional(&rest, 1, "out-file")?;
+            Ok(Command::Convert { input: input.into(), output: output.into() })
+        }
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+fn positional<'a>(rest: &[&'a str], idx: usize, name: &str) -> Result<&'a str, String> {
+    rest.iter()
+        .filter(|a| !a.starts_with("--"))
+        .nth(idx)
+        .copied()
+        .ok_or_else(|| format!("missing <{name}>"))
+}
+
+fn flag_value<'a>(rest: &[&'a str], flag: &str) -> Result<Option<&'a str>, String> {
+    for (i, a) in rest.iter().enumerate() {
+        if *a == flag {
+            return rest
+                .get(i + 1)
+                .copied()
+                .map(Some)
+                .ok_or_else(|| format!("{flag} needs a value"));
+        }
+    }
+    Ok(None)
+}
+
+fn parse_generate(rest: &[&str]) -> Result<Command, String> {
+    let input = positional(rest, 0, "input-id")?.to_string();
+    let scale: f64 = flag_value(rest, "--scale")?
+        .map(|v| v.parse().map_err(|e| format!("bad --scale: {e}")))
+        .transpose()?
+        .unwrap_or(0.25);
+    let seed: u64 = flag_value(rest, "--seed")?
+        .map(|v| v.parse().map_err(|e| format!("bad --seed: {e}")))
+        .transpose()?
+        .unwrap_or(1);
+    let output = flag_value(rest, "-o")?
+        .or(flag_value(rest, "--output")?)
+        .ok_or("generate requires -o FILE")?;
+    Ok(Command::Generate {
+        input,
+        scale,
+        seed,
+        output: output.into(),
+    })
+}
+
+fn parse_detect(rest: &[&str]) -> Result<Command, String> {
+    let path = positional(rest, 0, "graph-file")?;
+    let scheme = match flag_value(rest, "--scheme")?.unwrap_or("color") {
+        "serial" => Scheme::Serial,
+        "baseline" => Scheme::Baseline,
+        "vf" => Scheme::BaselineVf,
+        "color" => Scheme::BaselineVfColor,
+        other => return Err(format!("unknown --scheme `{other}`")),
+    };
+    let threads = flag_value(rest, "--threads")?
+        .map(|v| v.parse().map_err(|e| format!("bad --threads: {e}")))
+        .transpose()?;
+    let gamma: f64 = flag_value(rest, "--gamma")?
+        .map(|v| v.parse().map_err(|e| format!("bad --gamma: {e}")))
+        .transpose()?
+        .unwrap_or(1.0);
+    let assignments = flag_value(rest, "--assignments")?.map(PathBuf::from);
+    let trace = flag_value(rest, "--trace")?.map(PathBuf::from);
+    Ok(Command::Detect {
+        path: path.into(),
+        scheme,
+        threads,
+        gamma,
+        assignments,
+        trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_generate() {
+        let cmd = parse(&args("generate cnr --scale 0.5 --seed 7 -o g.bin")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate {
+                input: "cnr".into(),
+                scale: 0.5,
+                seed: 7,
+                output: "g.bin".into()
+            }
+        );
+    }
+
+    #[test]
+    fn generate_defaults() {
+        let cmd = parse(&args("generate mg1 -o x.edges")).unwrap();
+        match cmd {
+            Command::Generate { scale, seed, .. } => {
+                assert_eq!(scale, 0.25);
+                assert_eq!(seed, 1);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn generate_requires_output() {
+        assert!(parse(&args("generate cnr")).is_err());
+    }
+
+    #[test]
+    fn parses_detect_with_options() {
+        let cmd = parse(&args(
+            "detect g.bin --scheme vf --threads 4 --gamma 2.0 --assignments out.txt",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Detect { scheme, threads, gamma, assignments, trace, .. } => {
+                assert_eq!(scheme, Scheme::BaselineVf);
+                assert_eq!(threads, Some(4));
+                assert_eq!(gamma, 2.0);
+                assert_eq!(assignments, Some("out.txt".into()));
+                assert_eq!(trace, None);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn detect_default_scheme_is_color() {
+        match parse(&args("detect g.bin")).unwrap() {
+            Command::Detect { scheme, .. } => assert_eq!(scheme, Scheme::BaselineVfColor),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_scheme_and_subcommand() {
+        assert!(parse(&args("detect g.bin --scheme turbo")).is_err());
+        assert!(parse(&args("frobnicate")).is_err());
+        assert!(parse(&[]).is_err());
+    }
+
+    #[test]
+    fn parses_simple_subcommands() {
+        assert_eq!(
+            parse(&args("stats g.metis")).unwrap(),
+            Command::Stats { path: "g.metis".into() }
+        );
+        assert_eq!(
+            parse(&args("compare a.txt b.txt")).unwrap(),
+            Command::Compare { a: "a.txt".into(), b: "b.txt".into() }
+        );
+        assert_eq!(
+            parse(&args("convert a.edges b.bin")).unwrap(),
+            Command::Convert { input: "a.edges".into(), output: "b.bin".into() }
+        );
+        assert_eq!(
+            parse(&args("color g.bin --balanced")).unwrap(),
+            Command::Color { path: "g.bin".into(), balanced: true }
+        );
+        assert_eq!(parse(&args("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn flag_needs_value() {
+        assert!(parse(&args("generate cnr --scale")).is_err());
+    }
+}

@@ -1,0 +1,306 @@
+//! Command implementations.
+
+use crate::args::{Command, USAGE};
+use grappolo_coloring::{balance_colors, color_parallel, ColoringStats, ParallelColoringConfig};
+use grappolo_core::{detect_communities, LouvainConfig, Scheme};
+use grappolo_graph::gen::paper_suite::PaperInput;
+use grappolo_graph::{io, CsrGraph, GraphStats};
+use grappolo_metrics::{normalized_mutual_information, pairwise_comparison};
+use std::path::Path;
+use std::time::Instant;
+
+/// Executes a parsed command.
+pub fn execute(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Command::Generate { input, scale, seed, output } => generate(&input, scale, seed, &output),
+        Command::Stats { path } => stats(&path),
+        Command::Detect { path, scheme, threads, gamma, assignments, trace } => {
+            detect(&path, scheme, threads, gamma, assignments.as_deref(), trace.as_deref())
+        }
+        Command::Color { path, balanced } => color(&path, balanced),
+        Command::Compare { a, b } => compare(&a, &b),
+        Command::Convert { input, output } => convert(&input, &output),
+    }
+}
+
+fn load(path: &Path) -> Result<CsrGraph, String> {
+    io::load_path(path).map_err(|e| format!("loading {}: {e}", path.display()))
+}
+
+fn generate(input: &str, scale: f64, seed: u64, output: &Path) -> Result<(), String> {
+    let proxy = PaperInput::from_id(input).ok_or_else(|| {
+        format!(
+            "unknown input id `{input}`; valid: {}",
+            PaperInput::ALL.map(|p| p.id()).join(", ")
+        )
+    })?;
+    let t = Instant::now();
+    let g = proxy.generate(scale, seed);
+    io::save_path(&g, output).map_err(|e| format!("writing {}: {e}", output.display()))?;
+    println!(
+        "generated {} proxy: n={} M={} → {} in {:.2?}",
+        proxy.reference().name,
+        g.num_vertices(),
+        g.num_edges(),
+        output.display(),
+        t.elapsed()
+    );
+    Ok(())
+}
+
+fn stats(path: &Path) -> Result<(), String> {
+    let g = load(path)?;
+    let s = GraphStats::compute(&g);
+    println!("graph          {}", path.display());
+    println!("vertices       {}", s.num_vertices);
+    println!("edges          {}", s.num_edges);
+    println!("total weight   {}", s.total_weight);
+    println!("max degree     {}", s.max_degree);
+    println!("avg degree     {:.4}", s.avg_degree);
+    println!("degree RSD     {:.4}", s.degree_rsd);
+    println!("single-degree  {}", s.num_single_degree);
+    println!("isolated       {}", s.num_isolated);
+    Ok(())
+}
+
+fn detect(
+    path: &Path,
+    scheme: Scheme,
+    threads: Option<usize>,
+    gamma: f64,
+    assignments: Option<&Path>,
+    trace: Option<&Path>,
+) -> Result<(), String> {
+    let g = load(path)?;
+    let mut config: LouvainConfig = scheme.config();
+    config.resolution = gamma;
+    if let Some(t) = threads {
+        config.num_threads = Some(t);
+    }
+    // Scale the paper's 100 K coloring cutoff down for small inputs so the
+    // colored scheme stays meaningful on laptop-sized graphs.
+    config.coloring_vertex_cutoff = config.coloring_vertex_cutoff.min(g.num_vertices() / 8).max(64);
+
+    let t = Instant::now();
+    let result = detect_communities(&g, &config);
+    println!(
+        "{}: {} communities, Q = {:.6}, {} iterations / {} phases, {:.2?}",
+        scheme.name(),
+        result.num_communities,
+        result.modularity,
+        result.trace.total_iterations(),
+        result.trace.num_phases(),
+        t.elapsed()
+    );
+
+    if let Some(out) = assignments {
+        let mut text = String::with_capacity(result.assignment.len() * 8);
+        for (v, c) in result.assignment.iter().enumerate() {
+            text.push_str(&format!("{v} {c}\n"));
+        }
+        std::fs::write(out, text).map_err(|e| format!("writing {}: {e}", out.display()))?;
+        println!("assignments → {}", out.display());
+    }
+    if let Some(out) = trace {
+        let json = serde_json::to_string_pretty(&result.trace)
+            .map_err(|e| format!("serializing trace: {e}"))?;
+        std::fs::write(out, json).map_err(|e| format!("writing {}: {e}", out.display()))?;
+        println!("trace → {}", out.display());
+    }
+    Ok(())
+}
+
+fn color(path: &Path, balanced: bool) -> Result<(), String> {
+    let g = load(path)?;
+    let t = Instant::now();
+    let mut coloring = color_parallel(&g, &ParallelColoringConfig::default());
+    let moved = if balanced {
+        balance_colors(&g, &mut coloring, 0.1)
+    } else {
+        0
+    };
+    let s = ColoringStats::compute(&coloring);
+    println!(
+        "{} colors in {:.2?}; class sizes: min {} max {} RSD {:.3}{}",
+        s.num_colors,
+        t.elapsed(),
+        s.min_class,
+        s.max_class,
+        s.size_rsd,
+        if balanced {
+            format!(" (balanced; {moved} vertices moved)")
+        } else {
+            String::new()
+        }
+    );
+    Ok(())
+}
+
+/// Reads a `vertex community` assignment file into a dense vector.
+pub fn read_assignments(path: &Path) -> Result<Vec<u32>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let mut pairs: Vec<(usize, u32)> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let v: usize = it
+            .next()
+            .unwrap()
+            .parse()
+            .map_err(|e| format!("{}:{}: bad vertex: {e}", path.display(), lineno + 1))?;
+        let c: u32 = it
+            .next()
+            .ok_or_else(|| format!("{}:{}: missing community", path.display(), lineno + 1))?
+            .parse()
+            .map_err(|e| format!("{}:{}: bad community: {e}", path.display(), lineno + 1))?;
+        pairs.push((v, c));
+    }
+    let n = pairs.iter().map(|&(v, _)| v + 1).max().unwrap_or(0);
+    let mut out = vec![u32::MAX; n];
+    for (v, c) in pairs {
+        out[v] = c;
+    }
+    if let Some(v) = out.iter().position(|&c| c == u32::MAX) {
+        return Err(format!("{}: vertex {v} has no assignment", path.display()));
+    }
+    Ok(out)
+}
+
+fn compare(a: &Path, b: &Path) -> Result<(), String> {
+    let pa = read_assignments(a)?;
+    let pb = read_assignments(b)?;
+    if pa.len() != pb.len() {
+        return Err(format!(
+            "assignment lengths differ: {} has {}, {} has {}",
+            a.display(),
+            pa.len(),
+            b.display(),
+            pb.len()
+        ));
+    }
+    let m = pairwise_comparison(&pa, &pb);
+    println!("specificity     {:.4}%", 100.0 * m.specificity());
+    println!("sensitivity     {:.4}%", 100.0 * m.sensitivity());
+    println!("overlap quality {:.4}%", 100.0 * m.overlap_quality());
+    println!("rand index      {:.4}%", 100.0 * m.rand_index());
+    println!(
+        "NMI             {:.4}%",
+        100.0 * normalized_mutual_information(&pa, &pb)
+    );
+    Ok(())
+}
+
+fn convert(input: &Path, output: &Path) -> Result<(), String> {
+    let g = load(input)?;
+    io::save_path(&g, output).map_err(|e| format!("writing {}: {e}", output.display()))?;
+    println!(
+        "converted {} → {} (n={}, M={})",
+        input.display(),
+        output.display(),
+        g.num_vertices(),
+        g.num_edges()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("grappolo_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn generate_stats_detect_round_trip() {
+        let graph_path = tmp("g.bin");
+        execute(Command::Generate {
+            input: "mg1".into(),
+            scale: 0.02,
+            seed: 1,
+            output: graph_path.clone(),
+        })
+        .unwrap();
+        execute(Command::Stats { path: graph_path.clone() }).unwrap();
+
+        let assign_path = tmp("a.txt");
+        execute(Command::Detect {
+            path: graph_path.clone(),
+            scheme: Scheme::Baseline,
+            threads: Some(1),
+            gamma: 1.0,
+            assignments: Some(assign_path.clone()),
+            trace: Some(tmp("trace.json")),
+        })
+        .unwrap();
+
+        let assignment = read_assignments(&assign_path).unwrap();
+        assert!(!assignment.is_empty());
+        // Trace is valid JSON.
+        let text = std::fs::read_to_string(tmp("trace.json")).unwrap();
+        assert!(serde_json::from_str::<serde_json::Value>(&text).is_ok());
+    }
+
+    #[test]
+    fn compare_identical_files() {
+        let p = tmp("same.txt");
+        std::fs::write(&p, "0 0\n1 0\n2 1\n").unwrap();
+        execute(Command::Compare { a: p.clone(), b: p }).unwrap();
+    }
+
+    #[test]
+    fn convert_between_formats() {
+        let edges = tmp("c.edges");
+        std::fs::write(&edges, "0 1 2.0\n1 2 1.0\n").unwrap();
+        let metis = tmp("c.graph");
+        execute(Command::Convert { input: edges, output: metis.clone() }).unwrap();
+        let g = io::load_path(&metis).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        assert!(execute(Command::Stats { path: "/no/such/file.bin".into() }).is_err());
+        assert!(execute(Command::Generate {
+            input: "bogus".into(),
+            scale: 1.0,
+            seed: 1,
+            output: tmp("x.bin"),
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn read_assignments_validates() {
+        let p = tmp("holes.txt");
+        std::fs::write(&p, "0 1\n2 1\n").unwrap(); // vertex 1 missing
+        assert!(read_assignments(&p).is_err());
+        let q = tmp("bad.txt");
+        std::fs::write(&q, "x y\n").unwrap();
+        assert!(read_assignments(&q).is_err());
+    }
+
+    #[test]
+    fn color_command_runs() {
+        let graph_path = tmp("col.bin");
+        execute(Command::Generate {
+            input: "rgg".into(),
+            scale: 0.02,
+            seed: 2,
+            output: graph_path.clone(),
+        })
+        .unwrap();
+        execute(Command::Color { path: graph_path.clone(), balanced: false }).unwrap();
+        execute(Command::Color { path: graph_path, balanced: true }).unwrap();
+    }
+}

@@ -1,0 +1,41 @@
+//! # grappolo-cli
+//!
+//! Command-line interface for the grappolo-rs library:
+//!
+//! ```text
+//! grappolo generate <input-id|generator> [--scale F] [--seed N] -o FILE
+//! grappolo stats    <graph-file>
+//! grappolo detect   <graph-file> [--scheme S] [--threads N] [--gamma F]
+//!                   [--assignments FILE] [--trace FILE]
+//! grappolo color    <graph-file> [--balanced]
+//! grappolo compare  <assignments-a> <assignments-b>
+//! grappolo convert  <in-file> <out-file>
+//! ```
+//!
+//! Graph formats are dispatched on extension (`.edges`/`.txt`,
+//! `.graph`/`.metis`, `.bin`); assignment files are one `vertex community`
+//! pair per line.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+/// Entry point shared by the binary and the tests. Returns the process exit
+/// code.
+pub fn run(argv: &[String]) -> i32 {
+    match args::parse(argv) {
+        Ok(cmd) => match commands::execute(cmd) {
+            Ok(()) => 0,
+            Err(e) => {
+                eprintln!("error: {e}");
+                1
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", args::USAGE);
+            2
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! The `grappolo` command-line binary.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(grappolo_cli::run(&argv));
+}

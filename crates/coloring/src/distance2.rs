@@ -1,0 +1,117 @@
+//! Distance-2 coloring: no two vertices within two hops share a color.
+//!
+//! §5.2 of the paper defines distance-k coloring and §5.4 step (2) notes
+//! "For this paper, we only explore distance-1 coloring"; distance-2 is
+//! implemented here as the natural extension. Under distance-2 processing,
+//! two concurrently-processed vertices can never share *any* neighbor, which
+//! additionally rules out the two-vertices-join-one-community races of §4.1
+//! (though not the negative-gain phenomenon itself — see the paper's \[11\]).
+
+use crate::Coloring;
+use grappolo_graph::{CsrGraph, VertexId};
+use rustc_hash_shim::FxHashSet;
+
+// rustc-hash is not a declared dependency of this crate; a tiny shim keeps
+// the hot path allocation-light without widening the dependency set.
+mod rustc_hash_shim {
+    pub type FxHashSet = std::collections::BTreeSet<u32>;
+}
+
+/// Serial greedy distance-2 coloring (first fit over the 2-hop
+/// neighborhood). Returns colors such that [`is_valid_distance2`] holds.
+pub fn color_distance2(g: &CsrGraph) -> Coloring {
+    let n = g.num_vertices();
+    let mut colors: Coloring = vec![u32::MAX; n];
+    let mut taken: FxHashSet = FxHashSet::new();
+    for v in 0..n as VertexId {
+        taken.clear();
+        for &u in g.neighbor_ids(v) {
+            if u != v && colors[u as usize] != u32::MAX {
+                taken.insert(colors[u as usize]);
+            }
+            for &w in g.neighbor_ids(u) {
+                if w != v && colors[w as usize] != u32::MAX {
+                    taken.insert(colors[w as usize]);
+                }
+            }
+        }
+        let mut c = 0u32;
+        while taken.contains(&c) {
+            c += 1;
+        }
+        colors[v as usize] = c;
+    }
+    colors
+}
+
+/// True if no two distinct vertices at distance ≤ 2 share a color.
+pub fn is_valid_distance2(g: &CsrGraph, coloring: &Coloring) -> bool {
+    if coloring.len() != g.num_vertices() {
+        return false;
+    }
+    for v in 0..g.num_vertices() as VertexId {
+        for &u in g.neighbor_ids(v) {
+            if u != v && coloring[u as usize] == coloring[v as usize] {
+                return false;
+            }
+            for &w in g.neighbor_ids(u) {
+                if w != v && coloring[w as usize] == coloring[v as usize] {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grappolo_graph::from_unweighted_edges;
+    use grappolo_graph::gen::{erdos_renyi, ErConfig};
+
+    #[test]
+    fn path_distance2() {
+        // Path 0-1-2-3: distance-2 pairs (0,2),(1,3) must differ too.
+        let g = from_unweighted_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let c = color_distance2(&g);
+        assert!(is_valid_distance2(&g, &c));
+        assert_ne!(c[0], c[2]);
+        assert_ne!(c[1], c[3]);
+    }
+
+    #[test]
+    fn star_needs_spoke_count_colors() {
+        // In a star all spokes are pairwise distance-2: k+1 colors needed.
+        let g = from_unweighted_edges(5, (1..5).map(|v| (0, v))).unwrap();
+        let c = color_distance2(&g);
+        assert!(is_valid_distance2(&g, &c));
+        let mut distinct = c.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 5);
+    }
+
+    #[test]
+    fn valid_on_random() {
+        let g = erdos_renyi(&ErConfig { num_vertices: 300, num_edges: 900, seed: 1 });
+        let c = color_distance2(&g);
+        assert!(is_valid_distance2(&g, &c));
+    }
+
+    #[test]
+    fn distance2_is_also_distance1_valid() {
+        let g = erdos_renyi(&ErConfig { num_vertices: 200, num_edges: 600, seed: 2 });
+        let c = color_distance2(&g);
+        assert!(crate::stats::is_valid_distance1(&g, &c));
+    }
+
+    #[test]
+    fn validity_check_rejects_two_hop_clash() {
+        let g = from_unweighted_edges(3, [(0, 1), (1, 2)]).unwrap();
+        // 0 and 2 are distance-2; same color is distance-1-valid but not d2.
+        let c = vec![0, 1, 0];
+        assert!(crate::stats::is_valid_distance1(&g, &c));
+        assert!(!is_valid_distance2(&g, &c));
+    }
+}

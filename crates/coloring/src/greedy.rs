@@ -1,0 +1,99 @@
+//! Serial first-fit greedy coloring — the correctness reference for the
+//! parallel algorithm and the fallback for tiny graphs where parallel setup
+//! costs dominate.
+
+use crate::Coloring;
+use grappolo_graph::{CsrGraph, VertexId};
+
+/// Colors vertices in id order, assigning each the smallest color not used
+/// by an already-colored neighbor. Produces at most `max_degree + 1` colors.
+pub fn color_greedy_serial(g: &CsrGraph) -> Coloring {
+    let n = g.num_vertices();
+    let mut colors: Coloring = vec![u32::MAX; n];
+    // `forbidden[c] == v` means color c is used by a neighbor of v; using the
+    // vertex id as epoch avoids clearing the scratch array per vertex.
+    let mut forbidden: Vec<u32> = vec![u32::MAX; g.max_degree() + 2];
+    for v in 0..n as VertexId {
+        for &u in g.neighbor_ids(v) {
+            if u == v {
+                continue; // self-loops never constrain coloring
+            }
+            let cu = colors[u as usize];
+            if cu != u32::MAX && (cu as usize) < forbidden.len() {
+                forbidden[cu as usize] = v;
+            }
+        }
+        let mut c = 0u32;
+        while forbidden[c as usize] == v {
+            c += 1;
+        }
+        colors[v as usize] = c;
+    }
+    colors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::is_valid_distance1;
+    use grappolo_graph::from_unweighted_edges;
+
+    #[test]
+    fn path_is_two_colorable() {
+        let g = from_unweighted_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let c = color_greedy_serial(&g);
+        assert!(is_valid_distance1(&g, &c));
+        assert_eq!(c.iter().max(), Some(&1));
+    }
+
+    #[test]
+    fn clique_needs_n_colors() {
+        let g = from_unweighted_edges(
+            4,
+            [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
+        )
+        .unwrap();
+        let c = color_greedy_serial(&g);
+        assert!(is_valid_distance1(&g, &c));
+        let mut sorted = c.clone();
+        sorted.sort();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn isolated_vertices_get_color_zero() {
+        let g = from_unweighted_edges(3, []).unwrap();
+        let c = color_greedy_serial(&g);
+        assert_eq!(c, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn self_loop_does_not_block() {
+        let g = grappolo_graph::from_weighted_edges(2, [(0, 0, 1.0), (0, 1, 1.0)]).unwrap();
+        let c = color_greedy_serial(&g);
+        assert!(is_valid_distance1(&g, &c));
+        assert_eq!(c[0], 0);
+        assert_eq!(c[1], 1);
+    }
+
+    #[test]
+    fn star_is_two_colorable() {
+        let g = from_unweighted_edges(6, (1..6).map(|v| (0, v))).unwrap();
+        let c = color_greedy_serial(&g);
+        assert!(is_valid_distance1(&g, &c));
+        assert_eq!(*c.iter().max().unwrap(), 1);
+    }
+
+    #[test]
+    fn color_count_bounded_by_max_degree_plus_one() {
+        let g = grappolo_graph::gen::erdos_renyi(&grappolo_graph::gen::ErConfig {
+            num_vertices: 500,
+            num_edges: 3_000,
+            seed: 4,
+        });
+        let c = color_greedy_serial(&g);
+        assert!(is_valid_distance1(&g, &c));
+        let num_colors = *c.iter().max().unwrap() as usize + 1;
+        assert!(num_colors <= g.max_degree() + 1);
+    }
+}

@@ -1,0 +1,187 @@
+//! Speculative iterative parallel distance-1 coloring (Çatalyürek et al.,
+//! the paper's reference \[12\]).
+//!
+//! Each round has two parallel phases over the currently-uncolored vertices:
+//!
+//! 1. **Tentative coloring** — every uncolored vertex picks the smallest
+//!    color not used by any neighbor (reading possibly-stale neighbor
+//!    colors).
+//! 2. **Conflict detection** — every just-colored vertex re-checks its
+//!    neighbors; if an adjacent pair ended up with equal colors, the
+//!    higher-id endpoint is uncolored and re-queued for the next round.
+//!
+//! The loop terminates because at least one vertex of every conflicting pair
+//! keeps its color each round; on real inputs a handful of rounds suffice.
+
+use crate::Coloring;
+use grappolo_graph::{CsrGraph, VertexId};
+use rayon::prelude::*;
+
+/// Tuning knobs for [`color_parallel`].
+#[derive(Clone, Debug)]
+pub struct ParallelColoringConfig {
+    /// Below this vertex count the serial greedy algorithm is used directly
+    /// (parallel setup costs dominate on tiny inputs).
+    pub serial_cutoff: usize,
+    /// Safety bound on speculative rounds; the algorithm converges long
+    /// before this on any input (each round permanently colors ≥ half of
+    /// every conflicting pair).
+    pub max_rounds: usize,
+}
+
+impl Default for ParallelColoringConfig {
+    fn default() -> Self {
+        Self { serial_cutoff: 1_024, max_rounds: 10_000 }
+    }
+}
+
+/// Colors `g` with distance-1 semantics using speculation + conflict
+/// resolution. Returns the coloring; validity is guaranteed
+/// ([`crate::stats::is_valid_distance1`] holds) and tested.
+pub fn color_parallel(g: &CsrGraph, cfg: &ParallelColoringConfig) -> Coloring {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n <= cfg.serial_cutoff {
+        return crate::greedy::color_greedy_serial(g);
+    }
+
+    const UNCOLORED: u32 = u32::MAX;
+    let mut colors: Coloring = vec![UNCOLORED; n];
+    let mut worklist: Vec<VertexId> = (0..n as VertexId).collect();
+
+    for _round in 0..cfg.max_rounds {
+        if worklist.is_empty() {
+            break;
+        }
+
+        // Phase 1: tentative speculative coloring.
+        let tentative: Vec<u32> = worklist
+            .par_iter()
+            .map(|&v| {
+                let mut taken: Vec<u32> = g
+                    .neighbor_ids(v)
+                    .iter()
+                    .filter(|&&u| u != v)
+                    .map(|&u| colors[u as usize])
+                    .filter(|&c| c != UNCOLORED)
+                    .collect();
+                taken.sort_unstable();
+                let mut c = 0u32;
+                for t in taken {
+                    if t == c {
+                        c += 1;
+                    } else if t > c {
+                        break;
+                    }
+                }
+                c
+            })
+            .collect();
+        // Commit tentative colors (distinct indices — no races).
+        // A scatter via par_iter over the worklist would race on `colors`
+        // borrow; instead commit sequentially (cheap: one store per vertex)
+        // then detect conflicts in parallel.
+        for (i, &v) in worklist.iter().enumerate() {
+            colors[v as usize] = tentative[i];
+        }
+
+        // Phase 2: conflict detection — higher id of a conflicting pair
+        // loses its color and is retried next round.
+        let losers: Vec<VertexId> = worklist
+            .par_iter()
+            .copied()
+            .filter(|&v| {
+                g.neighbor_ids(v)
+                    .iter()
+                    .any(|&u| u != v && colors[u as usize] == colors[v as usize] && v > u)
+            })
+            .collect();
+        for &v in &losers {
+            colors[v as usize] = UNCOLORED;
+        }
+        worklist = losers;
+    }
+    assert!(
+        worklist.is_empty(),
+        "speculative coloring failed to converge within max_rounds"
+    );
+    colors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{color_class_sizes, is_valid_distance1};
+    use grappolo_graph::gen::{erdos_renyi, rmat, ErConfig, RmatConfig};
+    use grappolo_graph::from_unweighted_edges;
+
+    fn cfg_parallel_always() -> ParallelColoringConfig {
+        ParallelColoringConfig { serial_cutoff: 0, ..Default::default() }
+    }
+
+    #[test]
+    fn valid_on_random_graph() {
+        let g = erdos_renyi(&ErConfig { num_vertices: 5_000, num_edges: 30_000, seed: 1 });
+        let c = color_parallel(&g, &cfg_parallel_always());
+        assert!(is_valid_distance1(&g, &c));
+    }
+
+    #[test]
+    fn valid_on_skewed_graph() {
+        let g = rmat(&RmatConfig { scale: 12, num_edges: 50_000, ..Default::default() });
+        let c = color_parallel(&g, &cfg_parallel_always());
+        assert!(is_valid_distance1(&g, &c));
+    }
+
+    #[test]
+    fn all_vertices_colored() {
+        let g = erdos_renyi(&ErConfig { num_vertices: 2_000, num_edges: 10_000, seed: 2 });
+        let c = color_parallel(&g, &cfg_parallel_always());
+        assert_eq!(c.len(), 2_000);
+        assert!(c.iter().all(|&x| x != u32::MAX));
+    }
+
+    #[test]
+    fn color_count_reasonable() {
+        // Parallel speculation may use a few more colors than serial greedy,
+        // but stays within max_degree + 1 per round-local first-fit.
+        let g = erdos_renyi(&ErConfig { num_vertices: 3_000, num_edges: 20_000, seed: 3 });
+        let c = color_parallel(&g, &cfg_parallel_always());
+        let used = *c.iter().max().unwrap() as usize + 1;
+        assert!(used <= g.max_degree() + 1, "used {used} colors");
+    }
+
+    #[test]
+    fn serial_cutoff_matches_greedy() {
+        let g = from_unweighted_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let cfg = ParallelColoringConfig::default(); // cutoff engages
+        assert_eq!(color_parallel(&g, &cfg), crate::greedy::color_greedy_serial(&g));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = grappolo_graph::CsrGraph::empty(0);
+        assert!(color_parallel(&g, &cfg_parallel_always()).is_empty());
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let g = grappolo_graph::from_weighted_edges(
+            3,
+            [(0, 0, 1.0), (0, 1, 1.0), (1, 2, 1.0)],
+        )
+        .unwrap();
+        let c = color_parallel(&g, &cfg_parallel_always());
+        assert!(is_valid_distance1(&g, &c));
+    }
+
+    #[test]
+    fn class_sizes_cover_all_vertices() {
+        let g = erdos_renyi(&ErConfig { num_vertices: 4_000, num_edges: 16_000, seed: 5 });
+        let c = color_parallel(&g, &cfg_parallel_always());
+        let sizes = color_class_sizes(&c);
+        assert_eq!(sizes.iter().sum::<usize>(), 4_000);
+    }
+}

@@ -1,0 +1,117 @@
+//! Lock-free `f64` accumulator built on `AtomicU64` bit patterns.
+//!
+//! Rust has no `AtomicF64`; the paper's C++ implementation leans on
+//! `__sync_fetch_and_add` for community-degree updates (§5.5). The CAS loop
+//! below is the Rust analogue (Rust Atomics and Locks, ch. 2–3:
+//! compare-exchange based fetch-update). Relaxed ordering is sufficient for
+//! pure accumulation: rayon's join points provide the necessary
+//! happens-before edges between the parallel sweep and the sequential reader.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// An atomically updatable `f64`.
+#[derive(Debug, Default)]
+pub struct AtomicF64(AtomicU64);
+
+impl AtomicF64 {
+    /// Creates an accumulator holding `v`.
+    #[inline]
+    pub fn new(v: f64) -> Self {
+        Self(AtomicU64::new(v.to_bits()))
+    }
+
+    /// Loads the current value.
+    #[inline]
+    pub fn load(&self, order: Ordering) -> f64 {
+        f64::from_bits(self.0.load(order))
+    }
+
+    /// Stores `v`.
+    #[inline]
+    pub fn store(&self, v: f64, order: Ordering) {
+        self.0.store(v.to_bits(), order)
+    }
+
+    /// Atomically adds `delta`, returning the previous value.
+    #[inline]
+    pub fn fetch_add(&self, delta: f64, order: Ordering) -> f64 {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self.0.compare_exchange_weak(cur, next, order, Ordering::Relaxed) {
+                Ok(prev) => return f64::from_bits(prev),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Atomically subtracts `delta`, returning the previous value.
+    #[inline]
+    pub fn fetch_sub(&self, delta: f64, order: Ordering) -> f64 {
+        self.fetch_add(-delta, order)
+    }
+}
+
+/// Allocates a zeroed atomic f64 vector of length `n`.
+pub fn atomic_f64_vec(n: usize) -> Vec<AtomicF64> {
+    (0..n).map(|_| AtomicF64::new(0.0)).collect()
+}
+
+/// Snapshots an atomic vector into a plain `Vec<f64>`.
+pub fn snapshot(v: &[AtomicF64]) -> Vec<f64> {
+    v.iter().map(|a| a.load(Ordering::Relaxed)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn basic_ops() {
+        let a = AtomicF64::new(1.5);
+        assert_eq!(a.load(Ordering::Relaxed), 1.5);
+        a.store(2.0, Ordering::Relaxed);
+        assert_eq!(a.fetch_add(0.5, Ordering::Relaxed), 2.0);
+        assert_eq!(a.load(Ordering::Relaxed), 2.5);
+        assert_eq!(a.fetch_sub(2.5, Ordering::Relaxed), 2.5);
+        assert_eq!(a.load(Ordering::Relaxed), 0.0);
+    }
+
+    #[test]
+    fn concurrent_adds_sum_correctly() {
+        let a = AtomicF64::new(0.0);
+        (0..10_000).into_par_iter().for_each(|_| {
+            a.fetch_add(1.0, Ordering::Relaxed);
+        });
+        // Adding 1.0 ten thousand times is exact in f64.
+        assert_eq!(a.load(Ordering::Relaxed), 10_000.0);
+    }
+
+    #[test]
+    fn concurrent_mixed_add_sub() {
+        let a = AtomicF64::new(500.0);
+        (0..1_000).into_par_iter().for_each(|i| {
+            if i % 2 == 0 {
+                a.fetch_add(2.0, Ordering::Relaxed);
+            } else {
+                a.fetch_sub(2.0, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(a.load(Ordering::Relaxed), 500.0);
+    }
+
+    #[test]
+    fn vec_helpers() {
+        let v = atomic_f64_vec(4);
+        v[2].fetch_add(3.25, Ordering::Relaxed);
+        assert_eq!(snapshot(&v), vec![0.0, 0.0, 3.25, 0.0]);
+    }
+
+    #[test]
+    fn negative_and_special_values() {
+        let a = AtomicF64::new(-0.5);
+        a.fetch_add(-1.5, Ordering::Relaxed);
+        assert_eq!(a.load(Ordering::Relaxed), -2.0);
+    }
+}

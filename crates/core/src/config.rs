@@ -1,0 +1,248 @@
+//! Algorithm configuration: which heuristics run, thresholds, and schedules.
+//!
+//! Defaults mirror the paper's experimental setup (§6.1): colored phases use
+//! a net-modularity-gain threshold of 1e-2, the remaining phases 1e-6, and
+//! coloring stops once the graph shrinks below 100 K vertices or the phase
+//! gain drops below the colored threshold.
+
+use serde::{Deserialize, Serialize};
+
+/// Which combination of the paper's heuristics to run — the four schemes of
+/// the evaluation section.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scheme {
+    /// The original serial Louvain method (§3) — the comparison baseline.
+    Serial,
+    /// Parallel with only the minimum-label heuristic ("baseline", §6.1).
+    Baseline,
+    /// Baseline plus vertex-following preprocessing ("baseline + VF").
+    BaselineVf,
+    /// Baseline plus VF plus coloring ("baseline + VF + Color") — the
+    /// headline configuration.
+    BaselineVfColor,
+}
+
+impl Scheme {
+    /// All four schemes in the paper's presentation order.
+    pub const ALL: [Scheme; 4] = [
+        Scheme::Serial,
+        Scheme::Baseline,
+        Scheme::BaselineVf,
+        Scheme::BaselineVfColor,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheme::Serial => "serial",
+            Scheme::Baseline => "baseline",
+            Scheme::BaselineVf => "baseline+VF",
+            Scheme::BaselineVfColor => "baseline+VF+Color",
+        }
+    }
+
+    /// Builds the matching [`LouvainConfig`].
+    pub fn config(&self) -> LouvainConfig {
+        match self {
+            Scheme::Serial => LouvainConfig {
+                parallel: false,
+                use_vf: false,
+                coloring: ColoringSchedule::Off,
+                ..LouvainConfig::default()
+            },
+            Scheme::Baseline => LouvainConfig {
+                parallel: true,
+                use_vf: false,
+                coloring: ColoringSchedule::Off,
+                ..LouvainConfig::default()
+            },
+            Scheme::BaselineVf => LouvainConfig {
+                parallel: true,
+                use_vf: true,
+                coloring: ColoringSchedule::Off,
+                ..LouvainConfig::default()
+            },
+            Scheme::BaselineVfColor => LouvainConfig {
+                parallel: true,
+                use_vf: true,
+                coloring: ColoringSchedule::MultiPhase,
+                ..LouvainConfig::default()
+            },
+        }
+    }
+}
+
+/// When the coloring preprocessing is applied (§6.3 compares the first two).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ColoringSchedule {
+    /// Never color (baseline / baseline+VF schemes).
+    Off,
+    /// Color only the first phase's input (§6.3's comparison arm).
+    FirstPhaseOnly,
+    /// Color every phase until the vertex-count cutoff or the phase-gain
+    /// cutoff triggers (the paper's default scheme, §6.1).
+    MultiPhase,
+}
+
+/// How the inter-phase graph rebuild aggregates community edges (§5.5 step
+/// (iii) and the DESIGN.md ablation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RebuildStrategy {
+    /// Sort-based aggregation: deterministic, lock-free (default; preserves
+    /// the §5.4 stability guarantee bit-for-bit).
+    SortAggregate,
+    /// Per-community `Mutex<FxHashMap>` accumulation — the paper's
+    /// "one lock … two locks" implementation. Last-ulp float sums may vary
+    /// between runs.
+    LockMap,
+}
+
+/// How new community ids are assigned during rebuild (§5.5 step (i)).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RenumberStrategy {
+    /// Serial scan — what the paper ships ("currently implemented in
+    /// serial").
+    Serial,
+    /// Parallel mark + prefix-sum — the paper's stated future work.
+    ParallelPrefix,
+}
+
+/// Full algorithm configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LouvainConfig {
+    /// Parallel sweep (Algorithm 1) vs the faithful serial method (§3).
+    pub parallel: bool,
+    /// Apply vertex-following preprocessing (§5.3).
+    pub use_vf: bool,
+    /// Recursive VF rounds (chain compression, §5.3's extension); 1 = the
+    /// paper's single-pass variant.
+    pub vf_rounds: usize,
+    /// Coloring schedule.
+    pub coloring: ColoringSchedule,
+    /// Stop coloring once the phase input has fewer vertices than this
+    /// (paper: 100 K).
+    pub coloring_vertex_cutoff: usize,
+    /// Stop coloring once the net modularity gain between phases drops below
+    /// this (paper: 1e-2).
+    pub coloring_phase_gain_cutoff: f64,
+    /// Apply the balanced-coloring post-pass (§6.2 extension).
+    pub balanced_coloring: bool,
+    /// Net modularity gain threshold θ within colored phases (paper: 1e-2;
+    /// Table 5 sweeps this).
+    pub colored_threshold: f64,
+    /// Net modularity gain threshold θ for uncolored phases and overall
+    /// termination (paper: 1e-6).
+    pub final_threshold: f64,
+    /// Hard cap on phases (safety; the paper's runs need ≲ 10).
+    pub max_phases: usize,
+    /// Hard cap on iterations within one phase (safety).
+    pub max_iterations_per_phase: usize,
+    /// Rebuild edge-aggregation strategy.
+    pub rebuild: RebuildStrategy,
+    /// Rebuild renumbering strategy.
+    pub renumber: RenumberStrategy,
+    /// Resolution parameter γ (1.0 = the paper's Eq. 3/4).
+    pub resolution: f64,
+    /// If set, run inside a dedicated rayon pool with this many threads;
+    /// otherwise use the ambient pool.
+    pub num_threads: Option<usize>,
+}
+
+impl Default for LouvainConfig {
+    fn default() -> Self {
+        Self {
+            parallel: true,
+            use_vf: true,
+            vf_rounds: 1,
+            coloring: ColoringSchedule::MultiPhase,
+            coloring_vertex_cutoff: 100_000,
+            coloring_phase_gain_cutoff: 1e-2,
+            balanced_coloring: false,
+            colored_threshold: 1e-2,
+            final_threshold: 1e-6,
+            max_phases: 64,
+            max_iterations_per_phase: 10_000,
+            rebuild: RebuildStrategy::SortAggregate,
+            renumber: RenumberStrategy::Serial,
+            resolution: 1.0,
+            num_threads: None,
+        }
+    }
+}
+
+impl LouvainConfig {
+    /// Convenience: sets the thread count.
+    pub fn with_threads(mut self, t: usize) -> Self {
+        self.num_threads = Some(t);
+        self
+    }
+
+    /// Validates parameter sanity; returns the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.final_threshold > 0.0) {
+            return Err("final_threshold must be > 0".into());
+        }
+        if !(self.colored_threshold > 0.0) {
+            return Err("colored_threshold must be > 0".into());
+        }
+        if self.max_phases == 0 || self.max_iterations_per_phase == 0 {
+            return Err("max_phases and max_iterations_per_phase must be ≥ 1".into());
+        }
+        if !(self.resolution >= 0.0) {
+            return Err("resolution must be ≥ 0".into());
+        }
+        if self.vf_rounds == 0 && self.use_vf {
+            return Err("use_vf requires vf_rounds ≥ 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_configs_match_heuristic_sets() {
+        assert!(!Scheme::Serial.config().parallel);
+        let b = Scheme::Baseline.config();
+        assert!(b.parallel && !b.use_vf && b.coloring == ColoringSchedule::Off);
+        let v = Scheme::BaselineVf.config();
+        assert!(v.parallel && v.use_vf && v.coloring == ColoringSchedule::Off);
+        let c = Scheme::BaselineVfColor.config();
+        assert!(c.parallel && c.use_vf && c.coloring == ColoringSchedule::MultiPhase);
+    }
+
+    #[test]
+    fn default_thresholds_match_paper() {
+        let c = LouvainConfig::default();
+        assert_eq!(c.colored_threshold, 1e-2);
+        assert_eq!(c.final_threshold, 1e-6);
+        assert_eq!(c.coloring_vertex_cutoff, 100_000);
+        assert_eq!(c.coloring_phase_gain_cutoff, 1e-2);
+    }
+
+    #[test]
+    fn validation_catches_bad_params() {
+        let mut c = LouvainConfig::default();
+        assert!(c.validate().is_ok());
+        c.final_threshold = 0.0;
+        assert!(c.validate().is_err());
+        let mut c2 = LouvainConfig::default();
+        c2.max_phases = 0;
+        assert!(c2.validate().is_err());
+        let mut c3 = LouvainConfig::default();
+        c3.resolution = -1.0;
+        assert!(c3.validate().is_err());
+        let mut c4 = LouvainConfig { use_vf: true, vf_rounds: 0, ..Default::default() };
+        assert!(c4.validate().is_err());
+        c4.vf_rounds = 1;
+        assert!(c4.validate().is_ok());
+    }
+
+    #[test]
+    fn scheme_names() {
+        assert_eq!(Scheme::BaselineVfColor.name(), "baseline+VF+Color");
+        assert_eq!(Scheme::ALL.len(), 4);
+    }
+}

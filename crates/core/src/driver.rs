@@ -1,0 +1,529 @@
+//! Multi-phase driver (§5.4): VF preprocessing → phases (colored or
+//! unordered or serial) → graph rebuild, repeated until the modularity
+//! converges.
+
+use crate::config::{ColoringSchedule, LouvainConfig, Scheme};
+use crate::dendrogram::{Dendrogram, DendrogramLevel};
+use crate::history::{IterationRecord, PhaseRecord, PhaseTimings, RunTrace};
+use crate::modularity::{modularity_with_resolution, Community};
+use crate::parallel::{parallel_phase_colored, parallel_phase_unordered};
+use crate::phase::PhaseOutcome;
+use crate::rebuild::{rebuild, renumber_communities};
+use crate::serial::{serial_modularity, serial_phase};
+use crate::vf::{vf_preprocess_recursive, VfResult};
+use grappolo_coloring::{
+    balance_colors, color_classes, color_parallel, ColoringStats, ParallelColoringConfig,
+};
+use grappolo_graph::CsrGraph;
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// Result of a community-detection run.
+#[derive(Clone, Debug)]
+pub struct CommunityResult {
+    /// Dense community labels (`0..num_communities`) on the **original**
+    /// input vertices.
+    pub assignment: Vec<Community>,
+    /// Number of communities.
+    pub num_communities: usize,
+    /// Final modularity, evaluated on the original graph.
+    pub modularity: f64,
+    /// Per-iteration / per-phase trace.
+    pub trace: RunTrace,
+    /// The phase hierarchy.
+    pub dendrogram: Dendrogram,
+}
+
+/// Runs community detection on `g` under `config`.
+///
+/// If `config.num_threads` is set, the run executes inside a dedicated rayon
+/// pool of that size; otherwise a serial (`parallel = false`) run uses a
+/// 1-thread pool (so "serial" never silently parallelizes) and a parallel
+/// run uses the ambient pool.
+pub fn detect_communities(g: &CsrGraph, config: &LouvainConfig) -> CommunityResult {
+    config.validate().expect("invalid LouvainConfig");
+    match config.num_threads {
+        Some(t) => {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(t.max(1))
+                .build()
+                .expect("failed to build rayon pool");
+            pool.install(|| run_inner(g, config))
+        }
+        None if !config.parallel => {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(1)
+                .build()
+                .expect("failed to build rayon pool");
+            pool.install(|| run_inner(g, config))
+        }
+        None => run_inner(g, config),
+    }
+}
+
+/// Convenience: runs one of the paper's four schemes with default settings.
+pub fn detect_with_scheme(g: &CsrGraph, scheme: Scheme) -> CommunityResult {
+    detect_communities(g, &scheme.config())
+}
+
+fn run_inner(g: &CsrGraph, config: &LouvainConfig) -> CommunityResult {
+    let t_start = Instant::now();
+    let mut trace = RunTrace::default();
+
+    // Step (1): optional VF preprocessing (§5.4).
+    let t_vf = Instant::now();
+    let vf: VfResult = if config.use_vf {
+        vf_preprocess_recursive(g, config.vf_rounds)
+    } else {
+        VfResult::identity(g.clone())
+    };
+    trace.vf_time = t_vf.elapsed();
+    trace.vf_merged = vf.merged;
+
+    let mut dendrogram = Dendrogram {
+        vf_mapping: vf.mapping.clone(),
+        levels: Vec::new(),
+    };
+
+    let mut work = vf.graph.clone();
+    let mut coloring_active = config.coloring != ColoringSchedule::Off;
+    let mut prev_phase_end_q = f64::NEG_INFINITY;
+
+    for phase_idx in 0..config.max_phases {
+        let n = work.num_vertices();
+        let m_edges = work.num_edges();
+
+        // Coloring schedule (§6.1): stop once the graph is small or the
+        // previous phase's gain was below the colored threshold.
+        let colored = match config.coloring {
+            ColoringSchedule::Off => false,
+            ColoringSchedule::FirstPhaseOnly => coloring_active && phase_idx == 0,
+            ColoringSchedule::MultiPhase => {
+                coloring_active && n >= config.coloring_vertex_cutoff
+            }
+        } && config.parallel;
+
+        // Step (2): coloring preprocessing.
+        let t_color = Instant::now();
+        let (classes, num_colors) = if colored {
+            let mut coloring = color_parallel(&work, &ParallelColoringConfig::default());
+            if config.balanced_coloring {
+                balance_colors(&work, &mut coloring, 0.1);
+            }
+            let stats = ColoringStats::compute(&coloring);
+            (color_classes(&coloring), stats.num_colors)
+        } else {
+            (Vec::new(), 0)
+        };
+        let coloring_time = t_color.elapsed();
+
+        // Step (3): the phase's iteration loop.
+        let threshold = if colored {
+            config.colored_threshold
+        } else {
+            config.final_threshold
+        };
+        let start_q = if config.parallel {
+            let identity: Vec<Community> = (0..n as Community).collect();
+            modularity_with_resolution(&work, &identity, config.resolution)
+        } else {
+            let identity: Vec<Community> = (0..n as Community).collect();
+            serial_modularity(&work, &identity, config.resolution)
+        };
+        let t_cluster = Instant::now();
+        let outcome: PhaseOutcome = if !config.parallel {
+            serial_phase(
+                &work,
+                threshold,
+                config.max_iterations_per_phase,
+                config.resolution,
+            )
+        } else if colored {
+            parallel_phase_colored(
+                &work,
+                &classes,
+                threshold,
+                config.max_iterations_per_phase,
+                config.resolution,
+            )
+        } else {
+            parallel_phase_unordered(
+                &work,
+                threshold,
+                config.max_iterations_per_phase,
+                config.resolution,
+            )
+        };
+        let clustering_time = t_cluster.elapsed();
+
+        for (i, &(q, moves)) in outcome.iterations.iter().enumerate() {
+            trace.iterations.push(IterationRecord {
+                phase: phase_idx,
+                iteration: i,
+                modularity: q,
+                moves,
+            });
+        }
+
+        let end_q = if outcome.iterations.is_empty() {
+            start_q
+        } else {
+            outcome.final_modularity
+        };
+
+        // Step (4): graph rebuild — also executed for the terminal phase so
+        // the dendrogram's last level has dense labels (the graph itself is
+        // then discarded).
+        let t_rebuild = Instant::now();
+        let (renumber, num_communities) =
+            renumber_communities(&outcome.assignment, config.renumber);
+        let phase_gain = end_q - start_q;
+        let made_progress = num_communities < n;
+        let overall_gain = if prev_phase_end_q.is_finite() {
+            end_q - prev_phase_end_q
+        } else {
+            f64::INFINITY
+        };
+        let is_last = !made_progress
+            || phase_gain < config.final_threshold
+            || overall_gain < config.final_threshold
+            || phase_idx + 1 == config.max_phases;
+        let next_graph = if is_last {
+            None
+        } else {
+            Some(rebuild(&work, &outcome.assignment, config.rebuild, config.renumber).graph)
+        };
+        let mut rebuild_time = t_rebuild.elapsed();
+        if phase_idx == 0 {
+            // Paper's accounting: VF cost is folded into rebuild time.
+            rebuild_time += trace.vf_time;
+        }
+
+        trace.phases.push(PhaseRecord {
+            phase: phase_idx,
+            num_vertices: n,
+            num_edges: m_edges,
+            colored,
+            num_colors,
+            iterations: outcome.num_iterations(),
+            start_modularity: start_q,
+            end_modularity: end_q,
+            timings: PhaseTimings {
+                coloring: coloring_time,
+                clustering: clustering_time,
+                rebuild: rebuild_time,
+            },
+        });
+        dendrogram.levels.push(DendrogramLevel {
+            assignment: outcome.assignment,
+            renumber,
+            num_communities,
+        });
+
+        // Coloring shutoff (§6.1): once the phase gain drops below the
+        // colored threshold, later phases run uncolored at θ_final.
+        if colored && phase_gain < config.coloring_phase_gain_cutoff {
+            coloring_active = false;
+        }
+
+        match next_graph {
+            Some(gn) => work = gn,
+            None => break,
+        }
+        prev_phase_end_q = end_q;
+    }
+
+    // Project the hierarchy back to the original vertices.
+    let assignment = flatten_parallel(&dendrogram);
+    let num_communities = dendrogram
+        .levels
+        .last()
+        .map(|l| l.num_communities)
+        .unwrap_or_else(|| {
+            // No phases ran (empty graph): each VF vertex is a community.
+            vf.graph.num_vertices()
+        });
+    let final_q = if config.parallel {
+        modularity_with_resolution(g, &assignment, config.resolution)
+    } else {
+        serial_modularity(g, &assignment, config.resolution)
+    };
+    trace.total_time = t_start.elapsed();
+
+    CommunityResult {
+        assignment,
+        num_communities,
+        modularity: final_q,
+        trace,
+        dendrogram,
+    }
+}
+
+/// Parallel version of [`Dendrogram::flatten`] for the driver's hot exit
+/// path.
+fn flatten_parallel(d: &Dendrogram) -> Vec<Community> {
+    if d.levels.is_empty() {
+        return d.vf_mapping.par_iter().map(|&v| v as Community).collect();
+    }
+    d.vf_mapping
+        .par_iter()
+        .map(|&v0| {
+            let mut cur = v0 as usize;
+            for l in &d.levels {
+                cur = l.renumber[l.assignment[cur] as usize] as usize;
+            }
+            cur as Community
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{RebuildStrategy, RenumberStrategy};
+    use grappolo_graph::gen::{
+        planted_partition, ring_of_cliques, CliqueRingConfig, PlantedConfig,
+    };
+
+    fn planted() -> (CsrGraph, Vec<u32>) {
+        planted_partition(&PlantedConfig {
+            num_vertices: 2_000,
+            num_communities: 20,
+            avg_intra_degree: 12.0,
+            avg_inter_degree: 1.0,
+            ..Default::default()
+        })
+    }
+
+    fn colored_config() -> LouvainConfig {
+        LouvainConfig {
+            coloring_vertex_cutoff: 64, // engage coloring at test scale
+            ..Scheme::BaselineVfColor.config()
+        }
+    }
+
+    #[test]
+    fn all_schemes_find_planted_communities() {
+        let (g, truth) = planted();
+        let q_truth = modularity_with_resolution(&g, &truth, 1.0);
+        for scheme in Scheme::ALL {
+            let cfg = if scheme == Scheme::BaselineVfColor {
+                colored_config()
+            } else {
+                scheme.config()
+            };
+            let result = detect_communities(&g, &cfg);
+            assert!(
+                result.modularity > 0.9 * q_truth,
+                "{}: Q {} vs planted {}",
+                scheme.name(),
+                result.modularity,
+                q_truth
+            );
+            // Dense labels.
+            let max = *result.assignment.iter().max().unwrap() as usize;
+            assert_eq!(max + 1, result.num_communities, "{}", scheme.name());
+        }
+    }
+
+    #[test]
+    fn reported_modularity_matches_assignment() {
+        let (g, _) = planted();
+        let result = detect_communities(&g, &colored_config());
+        let q = modularity_with_resolution(&g, &result.assignment, 1.0);
+        assert!(
+            (q - result.modularity).abs() < 1e-12,
+            "reported {} vs recomputed {q}",
+            result.modularity
+        );
+    }
+
+    #[test]
+    fn last_phase_modularity_equals_final() {
+        // The rebuild invariant: Q on the phase graph equals Q of the
+        // projected partition on the original graph.
+        let (g, _) = planted();
+        let result = detect_communities(&g, &colored_config());
+        let last_phase_q = result.trace.phases.last().unwrap().end_modularity;
+        assert!(
+            (last_phase_q - result.modularity).abs() < 1e-9,
+            "phase {last_phase_q} vs final {}",
+            result.modularity
+        );
+    }
+
+    #[test]
+    fn ring_of_cliques_exact_recovery() {
+        let (g, truth) = ring_of_cliques(&CliqueRingConfig {
+            num_cliques: 12,
+            clique_size: 6,
+            ..Default::default()
+        });
+        for scheme in Scheme::ALL {
+            let result = detect_with_scheme(&g, scheme);
+            // Each clique ends in exactly one community.
+            for c in 0..12u32 {
+                let members: Vec<_> = (0..72)
+                    .filter(|&v| truth[v] == c)
+                    .map(|v| result.assignment[v])
+                    .collect();
+                assert!(
+                    members.windows(2).all(|w| w[0] == w[1]),
+                    "{}: clique {c} split",
+                    scheme.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_stable_across_thread_counts() {
+        // §5.4's stability: baseline (and +VF) outputs do not depend on the
+        // number of cores.
+        let (g, _) = planted();
+        let mut cfg = Scheme::Baseline.config();
+        cfg.num_threads = Some(1);
+        let r1 = detect_communities(&g, &cfg);
+        cfg.num_threads = Some(2);
+        let r2 = detect_communities(&g, &cfg);
+        cfg.num_threads = Some(4);
+        let r4 = detect_communities(&g, &cfg);
+        assert_eq!(r1.assignment, r2.assignment);
+        assert_eq!(r1.assignment, r4.assignment);
+        assert_eq!(r1.modularity, r2.modularity);
+        assert_eq!(r1.modularity, r4.modularity);
+        assert_eq!(r1.trace.total_iterations(), r4.trace.total_iterations());
+    }
+
+    #[test]
+    fn vf_scheme_stable_across_thread_counts() {
+        let (g, _) = planted();
+        let mut cfg = Scheme::BaselineVf.config();
+        cfg.num_threads = Some(1);
+        let r1 = detect_communities(&g, &cfg);
+        cfg.num_threads = Some(3);
+        let r3 = detect_communities(&g, &cfg);
+        assert_eq!(r1.assignment, r3.assignment);
+    }
+
+    #[test]
+    fn trace_is_populated() {
+        let (g, _) = planted();
+        let result = detect_communities(&g, &colored_config());
+        assert!(!result.trace.phases.is_empty());
+        assert!(!result.trace.iterations.is_empty());
+        assert_eq!(
+            result.trace.total_iterations(),
+            result.trace.iterations.len()
+        );
+        // Phase 0 was colored under the test cutoff.
+        assert!(result.trace.phases[0].colored);
+        assert!(result.trace.phases[0].num_colors > 1);
+        // Phase sizes shrink.
+        let sizes: Vec<_> = result.trace.phases.iter().map(|p| p.num_vertices).collect();
+        for w in sizes.windows(2) {
+            assert!(w[1] <= w[0], "phase sizes must shrink: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn dendrogram_levels_flatten_consistently() {
+        let (g, _) = planted();
+        let result = detect_communities(&g, &colored_config());
+        let flat = result.dendrogram.flatten();
+        assert_eq!(flat, result.assignment);
+        // Earlier levels are finer (more or equal communities).
+        let sizes = result.dendrogram.level_sizes();
+        for w in sizes.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+    }
+
+    #[test]
+    fn modularity_improves_over_levels() {
+        let (g, _) = planted();
+        let result = detect_communities(&g, &colored_config());
+        let mut prev = f64::NEG_INFINITY;
+        for lvl in 0..result.dendrogram.num_levels() {
+            let flat = result.dendrogram.flatten_to_level(lvl);
+            let q = modularity_with_resolution(&g, &flat, 1.0);
+            assert!(
+                q >= prev - 1e-9,
+                "level {lvl} modularity {q} below previous {prev}"
+            );
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn serial_uses_one_thread_pool() {
+        // Smoke check: serial scheme completes and never panics inside the
+        // forced 1-thread pool, and its trace has no colored phases.
+        let (g, _) = planted();
+        let result = detect_with_scheme(&g, Scheme::Serial);
+        assert!(result.trace.phases.iter().all(|p| !p.colored));
+        assert!(result.modularity > 0.5);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::empty(0);
+        let result = detect_communities(&g, &LouvainConfig::default());
+        assert!(result.assignment.is_empty());
+        assert_eq!(result.num_communities, 0);
+        assert_eq!(result.modularity, 0.0);
+    }
+
+    #[test]
+    fn edgeless_graph_all_singletons() {
+        let g = CsrGraph::empty(7);
+        let result = detect_communities(&g, &LouvainConfig::default());
+        assert_eq!(result.assignment, vec![0, 1, 2, 3, 4, 5, 6]);
+        assert_eq!(result.num_communities, 7);
+    }
+
+    #[test]
+    fn rebuild_strategies_give_same_quality() {
+        let (g, _) = planted();
+        let mut cfg = colored_config();
+        cfg.rebuild = RebuildStrategy::SortAggregate;
+        let a = detect_communities(&g, &cfg);
+        cfg.rebuild = RebuildStrategy::LockMap;
+        cfg.renumber = RenumberStrategy::ParallelPrefix;
+        let b = detect_communities(&g, &cfg);
+        assert!((a.modularity - b.modularity).abs() < 0.05);
+    }
+
+    #[test]
+    fn first_phase_only_coloring_runs() {
+        let (g, _) = planted();
+        let cfg = LouvainConfig {
+            coloring: ColoringSchedule::FirstPhaseOnly,
+            coloring_vertex_cutoff: 64,
+            ..Scheme::BaselineVfColor.config()
+        };
+        let result = detect_communities(&g, &cfg);
+        assert!(result.trace.phases[0].colored);
+        for p in &result.trace.phases[1..] {
+            assert!(!p.colored, "only phase 0 may be colored");
+        }
+        assert!(result.modularity > 0.5);
+    }
+
+    #[test]
+    fn resolution_parameter_changes_granularity() {
+        let (g, _) = planted();
+        let mut lo = colored_config();
+        lo.resolution = 0.2;
+        let mut hi = colored_config();
+        hi.resolution = 4.0;
+        let coarse = detect_communities(&g, &lo);
+        let fine = detect_communities(&g, &hi);
+        assert!(
+            coarse.num_communities <= fine.num_communities,
+            "γ=0.2 gave {} communities, γ=4 gave {}",
+            coarse.num_communities,
+            fine.num_communities
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! # grappolo-core
+//!
+//! Serial and parallel Louvain community detection — the Rust reproduction
+//! of *"Parallel heuristics for scalable community detection"* (Lu,
+//! Halappanavar, Kalyanaraman; Parallel Computing 47, 2015; extended from
+//! IPDPS-W 2014), whose C++/OpenMP release is known as **Grappolo**.
+//!
+//! The three parallelization heuristics:
+//! * **Minimum labeling** (§5.1) — [`modularity::best_move`] breaks
+//!   equal-gain ties toward the smallest community label, and
+//!   [`phase::singlet_veto`] blocks singleton↔singleton swaps.
+//! * **Vertex following** (§5.3) — [`vf`] merges single-degree vertices into
+//!   their neighbor before the iterations (Lemma 3 guarantees optimality of
+//!   the merge), with a recursive chain-compression extension.
+//! * **Coloring** (§5.2) — [`parallel::parallel_phase_colored`] processes
+//!   distance-1 color classes so no two adjacent vertices decide
+//!   concurrently.
+//!
+//! Quick start:
+//!
+//! ```
+//! use grappolo_graph::gen::{ring_of_cliques, CliqueRingConfig};
+//! use grappolo_core::{detect_with_scheme, Scheme};
+//!
+//! let (graph, _truth) = ring_of_cliques(&CliqueRingConfig::default());
+//! let result = detect_with_scheme(&graph, Scheme::BaselineVfColor);
+//! assert!(result.modularity > 0.7);
+//! println!("{} communities, Q = {:.4}", result.num_communities, result.modularity);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod atomicf64;
+pub mod config;
+pub mod dendrogram;
+pub mod driver;
+pub mod history;
+pub mod modularity;
+pub mod parallel;
+pub mod phase;
+pub mod rebuild;
+pub mod serial;
+pub mod vf;
+
+pub use config::{ColoringSchedule, LouvainConfig, RebuildStrategy, RenumberStrategy, Scheme};
+pub use dendrogram::{Dendrogram, DendrogramLevel};
+pub use driver::{detect_communities, detect_with_scheme, CommunityResult};
+pub use history::{IterationRecord, PhaseRecord, PhaseTimings, RunTrace};
+pub use modularity::{modularity, modularity_with_resolution, Community};
+pub use phase::PhaseOutcome;
+pub use vf::{vf_preprocess, vf_preprocess_recursive, VfResult};

@@ -1,0 +1,395 @@
+//! Modularity (Eq. 3) and modularity-gain (Eq. 4) kernels, shared by the
+//! serial and parallel algorithms.
+//!
+//! Floating-point policy: every reduction that feeds a *convergence decision*
+//! uses [`det_sum`] — fixed-size chunking with an ordered sequential combine —
+//! so results are bitwise identical for any rayon thread count. This is what
+//! lets the non-colored parallel variants honor the paper's stability claim
+//! (§5.4: "stable in that it always produces the same output regardless of
+//! the number of cores used").
+
+use grappolo_graph::{CsrGraph, VertexId};
+use rayon::prelude::*;
+
+/// Community identifier. Community labels are vertex ids of the current
+/// phase's graph (`0..n`), exactly as in the paper's minimum-label heuristic
+/// where "communities at any given stage … \[are\] labeled numerically".
+pub type Community = u32;
+
+/// Fixed chunk width for deterministic parallel sums.
+const DET_CHUNK: usize = 4096;
+
+/// Deterministic parallel sum of `f(i)` for `i in 0..n`: chunk sums are
+/// computed in parallel but combined in index order, so the result does not
+/// depend on the thread count or scheduling.
+pub fn det_sum<F: Fn(usize) -> f64 + Sync>(n: usize, f: F) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let num_chunks = n.div_ceil(DET_CHUNK);
+    let partials: Vec<f64> = (0..num_chunks)
+        .into_par_iter()
+        .map(|c| {
+            let start = c * DET_CHUNK;
+            let end = (start + DET_CHUNK).min(n);
+            let mut acc = 0.0;
+            for i in start..end {
+                acc += f(i);
+            }
+            acc
+        })
+        .collect();
+    partials.iter().sum()
+}
+
+/// Community weighted degrees `a_C = Σ_{i∈C} k_i` (Eq. 2), indexed by
+/// community label. The scatter is sequential in vertex order, which makes it
+/// deterministic; it is O(n) and negligible next to the sweep.
+pub fn community_degrees(g: &CsrGraph, assignment: &[Community]) -> Vec<f64> {
+    let n = g.num_vertices();
+    debug_assert_eq!(assignment.len(), n);
+    let mut a = vec![0.0f64; n];
+    for v in 0..n {
+        a[assignment[v] as usize] += g.weighted_degree(v as VertexId);
+    }
+    a
+}
+
+/// Community sizes (member counts), indexed by community label.
+pub fn community_sizes(assignment: &[Community]) -> Vec<u32> {
+    let mut sizes = vec![0u32; assignment.len()];
+    for &c in assignment {
+        sizes[c as usize] += 1;
+    }
+    sizes
+}
+
+/// `Σ_i e_{i→C(i)}`: every intra-community adjacency entry summed from both
+/// endpoints (self-loops once). Equals `2 × (intra non-loop weight) +
+/// (intra loop weight)` and is the first term of Eq. 3 before the `1/2m`.
+pub fn intra_community_weight(g: &CsrGraph, assignment: &[Community]) -> f64 {
+    det_sum(g.num_vertices(), |v| {
+        let cv = assignment[v];
+        g.neighbors(v as VertexId)
+            .filter(|&(u, _)| assignment[u as usize] == cv)
+            .map(|(_, w)| w)
+            .sum()
+    })
+}
+
+/// Modularity of a partition (Eq. 3):
+/// `Q = (1/2m) Σ_i e_{i→C(i)} − Σ_C (a_C / 2m)²`.
+pub fn modularity(g: &CsrGraph, assignment: &[Community]) -> f64 {
+    modularity_with_resolution(g, assignment, 1.0)
+}
+
+/// Generalized modularity with resolution parameter `γ` (the paper's
+/// future-work item (iv); `γ = 1` is Eq. 3):
+/// `Q_γ = (1/2m) Σ_i e_{i→C(i)} − γ Σ_C (a_C / 2m)²`.
+pub fn modularity_with_resolution(g: &CsrGraph, assignment: &[Community], gamma: f64) -> f64 {
+    let m = g.total_weight();
+    if m <= 0.0 {
+        return 0.0;
+    }
+    let e_in = intra_community_weight(g, assignment);
+    let a = community_degrees(g, assignment);
+    let two_m = 2.0 * m;
+    let null = det_sum(a.len(), |c| {
+        let x = a[c] / two_m;
+        x * x
+    });
+    e_in / two_m - gamma * null
+}
+
+/// Scratch space for per-vertex neighbor-community aggregation. One instance
+/// per worker thread (rayon `map_with`); reused across vertices to avoid
+/// per-vertex allocation (perf-book: reuse workhorse collections).
+#[derive(Clone, Debug, Default)]
+pub struct NeighborScratch {
+    /// Distinct neighboring communities with accumulated edge weight.
+    pub entries: Vec<(Community, f64)>,
+}
+
+impl NeighborScratch {
+    /// Collects `e_{i→C}` for every community `C` adjacent to `v` (excluding
+    /// `v`'s self-loop, which moves with the vertex and cancels in gain
+    /// comparisons). Entries are sorted by community label ascending —
+    /// the order the minimum-label heuristic requires.
+    pub fn gather(&mut self, g: &CsrGraph, assignment: &[Community], v: VertexId) {
+        self.entries.clear();
+        for (u, w) in g.neighbors(v) {
+            if u == v {
+                continue;
+            }
+            self.entries.push((assignment[u as usize], w));
+        }
+        self.entries.sort_unstable_by_key(|&(c, _)| c);
+        // In-place merge of duplicate community labels.
+        let mut out = 0usize;
+        for i in 0..self.entries.len() {
+            if out > 0 && self.entries[out - 1].0 == self.entries[i].0 {
+                self.entries[out - 1].1 += self.entries[i].1;
+            } else {
+                self.entries[out] = self.entries[i];
+                out += 1;
+            }
+        }
+        self.entries.truncate(out);
+    }
+}
+
+/// Inputs to one vertex's migration decision.
+#[derive(Clone, Copy, Debug)]
+pub struct MoveContext {
+    /// The vertex's current community.
+    pub current: Community,
+    /// `k_i`, the vertex's weighted degree.
+    pub k: f64,
+    /// `m`, the graph's total weight.
+    pub m: f64,
+    /// `a_{C(i)}` *including* `i` (the source community's degree).
+    pub a_current: f64,
+    /// Resolution parameter γ (1.0 = paper's Eq. 4).
+    pub gamma: f64,
+}
+
+/// The outcome of a migration decision.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MoveDecision {
+    /// Chosen community (may equal the current one).
+    pub target: Community,
+    /// Modularity gain of moving there (Eq. 4); 0 when staying.
+    pub gain: f64,
+}
+
+/// Evaluates Eq. 4 over sorted candidate communities and returns the target
+/// per Eq. 5 with the paper's **generalized minimum-label heuristic**: among
+/// equal-gain maxima, the smallest community label wins (§5.1). `a_of` maps a
+/// community label to its current degree `a_C`.
+///
+/// The gain of moving `i` from `C(i)` to `C(j)` (Eq. 4) is, with
+/// `a_src' = a_{C(i)} − k_i`:
+/// `ΔQ = (e_{i→C(j)} − e_{i→C(i)∖{i}})/m + 2·k_i·(a_src' − a_{C(j)})/(2m)²`.
+/// Staying (`C(j) = C(i)`) evaluates to exactly 0 by construction.
+pub fn best_move(
+    ctx: &MoveContext,
+    candidates: &[(Community, f64)],
+    a_of: impl Fn(Community) -> f64,
+) -> MoveDecision {
+    let two_m = 2.0 * ctx.m;
+    let a_src_without = a_of(ctx.current) - ctx.k;
+    // e_{i→C(i)∖{i}}: weight to co-members, excluding the self-loop.
+    let e_src = candidates
+        .iter()
+        .find(|&&(c, _)| c == ctx.current)
+        .map(|&(_, w)| w)
+        .unwrap_or(0.0);
+
+    let mut best = MoveDecision { target: ctx.current, gain: 0.0 };
+    for &(c, e_c) in candidates {
+        if c == ctx.current {
+            continue;
+        }
+        let gain = (e_c - e_src) / ctx.m
+            + ctx.gamma * 2.0 * ctx.k * (a_src_without - a_of(c)) / (two_m * two_m);
+        // Strict `>` over label-ascending candidates implements the
+        // generalized minimum-label tie-break.
+        if gain > best.gain {
+            best = MoveDecision { target: c, gain };
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grappolo_graph::{from_unweighted_edges, from_weighted_edges};
+
+    fn two_triangles() -> CsrGraph {
+        // Two triangles joined by one bridge: the canonical Q = 10/28 ≈ 0.357
+        // example (for the 2-community partition).
+        from_unweighted_edges(
+            6,
+            [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn modularity_two_triangles_exact() {
+        let g = two_triangles();
+        let part = vec![0, 0, 0, 1, 1, 1];
+        // m=7; e_in = 2*(3+3)=12; Σ(a/2m)^2 = (7/14)^2 * 2 = 0.5
+        // Q = 12/14 - 0.5 = 0.357142857…
+        let q = modularity(&g, &part);
+        assert!((q - (12.0 / 14.0 - 0.5)).abs() < 1e-12, "{q}");
+    }
+
+    #[test]
+    fn singletons_modularity() {
+        let g = two_triangles();
+        let part: Vec<u32> = (0..6).collect();
+        // e_in = 0; Q = -Σ (k_i/2m)^2.
+        let expected: f64 = -(0..6)
+            .map(|v| {
+                let k = g.weighted_degree(v);
+                (k / 14.0) * (k / 14.0)
+            })
+            .sum::<f64>();
+        assert!((modularity(&g, &part) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_in_one_community_zero() {
+        // With everything in one community, Q = 2m/2m − (2m/2m)² = 0.
+        let g = two_triangles();
+        let part = vec![0u32; 6];
+        assert!((modularity(&g, &part)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_loop_counts_once_in_e_in() {
+        let g = from_weighted_edges(2, [(0, 1, 1.0), (0, 0, 2.0)]).unwrap();
+        // One community: e_in = 2*1 + 2 = 4 = 2m → Q = 1 − 1 = 0.
+        assert!((modularity(&g, &[0, 0])).abs() < 1e-12);
+        // Separate: e_in = loop only = 2. m = 2. k0 = 3, k1 = 1.
+        let q = modularity(&g, &[0, 1]);
+        let expect = 2.0 / 4.0 - ((3.0 / 4.0f64).powi(2) + (1.0 / 4.0f64).powi(2));
+        assert!((q - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resolution_extremes() {
+        let g = two_triangles();
+        let split = vec![0, 0, 0, 1, 1, 1];
+        let merged = vec![0u32; 6];
+        // γ = 0: only intra weight matters → merged (everything intra) wins.
+        let q0_split = modularity_with_resolution(&g, &split, 0.0);
+        let q0_merged = modularity_with_resolution(&g, &merged, 0.0);
+        assert!(q0_merged > q0_split);
+        // γ large: null model dominates → split wins.
+        let q9_split = modularity_with_resolution(&g, &split, 9.0);
+        let q9_merged = modularity_with_resolution(&g, &merged, 9.0);
+        assert!(q9_split > q9_merged);
+    }
+
+    #[test]
+    fn community_degrees_and_sizes() {
+        let g = two_triangles();
+        let part = vec![0, 0, 0, 1, 1, 1];
+        let a = community_degrees(&g, &part);
+        assert_eq!(a[0], 7.0);
+        assert_eq!(a[1], 7.0);
+        assert_eq!(community_sizes(&part)[0], 3);
+        let total: f64 = a.iter().sum();
+        assert_eq!(total, 2.0 * g.total_weight());
+    }
+
+    #[test]
+    fn det_sum_matches_serial() {
+        let vals: Vec<f64> = (0..10_000).map(|i| (i as f64).sin()).collect();
+        let serial: f64 = vals.iter().sum();
+        let det = det_sum(vals.len(), |i| vals[i]);
+        // det_sum chunks at 4096, so exact equality is not guaranteed vs the
+        // fully-serial order, but it must be self-consistent and close.
+        assert!((det - serial).abs() < 1e-9);
+        assert_eq!(det, det_sum(vals.len(), |i| vals[i]));
+    }
+
+    #[test]
+    fn det_sum_empty() {
+        assert_eq!(det_sum(0, |_| 1.0), 0.0);
+    }
+
+    #[test]
+    fn scratch_gathers_sorted_merged() {
+        let g = from_weighted_edges(
+            4,
+            [(0, 1, 1.0), (0, 2, 2.0), (0, 3, 4.0), (0, 0, 9.0)],
+        )
+        .unwrap();
+        let assignment = vec![5u32 % 4, 3, 3, 1]; // v1,v2 → comm 3; v3 → comm 1
+        let mut s = NeighborScratch::default();
+        s.gather(&g, &assignment, 0);
+        // self-loop excluded; comm 1 (w 4), comm 3 (1+2=3), sorted by label.
+        assert_eq!(s.entries, vec![(1, 4.0), (3, 3.0)]);
+    }
+
+    #[test]
+    fn best_move_prefers_positive_gain() {
+        // Vertex 0 between two communities; candidate with more weight wins.
+        let ctx = MoveContext { current: 0, k: 2.0, m: 10.0, a_current: 2.0, gamma: 1.0 };
+        let candidates = vec![(1u32, 1.0), (2u32, 2.0)];
+        let a = |c: Community| match c {
+            0 => 2.0,
+            _ => 4.0,
+        };
+        let d = best_move(&ctx, &candidates, a);
+        assert_eq!(d.target, 2);
+        assert!(d.gain > 0.0);
+    }
+
+    #[test]
+    fn best_move_min_label_tie_break() {
+        // Two identical candidates — the generalized ML heuristic picks the
+        // smaller label (§5.1, Fig. 2 case 2).
+        let ctx = MoveContext { current: 9, k: 1.0, m: 5.0, a_current: 1.0, gamma: 1.0 };
+        let candidates = vec![(3u32, 1.0), (7u32, 1.0)];
+        let d = best_move(&ctx, &candidates, |c| if c == 9 { 1.0 } else { 2.0 });
+        assert_eq!(d.target, 3);
+    }
+
+    #[test]
+    fn best_move_stays_when_all_negative() {
+        // Staying yields 0; an unattractive move must not be taken.
+        let ctx = MoveContext { current: 0, k: 5.0, m: 10.0, a_current: 10.0, gamma: 1.0 };
+        // e_src = 4 (strong ties to own community), candidate weak.
+        let candidates = vec![(0u32, 4.0), (1u32, 0.1)];
+        let d = best_move(&ctx, &candidates, |c| if c == 0 { 10.0 } else { 8.0 });
+        assert_eq!(d.target, 0);
+        assert_eq!(d.gain, 0.0);
+    }
+
+    #[test]
+    fn gain_matches_modularity_delta() {
+        // Brute-force check: predicted ΔQ equals Q(after) − Q(before) for a
+        // single move on a small weighted graph (the guarantee §3 builds on).
+        let g = from_weighted_edges(
+            5,
+            [
+                (0, 1, 2.0),
+                (1, 2, 1.0),
+                (2, 3, 3.0),
+                (3, 4, 1.5),
+                (4, 0, 1.0),
+                (1, 3, 2.5),
+            ],
+        )
+        .unwrap();
+        let before = vec![0u32, 0, 2, 2, 4];
+        let q_before = modularity(&g, &before);
+        // Move vertex 4 (currently alone) into community 2.
+        let v: VertexId = 4;
+        let mut scratch = NeighborScratch::default();
+        scratch.gather(&g, &before, v);
+        let a = community_degrees(&g, &before);
+        let ctx = MoveContext {
+            current: before[v as usize],
+            k: g.weighted_degree(v),
+            m: g.total_weight(),
+            a_current: a[before[v as usize] as usize],
+            gamma: 1.0,
+        };
+        let decision = best_move(&ctx, &scratch.entries, |c| a[c as usize]);
+        let mut after = before.clone();
+        after[v as usize] = decision.target;
+        let q_after = modularity(&g, &after);
+        assert!(
+            (q_after - q_before - decision.gain).abs() < 1e-12,
+            "predicted {} actual {}",
+            decision.gain,
+            q_after - q_before
+        );
+    }
+}

@@ -1,0 +1,396 @@
+//! The parallel Louvain phase (Algorithm 1) with the minimum-label
+//! heuristics (§5.1) — in both flavors the paper evaluates:
+//!
+//! * [`parallel_phase_unordered`] — no coloring: one lock-free parallel sweep
+//!   per iteration, every decision reading the *previous* iteration's
+//!   assignment and community degrees (Algorithm 1 lines 8–14 with a single
+//!   color set). Deterministic for any thread count: writes go to
+//!   `C_curr[i]`, reads to `C_prev`, and all reductions are
+//!   order-deterministic (§5.4's stability property).
+//! * [`parallel_phase_colored`] — vertices are processed one color class at
+//!   a time; classes are internally parallel, moves commit immediately, and
+//!   community degrees update via lock-free f64 atomics (the Rust analogue
+//!   of the paper's `__sync_fetch_and_add`, §5.5). Later classes observe
+//!   earlier commits — the colored analogue of serial freshness.
+
+use crate::modularity::{
+    best_move, community_degrees, community_sizes, modularity_with_resolution, Community,
+    MoveContext, NeighborScratch,
+};
+use crate::atomicf64::AtomicF64;
+use crate::phase::{should_stop, singlet_veto, PhaseOutcome};
+use grappolo_graph::{CsrGraph, VertexId};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Runs one **unordered** (non-colored) parallel phase to convergence.
+pub fn parallel_phase_unordered(
+    g: &CsrGraph,
+    threshold: f64,
+    max_iterations: usize,
+    resolution: f64,
+) -> PhaseOutcome {
+    let n = g.num_vertices();
+    let m = g.total_weight();
+    let mut c_prev: Vec<Community> = (0..n as Community).collect();
+    if n == 0 || m <= 0.0 {
+        return PhaseOutcome {
+            assignment: c_prev,
+            iterations: Vec::new(),
+            final_modularity: 0.0,
+        };
+    }
+
+    let mut iterations: Vec<(f64, usize)> = Vec::new();
+    let mut q_prev = modularity_with_resolution(g, &c_prev, resolution);
+
+    for _iter in 0..max_iterations {
+        // Community state from the previous iteration (Algorithm 1 line 8).
+        let a = community_degrees(g, &c_prev);
+        let sizes = community_sizes(&c_prev);
+
+        // Lines 9–14: parallel sweep without locks.
+        let c_curr: Vec<Community> = (0..n as VertexId)
+            .into_par_iter()
+            .map_init(NeighborScratch::default, |scratch, v| {
+                decide(g, &c_prev, &a, &sizes, m, resolution, scratch, v)
+            })
+            .collect();
+
+        let moves = c_prev
+            .par_iter()
+            .zip(c_curr.par_iter())
+            .filter(|(a, b)| a != b)
+            .count();
+        let q_curr = modularity_with_resolution(g, &c_curr, resolution);
+        iterations.push((q_curr, moves));
+        c_prev = c_curr;
+        if should_stop(q_prev, q_curr, moves, threshold) {
+            break;
+        }
+        q_prev = q_curr;
+    }
+
+    let final_modularity = iterations.last().map(|&(q, _)| q).unwrap_or(q_prev);
+    PhaseOutcome { assignment: c_prev, iterations, final_modularity }
+}
+
+/// One vertex's migration decision against snapshot state.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn decide(
+    g: &CsrGraph,
+    assignment: &[Community],
+    a: &[f64],
+    sizes: &[u32],
+    m: f64,
+    resolution: f64,
+    scratch: &mut NeighborScratch,
+    v: VertexId,
+) -> Community {
+    let cur = assignment[v as usize];
+    scratch.gather(g, assignment, v);
+    if scratch.entries.is_empty() {
+        return cur;
+    }
+    let ctx = MoveContext {
+        current: cur,
+        k: g.weighted_degree(v),
+        m,
+        a_current: a[cur as usize],
+        gamma: resolution,
+    };
+    let decision = best_move(&ctx, &scratch.entries, |c| a[c as usize]);
+    if decision.target != cur && singlet_veto(cur, decision.target, |c| sizes[c as usize]) {
+        return cur;
+    }
+    decision.target
+}
+
+/// Runs one **colored** parallel phase to convergence.
+///
+/// `color_classes[k]` lists the vertices of color `k`; classes must be
+/// mutually independent sets (distance-1 coloring). Within an iteration the
+/// classes are processed in ascending color order; each class is swept in
+/// parallel over live shared state.
+pub fn parallel_phase_colored(
+    g: &CsrGraph,
+    color_classes: &[Vec<VertexId>],
+    threshold: f64,
+    max_iterations: usize,
+    resolution: f64,
+) -> PhaseOutcome {
+    let n = g.num_vertices();
+    let m = g.total_weight();
+    if n == 0 || m <= 0.0 {
+        return PhaseOutcome {
+            assignment: (0..n as Community).collect(),
+            iterations: Vec::new(),
+            final_modularity: 0.0,
+        };
+    }
+
+    // Live shared state. Same-color vertices are never adjacent, so while a
+    // class is being swept no thread writes an entry another thread reads;
+    // atomics make that reasoning explicit and safe. Community degrees take
+    // genuine concurrent updates from same-class movers (§5.5's atomics).
+    let assignment: Vec<AtomicU32> =
+        (0..n as Community).map(AtomicU32::new).collect();
+    let a: Vec<AtomicF64> = (0..n)
+        .map(|v| AtomicF64::new(g.weighted_degree(v as VertexId)))
+        .collect();
+    let sizes: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(1)).collect();
+
+    let mut iterations: Vec<(f64, usize)> = Vec::new();
+    let snapshot = |assignment: &[AtomicU32]| -> Vec<Community> {
+        assignment.iter().map(|x| x.load(Ordering::Relaxed)).collect()
+    };
+    let mut q_prev = modularity_with_resolution(g, &snapshot(&assignment), resolution);
+
+    for _iter in 0..max_iterations {
+        let mut moves = 0usize;
+        for class in color_classes {
+            moves += class
+                .par_iter()
+                .map_init(NeighborScratch::default, |scratch, &v| {
+                    let cur = assignment[v as usize].load(Ordering::Relaxed);
+                    // Gather against live assignments: neighbors are in other
+                    // color classes and not being mutated during this class.
+                    scratch.entries.clear();
+                    for (u, w) in g.neighbors(v) {
+                        if u == v {
+                            continue;
+                        }
+                        scratch
+                            .entries
+                            .push((assignment[u as usize].load(Ordering::Relaxed), w));
+                    }
+                    scratch.entries.sort_unstable_by_key(|&(c, _)| c);
+                    let mut out = 0usize;
+                    for i in 0..scratch.entries.len() {
+                        if out > 0 && scratch.entries[out - 1].0 == scratch.entries[i].0 {
+                            scratch.entries[out - 1].1 += scratch.entries[i].1;
+                        } else {
+                            scratch.entries[out] = scratch.entries[i];
+                            out += 1;
+                        }
+                    }
+                    scratch.entries.truncate(out);
+                    if scratch.entries.is_empty() {
+                        return 0usize;
+                    }
+
+                    let k = g.weighted_degree(v);
+                    let ctx = MoveContext {
+                        current: cur,
+                        k,
+                        m,
+                        a_current: a[cur as usize].load(Ordering::Relaxed),
+                        gamma: resolution,
+                    };
+                    let decision = best_move(&ctx, &scratch.entries, |c| {
+                        a[c as usize].load(Ordering::Relaxed)
+                    });
+                    if decision.target == cur
+                        || singlet_veto(cur, decision.target, |c| {
+                            sizes[c as usize].load(Ordering::Relaxed)
+                        })
+                    {
+                        return 0usize;
+                    }
+                    // Commit immediately (paper §5.5: atomic add/sub).
+                    assignment[v as usize].store(decision.target, Ordering::Relaxed);
+                    a[cur as usize].fetch_sub(k, Ordering::Relaxed);
+                    a[decision.target as usize].fetch_add(k, Ordering::Relaxed);
+                    sizes[cur as usize].fetch_sub(1, Ordering::Relaxed);
+                    sizes[decision.target as usize].fetch_add(1, Ordering::Relaxed);
+                    1usize
+                })
+                .sum::<usize>();
+        }
+
+        let snap = snapshot(&assignment);
+        let q_curr = modularity_with_resolution(g, &snap, resolution);
+        iterations.push((q_curr, moves));
+        if should_stop(q_prev, q_curr, moves, threshold) {
+            break;
+        }
+        q_prev = q_curr;
+    }
+
+    let final_assignment = snapshot(&assignment);
+    let final_modularity = iterations.last().map(|&(q, _)| q).unwrap_or(q_prev);
+    PhaseOutcome {
+        assignment: final_assignment,
+        iterations,
+        final_modularity,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grappolo_coloring::{color_classes, color_parallel, ParallelColoringConfig};
+    use grappolo_graph::from_unweighted_edges;
+    use grappolo_graph::gen::{
+        planted_partition, ring_of_cliques, CliqueRingConfig, PlantedConfig,
+    };
+
+    fn classes_of(g: &CsrGraph) -> Vec<Vec<VertexId>> {
+        let coloring = color_parallel(g, &ParallelColoringConfig::default());
+        color_classes(&coloring)
+    }
+
+    #[test]
+    fn unordered_recovers_cliques() {
+        let (g, truth) = ring_of_cliques(&CliqueRingConfig {
+            num_cliques: 10,
+            clique_size: 6,
+            ..Default::default()
+        });
+        let out = parallel_phase_unordered(&g, 1e-6, 1000, 1.0);
+        assert!(out.final_modularity > 0.7, "Q={}", out.final_modularity);
+        for c in 0..10u32 {
+            let members: Vec<_> = (0..60)
+                .filter(|&v| truth[v] == c)
+                .map(|v| out.assignment[v])
+                .collect();
+            assert!(members.windows(2).all(|w| w[0] == w[1]), "clique {c} split");
+        }
+    }
+
+    #[test]
+    fn colored_recovers_cliques() {
+        let (g, truth) = ring_of_cliques(&CliqueRingConfig {
+            num_cliques: 10,
+            clique_size: 6,
+            ..Default::default()
+        });
+        let out = parallel_phase_colored(&g, &classes_of(&g), 1e-6, 1000, 1.0);
+        assert!(out.final_modularity > 0.7, "Q={}", out.final_modularity);
+        for c in 0..10u32 {
+            let members: Vec<_> = (0..60)
+                .filter(|&v| truth[v] == c)
+                .map(|v| out.assignment[v])
+                .collect();
+            assert!(members.windows(2).all(|w| w[0] == w[1]), "clique {c} split");
+        }
+    }
+
+    #[test]
+    fn min_label_prevents_two_vertex_swap() {
+        // §4.2's swap scenario: a single edge. Without the singlet rule the
+        // pair could swap labels forever; with it, exactly one converges into
+        // the other (the smaller label) after one iteration.
+        let g = from_unweighted_edges(2, [(0, 1)]).unwrap();
+        let out = parallel_phase_unordered(&g, 1e-9, 100, 1.0);
+        assert_eq!(out.assignment[0], out.assignment[1]);
+        assert_eq!(out.assignment[0], 0, "minimum label must win");
+    }
+
+    #[test]
+    fn four_clique_local_maxima_avoided() {
+        // Fig. 2 case 2: a 4-clique starting as singletons. The generalized
+        // ML heuristic sends every vertex toward the smallest-label maximal-
+        // gain community instead of splitting into {i4,i6},{i5,i7}.
+        let g = from_unweighted_edges(
+            4,
+            [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
+        )
+        .unwrap();
+        let out = parallel_phase_unordered(&g, 1e-9, 100, 1.0);
+        let c = out.assignment[0];
+        assert!(
+            out.assignment.iter().all(|&x| x == c),
+            "4-clique should be one community, got {:?}",
+            out.assignment
+        );
+    }
+
+    #[test]
+    fn unordered_deterministic_across_thread_counts() {
+        // §5.4: the non-colored algorithm is stable regardless of core count.
+        let (g, _) = planted_partition(&PlantedConfig {
+            num_vertices: 3_000,
+            num_communities: 30,
+            ..Default::default()
+        });
+        let run = |threads: usize| {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            pool.install(|| parallel_phase_unordered(&g, 1e-6, 1000, 1.0))
+        };
+        let out1 = run(1);
+        let out2 = run(2);
+        let out4 = run(4);
+        assert_eq!(out1.assignment, out2.assignment);
+        assert_eq!(out1.assignment, out4.assignment);
+        assert_eq!(out1.iterations.len(), out2.iterations.len());
+        assert_eq!(out1.final_modularity, out2.final_modularity);
+        assert_eq!(out1.final_modularity, out4.final_modularity);
+    }
+
+    #[test]
+    fn colored_uses_fewer_iterations_than_unordered() {
+        // The design intent of coloring (§5.2): faster convergence. On a
+        // community-rich graph the colored phase should need no more
+        // iterations than the unordered one.
+        let (g, _) = planted_partition(&PlantedConfig {
+            num_vertices: 2_000,
+            num_communities: 20,
+            ..Default::default()
+        });
+        let un = parallel_phase_unordered(&g, 1e-4, 1000, 1.0);
+        let co = parallel_phase_colored(&g, &classes_of(&g), 1e-4, 1000, 1.0);
+        assert!(
+            co.num_iterations() <= un.num_iterations(),
+            "colored {} vs unordered {}",
+            co.num_iterations(),
+            un.num_iterations()
+        );
+        assert!(co.final_modularity > 0.5);
+    }
+
+    #[test]
+    fn empty_graph_phases() {
+        let g = CsrGraph::empty(0);
+        let out = parallel_phase_unordered(&g, 1e-6, 10, 1.0);
+        assert!(out.assignment.is_empty());
+        let out2 = parallel_phase_colored(&g, &[], 1e-6, 10, 1.0);
+        assert!(out2.assignment.is_empty());
+    }
+
+    #[test]
+    fn isolated_vertices_stay_singleton() {
+        let g = from_unweighted_edges(4, [(0, 1)]).unwrap();
+        let out = parallel_phase_unordered(&g, 1e-9, 100, 1.0);
+        assert_eq!(out.assignment[2], 2);
+        assert_eq!(out.assignment[3], 3);
+    }
+
+    #[test]
+    fn moves_counted() {
+        let (g, _) = ring_of_cliques(&CliqueRingConfig {
+            num_cliques: 4,
+            clique_size: 4,
+            ..Default::default()
+        });
+        let out = parallel_phase_unordered(&g, 1e-9, 100, 1.0);
+        assert!(out.iterations[0].1 > 0, "first iteration must move vertices");
+        // Iterations should be recorded in order with the final Q last.
+        assert_eq!(
+            out.final_modularity,
+            out.iterations.last().unwrap().0
+        );
+    }
+
+    #[test]
+    fn singleton_community_graph_converges_fast() {
+        // A graph with no edges converges in one iteration (no moves).
+        let g = CsrGraph::empty(10);
+        let out = parallel_phase_unordered(&g, 1e-9, 100, 1.0);
+        assert_eq!(out.num_iterations(), 0); // m = 0 short-circuits
+    }
+}

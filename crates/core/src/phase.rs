@@ -1,0 +1,87 @@
+//! Shared types and helpers for one Louvain phase (the iteration loop of
+//! Algorithm 1 on a fixed graph).
+
+use crate::modularity::Community;
+
+/// Result of running one phase to convergence.
+#[derive(Clone, Debug)]
+pub struct PhaseOutcome {
+    /// Final community label per phase-graph vertex (labels ⊆ `0..n`, not
+    /// necessarily dense).
+    pub assignment: Vec<Community>,
+    /// Per-iteration `(modularity, moves)` records, in order.
+    pub iterations: Vec<(f64, usize)>,
+    /// Modularity after the last iteration.
+    pub final_modularity: f64,
+}
+
+impl PhaseOutcome {
+    /// Number of iterations executed.
+    pub fn num_iterations(&self) -> usize {
+        self.iterations.len()
+    }
+}
+
+/// The **singlet minimum-label heuristic** (§5.1): a vertex alone in its
+/// community may move into another *singleton* community only when the
+/// target's label is smaller. Returns `true` if the move should be vetoed.
+///
+/// `size_of(c)` must report the current member count of community `c`.
+#[inline]
+pub fn singlet_veto(
+    current: Community,
+    target: Community,
+    size_of: impl Fn(Community) -> u32,
+) -> bool {
+    target != current && size_of(current) == 1 && size_of(target) == 1 && target > current
+}
+
+/// Phase-loop termination test shared by all variants: stop when the net
+/// modularity gain falls below `threshold` (which, per Lemma 1, also stops
+/// on *negative* parallel gains) or when no vertex moved.
+#[inline]
+pub fn should_stop(q_prev: f64, q_curr: f64, moves: usize, threshold: f64) -> bool {
+    moves == 0 || (q_curr - q_prev) < threshold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singlet_veto_blocks_only_upward_swaps() {
+        let sizes = |c: Community| if c <= 2 { 1 } else { 5 };
+        // both singletons, target label larger → veto
+        assert!(singlet_veto(1, 2, sizes));
+        // both singletons, target label smaller → allowed
+        assert!(!singlet_veto(2, 1, sizes));
+        // target not a singleton → allowed
+        assert!(!singlet_veto(1, 3, sizes));
+        // source not a singleton → allowed
+        assert!(!singlet_veto(3, 1, sizes));
+        // staying is never vetoed
+        assert!(!singlet_veto(2, 2, sizes));
+    }
+
+    #[test]
+    fn stop_conditions() {
+        // no moves → stop
+        assert!(should_stop(0.1, 0.2, 0, 1e-6));
+        // large gain → continue
+        assert!(!should_stop(0.1, 0.2, 5, 1e-6));
+        // sub-threshold gain → stop
+        assert!(should_stop(0.1, 0.1 + 1e-9, 5, 1e-6));
+        // negative gain (parallel Lemma 1 case) → stop
+        assert!(should_stop(0.2, 0.1, 5, 1e-6));
+    }
+
+    #[test]
+    fn outcome_counts_iterations() {
+        let o = PhaseOutcome {
+            assignment: vec![0, 1],
+            iterations: vec![(0.1, 2), (0.2, 1)],
+            final_modularity: 0.2,
+        };
+        assert_eq!(o.num_iterations(), 2);
+    }
+}

@@ -1,0 +1,419 @@
+//! Inter-phase graph rebuild (§5.5): collapse each community into a
+//! meta-vertex and aggregate edge weights.
+//!
+//! The paper's sequence: (i) renumber the non-empty communities (serial in
+//! their release, with a parallel prefix-sum approach listed as future work —
+//! both are implemented here, see [`RenumberStrategy`]); (ii)–(iii) aggregate
+//! edges, in their case via a per-community map guarded by locks ("the former
+//! requires one lock and the latter requires two"). We additionally provide a
+//! deterministic sort-based aggregation which is the default because it keeps
+//! the §5.4 stability guarantee bitwise (see DESIGN.md §3).
+//!
+//! Weight convention: traversing every adjacency entry means an intra-
+//! community non-loop edge contributes twice to the meta-vertex self-loop and
+//! a self-loop once; this preserves `Σ k` per community and therefore
+//! modularity across the phase transition (tested below).
+
+use crate::config::{RebuildStrategy, RenumberStrategy};
+use crate::modularity::Community;
+use grappolo_graph::{CsrGraph, VertexId};
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use rustc_hash::FxHashMap;
+
+/// Result of one rebuild.
+#[derive(Clone, Debug)]
+pub struct RebuildResult {
+    /// The condensed graph; vertex `c` is renumbered community `c`.
+    pub graph: CsrGraph,
+    /// Maps an old community label to its new vertex id, `u32::MAX` for
+    /// labels with no members.
+    pub renumber: Vec<Community>,
+    /// Number of non-empty communities (= new vertex count).
+    pub num_communities: usize,
+}
+
+/// Renumbers the non-empty communities of `assignment` (labels in `0..n`)
+/// to dense ids `0..k` in ascending label order. Both strategies produce the
+/// identical mapping; they differ only in parallelism.
+pub fn renumber_communities(
+    assignment: &[Community],
+    strategy: RenumberStrategy,
+) -> (Vec<Community>, usize) {
+    // Labels are phase-graph vertex ids (< len) in normal use, but accept any
+    // label range defensively.
+    let n = assignment
+        .iter()
+        .map(|&c| c as usize + 1)
+        .max()
+        .unwrap_or(0)
+        .max(assignment.len());
+    match strategy {
+        RenumberStrategy::Serial => {
+            let mut renum = vec![Community::MAX; n];
+            let mut present = vec![false; n];
+            for &c in assignment {
+                present[c as usize] = true;
+            }
+            let mut next = 0 as Community;
+            for c in 0..n {
+                if present[c] {
+                    renum[c] = next;
+                    next += 1;
+                }
+            }
+            (renum, next as usize)
+        }
+        RenumberStrategy::ParallelPrefix => {
+            // Parallel mark.
+            let present: Vec<std::sync::atomic::AtomicBool> =
+                (0..n).map(|_| std::sync::atomic::AtomicBool::new(false)).collect();
+            assignment.par_iter().for_each(|&c| {
+                present[c as usize].store(true, std::sync::atomic::Ordering::Relaxed);
+            });
+            // Chunked exclusive prefix sum over presence counts.
+            const CHUNK: usize = 8192;
+            let num_chunks = n.div_ceil(CHUNK).max(1);
+            let counts: Vec<usize> = (0..num_chunks)
+                .into_par_iter()
+                .map(|ch| {
+                    let start = ch * CHUNK;
+                    let end = (start + CHUNK).min(n);
+                    (start..end)
+                        .filter(|&c| present[c].load(std::sync::atomic::Ordering::Relaxed))
+                        .count()
+                })
+                .collect();
+            let mut offsets = vec![0usize; num_chunks + 1];
+            for i in 0..num_chunks {
+                offsets[i + 1] = offsets[i] + counts[i];
+            }
+            let total = offsets[num_chunks];
+            let mut renum = vec![Community::MAX; n];
+            renum
+                .par_chunks_mut(CHUNK)
+                .enumerate()
+                .for_each(|(ch, slice)| {
+                    let start = ch * CHUNK;
+                    let mut next = offsets[ch] as Community;
+                    for (i, r) in slice.iter_mut().enumerate() {
+                        if present[start + i].load(std::sync::atomic::Ordering::Relaxed) {
+                            *r = next;
+                            next += 1;
+                        }
+                    }
+                });
+            (renum, total)
+        }
+    }
+}
+
+/// Builds the condensed graph for `assignment` over `g`.
+pub fn rebuild(
+    g: &CsrGraph,
+    assignment: &[Community],
+    strategy: RebuildStrategy,
+    renumber_strategy: RenumberStrategy,
+) -> RebuildResult {
+    assert_eq!(assignment.len(), g.num_vertices());
+    let (renumber, num_communities) = renumber_communities(assignment, renumber_strategy);
+
+    let graph = match strategy {
+        RebuildStrategy::SortAggregate => {
+            rebuild_sort(g, assignment, &renumber, num_communities)
+        }
+        RebuildStrategy::LockMap => rebuild_lockmap(g, assignment, &renumber, num_communities),
+    };
+    RebuildResult { graph, renumber, num_communities }
+}
+
+/// Deterministic sort-based aggregation over all directed adjacency entries.
+fn rebuild_sort(
+    g: &CsrGraph,
+    assignment: &[Community],
+    renumber: &[Community],
+    num_communities: usize,
+) -> CsrGraph {
+    let n = g.num_vertices();
+    // Emit (cu, cv, w) for every stored adjacency entry.
+    let mut entries: Vec<(Community, Community, f64)> = (0..n as VertexId)
+        .into_par_iter()
+        .flat_map_iter(|u| {
+            let cu = renumber[assignment[u as usize] as usize];
+            g.neighbors(u)
+                .map(move |(v, w)| (cu, renumber[assignment[v as usize] as usize], w))
+        })
+        .collect();
+    // Weight in the key ⇒ per-(cu,cv) runs merge in a fixed order; mirrored
+    // runs share the same multiset of weights and thus the same float sum.
+    entries.par_sort_unstable_by(|a, b| {
+        (a.0, a.1).cmp(&(b.0, b.1)).then(a.2.total_cmp(&b.2))
+    });
+
+    let mut offsets = vec![0usize; num_communities + 1];
+    let mut targets: Vec<VertexId> = Vec::new();
+    let mut weights: Vec<f64> = Vec::new();
+    let mut idx = 0usize;
+    while idx < entries.len() {
+        let (cu, cv, mut w) = entries[idx];
+        idx += 1;
+        while idx < entries.len() && entries[idx].0 == cu && entries[idx].1 == cv {
+            w += entries[idx].2;
+            idx += 1;
+        }
+        offsets[cu as usize + 1] += 1;
+        targets.push(cv);
+        weights.push(w);
+    }
+    for c in 0..num_communities {
+        offsets[c + 1] += offsets[c];
+    }
+    CsrGraph::from_sorted_adjacency(offsets, targets, weights)
+}
+
+/// The paper's lock-per-community map aggregation: one lock per intra edge,
+/// two per inter edge.
+fn rebuild_lockmap(
+    g: &CsrGraph,
+    assignment: &[Community],
+    renumber: &[Community],
+    num_communities: usize,
+) -> CsrGraph {
+    let maps: Vec<Mutex<FxHashMap<Community, f64>>> =
+        (0..num_communities).map(|_| Mutex::new(FxHashMap::default())).collect();
+
+    // Traverse each undirected edge once (self-loops once).
+    (0..g.num_vertices() as VertexId).into_par_iter().for_each(|u| {
+        let cu = renumber[assignment[u as usize] as usize];
+        for (v, w) in g.neighbors(u) {
+            if v < u {
+                continue; // visit each undirected edge at its low endpoint
+            }
+            let cv = renumber[assignment[v as usize] as usize];
+            if cu == cv {
+                // Intra-community: one lock. Non-loop contributes doubled.
+                let add = if u == v { w } else { 2.0 * w };
+                *maps[cu as usize].lock().entry(cu).or_insert(0.0) += add;
+            } else {
+                // Inter-community: two locks.
+                *maps[cu as usize].lock().entry(cv).or_insert(0.0) += w;
+                *maps[cv as usize].lock().entry(cu).or_insert(0.0) += w;
+            }
+        }
+    });
+
+    // Drain maps into sorted CSR rows.
+    let mut rows: Vec<Vec<(Community, f64)>> = maps
+        .into_par_iter()
+        .map(|m| {
+            let mut row: Vec<(Community, f64)> = m.into_inner().into_iter().collect();
+            row.sort_unstable_by_key(|&(c, _)| c);
+            row
+        })
+        .collect();
+
+    // The two directions of an inter-community pair accumulate the same
+    // multiset of weights but in unordered thread interleavings, so their
+    // float sums can differ in the last ulp. Make the low-id row
+    // authoritative and mirror it, restoring exact CSR symmetry.
+    for u in 0..num_communities {
+        for idx in 0..rows[u].len() {
+            let (v, w) = rows[u][idx];
+            if (v as usize) > u {
+                let row_v = &mut rows[v as usize];
+                if let Ok(pos) = row_v.binary_search_by(|&(c, _)| c.cmp(&(u as Community))) {
+                    row_v[pos].1 = w;
+                }
+            }
+        }
+    }
+    let mut offsets = vec![0usize; num_communities + 1];
+    for (c, row) in rows.iter().enumerate() {
+        offsets[c + 1] = offsets[c] + row.len();
+    }
+    let mut targets = Vec::with_capacity(offsets[num_communities]);
+    let mut weights = Vec::with_capacity(offsets[num_communities]);
+    for row in rows {
+        for (c, w) in row {
+            targets.push(c);
+            weights.push(w);
+        }
+    }
+    CsrGraph::from_sorted_adjacency(offsets, targets, weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modularity::modularity;
+    use grappolo_graph::from_unweighted_edges;
+    use grappolo_graph::gen::{planted_partition, PlantedConfig};
+
+    fn strategies() -> [(RebuildStrategy, RenumberStrategy); 4] {
+        [
+            (RebuildStrategy::SortAggregate, RenumberStrategy::Serial),
+            (RebuildStrategy::SortAggregate, RenumberStrategy::ParallelPrefix),
+            (RebuildStrategy::LockMap, RenumberStrategy::Serial),
+            (RebuildStrategy::LockMap, RenumberStrategy::ParallelPrefix),
+        ]
+    }
+
+    #[test]
+    fn two_triangles_condense() {
+        let g = from_unweighted_edges(
+            6,
+            [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        )
+        .unwrap();
+        let assignment = vec![0, 0, 0, 5, 5, 5]; // labels need not be dense
+        for (s, r) in strategies() {
+            let res = rebuild(&g, &assignment, s, r);
+            assert_eq!(res.num_communities, 2, "{s:?}");
+            let cg = &res.graph;
+            assert_eq!(cg.num_vertices(), 2);
+            // Each triangle: 3 intra edges → self-loop weight 6.
+            assert_eq!(cg.self_loop_weight(0), 6.0);
+            assert_eq!(cg.self_loop_weight(1), 6.0);
+            assert_eq!(cg.edge_weight(0, 1), Some(1.0));
+            // m preserved.
+            assert_eq!(cg.total_weight(), g.total_weight());
+        }
+    }
+
+    #[test]
+    fn renumber_maps_ascending() {
+        let assignment = vec![7, 3, 7, 0];
+        for strat in [RenumberStrategy::Serial, RenumberStrategy::ParallelPrefix] {
+            let (renum, k) = renumber_communities(&assignment, strat);
+            assert_eq!(k, 3);
+            assert_eq!(renum[0], 0);
+            assert_eq!(renum[3], 1);
+            assert_eq!(renum[7], 2);
+            assert_eq!(renum[1], Community::MAX);
+        }
+    }
+
+    #[test]
+    fn renumber_strategies_agree_on_random_input() {
+        let mut assignment = Vec::new();
+        let mut state = 99u64;
+        for _ in 0..50_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            assignment.push((state >> 40) as u32 % 50_000);
+        }
+        let (a, ka) = renumber_communities(&assignment, RenumberStrategy::Serial);
+        let (b, kb) = renumber_communities(&assignment, RenumberStrategy::ParallelPrefix);
+        assert_eq!(ka, kb);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn strategies_agree_on_planted_graph() {
+        let (g, truth) = planted_partition(&PlantedConfig {
+            num_vertices: 2_000,
+            num_communities: 20,
+            ..Default::default()
+        });
+        let base = rebuild(
+            &g,
+            &truth,
+            RebuildStrategy::SortAggregate,
+            RenumberStrategy::Serial,
+        );
+        for (s, r) in strategies() {
+            let res = rebuild(&g, &truth, s, r);
+            assert_eq!(res.num_communities, base.num_communities);
+            let (cg, bg) = (&res.graph, &base.graph);
+            assert_eq!(cg.num_edges(), bg.num_edges(), "{s:?}/{r:?}");
+            for v in 0..cg.num_vertices() as VertexId {
+                let a: Vec<_> = cg.neighbors(v).collect();
+                let b: Vec<_> = bg.neighbors(v).collect();
+                assert_eq!(a.len(), b.len());
+                for ((ta, wa), (tb, wb)) in a.iter().zip(b.iter()) {
+                    assert_eq!(ta, tb);
+                    assert!((wa - wb).abs() < 1e-9, "weight mismatch {wa} vs {wb}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn modularity_invariant_across_rebuild() {
+        // Q(partition) on g == Q(singletons) on the condensed graph — the
+        // fundamental invariant making multi-phase Louvain correct.
+        let (g, truth) = planted_partition(&PlantedConfig {
+            num_vertices: 1_500,
+            num_communities: 15,
+            ..Default::default()
+        });
+        let q_orig = modularity(&g, &truth);
+        let res = rebuild(
+            &g,
+            &truth,
+            RebuildStrategy::SortAggregate,
+            RenumberStrategy::Serial,
+        );
+        let singleton: Vec<Community> = (0..res.graph.num_vertices() as Community).collect();
+        let q_cond = modularity(&res.graph, &singleton);
+        assert!(
+            (q_orig - q_cond).abs() < 1e-12,
+            "original {q_orig} vs condensed {q_cond}"
+        );
+    }
+
+    #[test]
+    fn singleton_assignment_rebuild_is_isomorphic() {
+        let g = from_unweighted_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let assignment: Vec<Community> = (0..4).collect();
+        let res = rebuild(
+            &g,
+            &assignment,
+            RebuildStrategy::SortAggregate,
+            RenumberStrategy::Serial,
+        );
+        assert_eq!(res.graph.num_vertices(), 4);
+        assert_eq!(res.graph.num_edges(), 3);
+        assert_eq!(res.graph.total_weight(), g.total_weight());
+    }
+
+    #[test]
+    fn all_one_community_gives_single_loop() {
+        let g = from_unweighted_edges(3, [(0, 1), (1, 2)]).unwrap();
+        let res = rebuild(
+            &g,
+            &[0, 0, 0],
+            RebuildStrategy::LockMap,
+            RenumberStrategy::Serial,
+        );
+        assert_eq!(res.graph.num_vertices(), 1);
+        assert_eq!(res.graph.self_loop_weight(0), 4.0); // 2 edges × 2
+        assert_eq!(res.graph.total_weight(), g.total_weight());
+    }
+
+    #[test]
+    fn empty_graph_rebuild() {
+        let g = CsrGraph::empty(0);
+        let res = rebuild(
+            &g,
+            &[],
+            RebuildStrategy::SortAggregate,
+            RenumberStrategy::Serial,
+        );
+        assert_eq!(res.num_communities, 0);
+        assert_eq!(res.graph.num_vertices(), 0);
+    }
+
+    #[test]
+    fn self_loops_carry_through() {
+        let g = grappolo_graph::from_weighted_edges(2, [(0, 0, 3.0), (0, 1, 1.0)]).unwrap();
+        let res = rebuild(
+            &g,
+            &[0, 0],
+            RebuildStrategy::SortAggregate,
+            RenumberStrategy::Serial,
+        );
+        // loop 3.0 + edge doubled 2.0 = 5.0
+        assert_eq!(res.graph.self_loop_weight(0), 5.0);
+        assert_eq!(res.graph.total_weight(), g.total_weight());
+    }
+}

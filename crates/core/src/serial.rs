@@ -1,0 +1,224 @@
+//! The serial Louvain method (§3) — a faithful reimplementation of the
+//! Blondel et al. template used as the paper's comparison baseline \[10\].
+//!
+//! Within an iteration the vertices are scanned **sequentially in a
+//! predefined order** (vertex id), each decision seeing "the latest
+//! information available from all the preceding vertices" — the property §4
+//! identifies as the obstacle to parallelization. All updates (community
+//! degrees, sizes) are applied immediately, so modularity is monotonically
+//! non-decreasing across iterations of a phase (tested).
+//!
+//! This module intentionally contains no rayon: the serial baseline must not
+//! silently parallelize, or Table 2 / Fig. 7's absolute speedups would be
+//! meaningless.
+
+use crate::modularity::{best_move, Community, MoveContext, NeighborScratch};
+use crate::phase::{should_stop, PhaseOutcome};
+use grappolo_graph::{CsrGraph, VertexId};
+
+/// Runs one serial phase to convergence with net-gain `threshold`.
+///
+/// `max_iterations` caps the loop (safety); `resolution` is γ in Q_γ.
+pub fn serial_phase(
+    g: &CsrGraph,
+    threshold: f64,
+    max_iterations: usize,
+    resolution: f64,
+) -> PhaseOutcome {
+    let n = g.num_vertices();
+    let m = g.total_weight();
+    let mut assignment: Vec<Community> = (0..n as Community).collect();
+    if n == 0 || m <= 0.0 {
+        return PhaseOutcome {
+            assignment,
+            iterations: Vec::new(),
+            final_modularity: 0.0,
+        };
+    }
+
+    // Live bookkeeping: community degrees and e_in for O(1) modularity.
+    let mut a: Vec<f64> = (0..n).map(|v| g.weighted_degree(v as VertexId)).collect();
+    let mut sizes: Vec<u32> = vec![1; n];
+    let mut scratch = NeighborScratch::default();
+
+    let mut iterations: Vec<(f64, usize)> = Vec::new();
+    let mut q_prev = serial_modularity(g, &assignment, resolution);
+
+    for _iter in 0..max_iterations {
+        let mut moves = 0usize;
+        for v in 0..n as VertexId {
+            let cur = assignment[v as usize];
+            scratch.gather(g, &assignment, v);
+            if scratch.entries.is_empty() {
+                continue; // isolated or loop-only vertex never moves
+            }
+            let ctx = MoveContext {
+                current: cur,
+                k: g.weighted_degree(v),
+                m,
+                a_current: a[cur as usize],
+                gamma: resolution,
+            };
+            let decision = best_move(&ctx, &scratch.entries, |c| a[c as usize]);
+            if decision.target != cur {
+                let k = ctx.k;
+                a[cur as usize] -= k;
+                a[decision.target as usize] += k;
+                sizes[cur as usize] -= 1;
+                sizes[decision.target as usize] += 1;
+                assignment[v as usize] = decision.target;
+                moves += 1;
+            }
+        }
+        let q_curr = serial_modularity(g, &assignment, resolution);
+        iterations.push((q_curr, moves));
+        if should_stop(q_prev, q_curr, moves, threshold) {
+            break;
+        }
+        q_prev = q_curr;
+    }
+
+    let final_modularity = iterations.last().map(|&(q, _)| q).unwrap_or(q_prev);
+    PhaseOutcome { assignment, iterations, final_modularity }
+}
+
+/// Single-threaded modularity (Eq. 3) — same math as
+/// [`crate::modularity::modularity`] but with plain loops so the serial
+/// scheme never touches the rayon pool.
+pub fn serial_modularity(g: &CsrGraph, assignment: &[Community], gamma: f64) -> f64 {
+    let m = g.total_weight();
+    if m <= 0.0 {
+        return 0.0;
+    }
+    let n = g.num_vertices();
+    let two_m = 2.0 * m;
+    let mut e_in = 0.0f64;
+    let mut a = vec![0.0f64; n];
+    for v in 0..n as VertexId {
+        let cv = assignment[v as usize];
+        a[cv as usize] += g.weighted_degree(v);
+        for (u, w) in g.neighbors(v) {
+            if assignment[u as usize] == cv {
+                e_in += w;
+            }
+        }
+    }
+    let mut null = 0.0f64;
+    for &ac in &a {
+        let x = ac / two_m;
+        null += x * x;
+    }
+    e_in / two_m - gamma * null
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modularity::modularity;
+    use grappolo_graph::from_unweighted_edges;
+    use grappolo_graph::gen::{ring_of_cliques, CliqueRingConfig};
+
+    #[test]
+    fn serial_modularity_matches_parallel_kernel() {
+        let (g, truth) = ring_of_cliques(&CliqueRingConfig::default());
+        let qs = serial_modularity(&g, &truth, 1.0);
+        let qp = modularity(&g, &truth);
+        assert!((qs - qp).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovers_ring_of_cliques() {
+        let (g, truth) = ring_of_cliques(&CliqueRingConfig {
+            num_cliques: 8,
+            clique_size: 6,
+            ..Default::default()
+        });
+        let out = serial_phase(&g, 1e-6, 1000, 1.0);
+        // Every clique must be one community (optimum for this size ratio).
+        for c in 0..8 {
+            let members: Vec<_> = (0..48)
+                .filter(|&v| truth[v] == c)
+                .map(|v| out.assignment[v])
+                .collect();
+            assert!(
+                members.windows(2).all(|w| w[0] == w[1]),
+                "clique {c} split: {members:?}"
+            );
+        }
+        assert!(out.final_modularity > 0.7);
+    }
+
+    #[test]
+    fn modularity_monotone_within_phase() {
+        let (g, _) = ring_of_cliques(&CliqueRingConfig {
+            num_cliques: 12,
+            clique_size: 5,
+            ..Default::default()
+        });
+        let out = serial_phase(&g, 1e-9, 1000, 1.0);
+        for w in out.iterations.windows(2) {
+            assert!(
+                w[1].0 >= w[0].0 - 1e-12,
+                "serial modularity decreased: {} → {}",
+                w[0].0,
+                w[1].0
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_trivial_graphs() {
+        let g = CsrGraph::empty(0);
+        let out = serial_phase(&g, 1e-6, 100, 1.0);
+        assert!(out.assignment.is_empty());
+
+        let g1 = CsrGraph::empty(5); // no edges: everyone stays singleton
+        let out1 = serial_phase(&g1, 1e-6, 100, 1.0);
+        assert_eq!(out1.assignment, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn two_vertices_merge() {
+        let g = from_unweighted_edges(2, [(0, 1)]).unwrap();
+        let out = serial_phase(&g, 1e-6, 100, 1.0);
+        assert_eq!(out.assignment[0], out.assignment[1]);
+        assert!((out.final_modularity - 0.0).abs() < 1e-12); // single community Q=0
+    }
+
+    #[test]
+    fn final_modularity_matches_recomputation() {
+        let (g, _) = ring_of_cliques(&CliqueRingConfig::default());
+        let out = serial_phase(&g, 1e-6, 1000, 1.0);
+        let q = serial_modularity(&g, &out.assignment, 1.0);
+        assert!((q - out.final_modularity).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_limits_iterations() {
+        let (g, _) = ring_of_cliques(&CliqueRingConfig {
+            num_cliques: 20,
+            clique_size: 4,
+            ..Default::default()
+        });
+        let loose = serial_phase(&g, 0.5, 1000, 1.0);
+        let tight = serial_phase(&g, 1e-9, 1000, 1.0);
+        assert!(loose.num_iterations() <= tight.num_iterations());
+    }
+
+    #[test]
+    fn respects_iteration_cap() {
+        let (g, _) = ring_of_cliques(&CliqueRingConfig::default());
+        let out = serial_phase(&g, 1e-12, 1, 1.0);
+        assert_eq!(out.num_iterations(), 1);
+    }
+
+    #[test]
+    fn gamma_zero_merges_everything_connected() {
+        // With γ=0 there is no null-model penalty: any positive-weight edge
+        // makes merging attractive, so a connected graph collapses fast.
+        let g = from_unweighted_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let out = serial_phase(&g, 1e-9, 100, 0.0);
+        let c = out.assignment[0];
+        assert!(out.assignment.iter().all(|&x| x == c));
+    }
+}

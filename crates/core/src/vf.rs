@@ -1,0 +1,328 @@
+//! Vertex-following (VF) preprocessing (§5.3).
+//!
+//! Lemma 3 guarantees that a *single-degree* vertex `i` (one incident edge
+//! `(i, j)`, no self-loop) always ends up in `j`'s community; VF therefore
+//! merges such vertices into their neighbor before the Louvain iterations,
+//! shrinking the sweep working set and letting hub vertices drive migration
+//! decisions.
+//!
+//! Weight convention note (documented in DESIGN.md §2): the paper's §5.3
+//! prose sets `ω(j′,j′) = ω(j,j) + ω(i,j)`, which under the paper's own §2
+//! degree definition (self-loop counted once in `k`) would shrink `m` by
+//! `ω(i,j)/2` per merge and silently change all modularity values. We use the
+//! m-preserving Louvain-condensation rule instead — the merged edge
+//! contributes `2·ω(i,j)` to the meta-vertex self-loop — which keeps
+//! modularity exactly comparable before and after preprocessing (enforced by
+//! tests below).
+//!
+//! The recursive variant ([`vf_preprocess_recursive`]) re-applies the rule
+//! until no single-degree vertices remain (chain compression, the §5.3
+//! extension "to lead to fast compression of chains within the input graph").
+
+use grappolo_graph::{stats::is_single_degree, CsrGraph, GraphBuilder, VertexId};
+use rayon::prelude::*;
+
+/// Result of VF preprocessing.
+#[derive(Clone, Debug)]
+pub struct VfResult {
+    /// The compacted graph.
+    pub graph: CsrGraph,
+    /// Maps each original vertex to its vertex id in `graph`.
+    pub mapping: Vec<VertexId>,
+    /// Number of vertices merged away (`original n − compacted n`).
+    pub merged: usize,
+}
+
+impl VfResult {
+    /// Projects a community assignment on the compacted graph back to the
+    /// original vertex set: `result[v] = assignment[mapping[v]]`.
+    pub fn project_assignment(&self, assignment: &[u32]) -> Vec<u32> {
+        self.mapping
+            .par_iter()
+            .map(|&m| assignment[m as usize])
+            .collect()
+    }
+
+    /// An identity result (no merging) for `n` vertices.
+    pub fn identity(graph: CsrGraph) -> Self {
+        let n = graph.num_vertices();
+        Self {
+            graph,
+            mapping: (0..n as VertexId).collect(),
+            merged: 0,
+        }
+    }
+}
+
+/// Applies one round of single-degree vertex merging (the paper's
+/// implemented variant).
+pub fn vf_preprocess(g: &CsrGraph) -> VfResult {
+    vf_round(g, false)
+}
+
+/// For the recursive extension: `v` is a *single-neighbor* vertex (§5.3) if
+/// its adjacency is exactly one non-loop edge `(v, j)` plus an optional
+/// self-loop. Returns `(j, ω(v, j))`.
+fn single_neighbor(g: &CsrGraph, v: VertexId) -> Option<(VertexId, f64)> {
+    let ids = g.neighbor_ids(v);
+    let ws = g.neighbor_weights(v);
+    match ids {
+        [j] if *j != v => Some((*j, ws[0])),
+        [a, b] if *a == v && *b != v => Some((*b, ws[1])),
+        [a, b] if *b == v && *a != v => Some((*a, ws[0])),
+        _ => None,
+    }
+}
+
+/// Merge test for single-neighbor vertices: the positive part of inequality
+/// (10) must dominate, i.e. `ω(i,j)/m > 2·k_i·a_{C(j)}/(2m)²`, which at
+/// preprocessing time (singleton communities, `a_{C(j)} = k_j`) reduces to
+/// `2m·ω(i,j) > k_i·k_j`. For a plain single-degree vertex (`k_i = ω`) this
+/// always holds (Lemma 3); with a self-loop it can fail, which is the
+/// paper's "until the negative component … starts to dominate" cutoff.
+fn merge_profitable(g: &CsrGraph, v: VertexId, j: VertexId, w_vj: f64) -> bool {
+    2.0 * g.total_weight() * w_vj > g.weighted_degree(v) * g.weighted_degree(j)
+}
+
+fn vf_round(g: &CsrGraph, allow_single_neighbor: bool) -> VfResult {
+    let n = g.num_vertices();
+    if n == 0 {
+        return VfResult::identity(g.clone());
+    }
+
+    // A vertex is mergeable if it is single-degree (paper's rule, always
+    // profitable per Lemma 3) or — in recursive rounds — single-neighbor
+    // with a profitable merge.
+    let mergeable = |v: VertexId| -> Option<VertexId> {
+        if is_single_degree(g, v) {
+            return Some(g.neighbor_ids(v)[0]);
+        }
+        if allow_single_neighbor {
+            if let Some((j, w)) = single_neighbor(g, v) {
+                if merge_profitable(g, v, j, w) {
+                    return Some(j);
+                }
+            }
+        }
+        None
+    };
+
+    // Step 1 (parallel): each mergeable vertex names its neighbor as its
+    // representative. For a two-vertex pair where both are mergeable, the
+    // higher id merges into the lower so exactly one survives.
+    let rep: Vec<VertexId> = (0..n as VertexId)
+        .into_par_iter()
+        .map(|v| match mergeable(v) {
+            None => v,
+            Some(j) => {
+                if mergeable(j).is_some() && j > v {
+                    v // the pair's lower id survives; j will point at v
+                } else {
+                    j
+                }
+            }
+        })
+        .collect();
+
+    // Step 2: renumber survivors densely ("Label the resulting vertices from
+    // 1…n using an arbitrary ordering", §5.4 step (1)).
+    let mut new_id = vec![VertexId::MAX; n];
+    let mut next = 0 as VertexId;
+    for v in 0..n {
+        if rep[v] as usize == v {
+            new_id[v] = next;
+            next += 1;
+        }
+    }
+    let survivors = next as usize;
+    let merged = n - survivors;
+    if merged == 0 {
+        return VfResult::identity(g.clone());
+    }
+    // mapping: original vertex → new id of its representative. rep chains
+    // have length ≤ 1 (a single-degree vertex's neighbor either survives or
+    // is the lower half of a mutual pair, which survives).
+    let mapping: Vec<VertexId> = (0..n)
+        .map(|v| {
+            let r = rep[v] as usize;
+            debug_assert_eq!(rep[r] as usize, r, "rep chains must have length ≤ 1");
+            new_id[r]
+        })
+        .collect();
+
+    // Step 3: rebuild edges under the mapping. A merged pair's edge becomes
+    // a self-loop of weight 2ω (m-preserving condensation); existing loops
+    // carry over at their own weight.
+    let mut b = GraphBuilder::with_capacity(survivors, g.num_edges());
+    for (u, v, w) in g.undirected_edges() {
+        let (mu, mv) = (mapping[u as usize], mapping[v as usize]);
+        if mu == mv && u != v {
+            b = b.add_edge(mu, mu, 2.0 * w);
+        } else {
+            b = b.add_edge(mu, mv, w);
+        }
+    }
+    let graph = b.build().expect("VF rebuild of a valid graph cannot fail");
+    VfResult { graph, mapping, merged }
+}
+
+/// Applies VF repeatedly (at most `max_rounds`): the first round is the
+/// paper's single-degree rule; later rounds extend to *single-neighbor*
+/// vertices under the inequality-(10) profitability test, which compresses
+/// chains (§5.3's extension).
+pub fn vf_preprocess_recursive(g: &CsrGraph, max_rounds: usize) -> VfResult {
+    let mut result = vf_preprocess(g);
+    let mut rounds = 1;
+    while rounds < max_rounds && result.merged > 0 {
+        let next = vf_round(&result.graph, true);
+        if next.merged == 0 {
+            break;
+        }
+        // Compose mappings: original → round-k id → round-(k+1) id.
+        let mapping: Vec<VertexId> = result
+            .mapping
+            .par_iter()
+            .map(|&m| next.mapping[m as usize])
+            .collect();
+        result = VfResult {
+            merged: result.merged + next.merged,
+            graph: next.graph,
+            mapping,
+        };
+        rounds += 1;
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modularity::modularity;
+    use grappolo_graph::gen::{hub_spoke, HubSpokeConfig};
+    use grappolo_graph::{from_unweighted_edges, from_weighted_edges};
+
+    #[test]
+    fn star_collapses_to_single_vertex() {
+        // Star: hub 0, spokes 1..5 — all spokes single-degree.
+        let g = from_unweighted_edges(5, (1..5).map(|v| (0, v))).unwrap();
+        let r = vf_preprocess(&g);
+        assert_eq!(r.graph.num_vertices(), 1);
+        assert_eq!(r.merged, 4);
+        assert!(r.mapping.iter().all(|&m| m == 0));
+        // Self-loop = 2 × total spoke weight; m preserved.
+        assert_eq!(r.graph.self_loop_weight(0), 8.0);
+        assert_eq!(r.graph.total_weight(), g.total_weight());
+    }
+
+    #[test]
+    fn pair_merges_to_one() {
+        let g = from_unweighted_edges(2, [(0, 1)]).unwrap();
+        let r = vf_preprocess(&g);
+        assert_eq!(r.graph.num_vertices(), 1);
+        assert_eq!(r.merged, 1);
+        assert_eq!(r.graph.total_weight(), g.total_weight());
+    }
+
+    #[test]
+    fn preserves_total_weight_on_hub_spoke() {
+        let (g, _) = hub_spoke(&HubSpokeConfig::default());
+        let r = vf_preprocess(&g);
+        assert!((r.graph.total_weight() - g.total_weight()).abs() < 1e-9);
+        // All spokes merged: 64 hubs remain.
+        assert_eq!(r.graph.num_vertices(), 64);
+    }
+
+    #[test]
+    fn modularity_is_preserved_under_projection() {
+        // Q of any partition of the compacted graph equals Q of the projected
+        // partition of the original — the invariant the m-preserving weight
+        // rule buys (and the paper's prose formula would break).
+        let (g, _) = hub_spoke(&HubSpokeConfig {
+            num_hubs: 10,
+            spokes_per_hub: 3,
+            ..Default::default()
+        });
+        let r = vf_preprocess(&g);
+        // Partition compacted hubs into two halves.
+        let nc = r.graph.num_vertices();
+        let compact: Vec<u32> = (0..nc as u32).map(|v| if v < nc as u32 / 2 { 0 } else { 1 }).collect();
+        let original = r.project_assignment(&compact);
+        let q_compact = modularity(&r.graph, &compact);
+        let q_original = modularity(&g, &original);
+        assert!(
+            (q_compact - q_original).abs() < 1e-12,
+            "compact {q_compact} vs original {q_original}"
+        );
+    }
+
+    #[test]
+    fn no_single_degree_is_identity() {
+        let g = from_unweighted_edges(3, [(0, 1), (1, 2), (2, 0)]).unwrap();
+        let r = vf_preprocess(&g);
+        assert_eq!(r.merged, 0);
+        assert_eq!(r.graph.num_vertices(), 3);
+        assert_eq!(r.mapping, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn vertex_with_self_loop_and_one_edge_not_merged() {
+        // v1 has entries [(0), (1,1 loop)] → degree 2, not single-degree.
+        let g = from_weighted_edges(2, [(0, 1, 1.0), (1, 1, 2.0)]).unwrap();
+        let r = vf_preprocess(&g);
+        // vertex 0 IS single-degree and merges into 1.
+        assert_eq!(r.graph.num_vertices(), 1);
+        assert_eq!(r.merged, 1);
+        // loop: own 2.0 + merged edge 2×1.0
+        assert_eq!(r.graph.self_loop_weight(0), 4.0);
+    }
+
+    #[test]
+    fn chain_needs_recursion() {
+        // Path 0-1-2-3-4: single pass merges only the endpoints.
+        let g = from_unweighted_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let once = vf_preprocess(&g);
+        assert_eq!(once.graph.num_vertices(), 3);
+        let rec = vf_preprocess_recursive(&g, 16);
+        assert_eq!(rec.graph.num_vertices(), 1, "chain should fully compress");
+        assert!((rec.graph.total_weight() - g.total_weight()).abs() < 1e-12);
+        assert_eq!(rec.merged, 4);
+    }
+
+    #[test]
+    fn recursive_mapping_composes() {
+        // 4-path: round 1 merges the endpoints; round 2 must NOT merge the
+        // two halves — Q({01},{23}) = 1/6 beats Q(all) = 0, and the
+        // inequality-(10) criterion (2mω = 6 < k·k = 9) correctly vetoes it.
+        let g = from_unweighted_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let r = vf_preprocess_recursive(&g, 16);
+        assert_eq!(r.graph.num_vertices(), 2);
+        assert_eq!(r.mapping, vec![0, 0, 1, 1]);
+        let projected = r.project_assignment(&[42, 7]);
+        assert_eq!(projected, vec![42, 42, 7, 7]);
+        assert!((r.graph.total_weight() - g.total_weight()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recursive_respects_round_cap() {
+        let g = from_unweighted_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let r = vf_preprocess_recursive(&g, 1);
+        assert_eq!(r.graph.num_vertices(), 3); // only one round applied
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::empty(0);
+        let r = vf_preprocess(&g);
+        assert_eq!(r.merged, 0);
+        assert_eq!(r.graph.num_vertices(), 0);
+    }
+
+    #[test]
+    fn isolated_vertices_survive() {
+        let g = from_unweighted_edges(4, [(0, 1)]).unwrap();
+        let r = vf_preprocess(&g);
+        // 0,1 merge into one; isolated 2 and 3 survive.
+        assert_eq!(r.graph.num_vertices(), 3);
+        assert_eq!(r.merged, 1);
+    }
+}

@@ -1,0 +1,340 @@
+//! Edge-list → CSR graph construction.
+//!
+//! The builder symmetrizes, sorts, and merges duplicate edges in parallel
+//! (rayon), since input preparation is itself a scalability concern for the
+//! billion-edge graphs the paper targets. Multi-edges are not allowed in the
+//! paper's model (§2); the builder resolves duplicates according to a
+//! [`MergePolicy`].
+
+use crate::csr::{CsrGraph, VertexId, DEFAULT_WEIGHT};
+use rayon::prelude::*;
+
+/// How duplicate occurrences of the same undirected edge are resolved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum MergePolicy {
+    /// Sum the duplicate weights (natural for multigraph collapsing).
+    #[default]
+    Sum,
+    /// Keep the maximum weight.
+    Max,
+    /// Reject the input with [`BuildError::DuplicateEdge`].
+    Reject,
+}
+
+/// Errors produced by [`GraphBuilder::build`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum BuildError {
+    /// An endpoint was `>= n`.
+    VertexOutOfRange {
+        /// The offending edge.
+        edge: (VertexId, VertexId),
+        /// Declared vertex count.
+        n: usize,
+    },
+    /// A weight was zero, negative, NaN or infinite (paper §2 requires
+    /// non-zero positive weights).
+    InvalidWeight {
+        /// The offending edge.
+        edge: (VertexId, VertexId),
+        /// The rejected weight value.
+        weight: f64,
+    },
+    /// Duplicate edge under [`MergePolicy::Reject`].
+    DuplicateEdge {
+        /// The duplicated edge.
+        edge: (VertexId, VertexId),
+    },
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::VertexOutOfRange { edge, n } => {
+                write!(f, "edge ({},{}) references vertex >= n={n}", edge.0, edge.1)
+            }
+            BuildError::InvalidWeight { edge, weight } => write!(
+                f,
+                "edge ({},{}) has invalid weight {weight}; weights must be finite and > 0",
+                edge.0, edge.1
+            ),
+            BuildError::DuplicateEdge { edge } => {
+                write!(f, "duplicate edge ({},{})", edge.0, edge.1)
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Accumulates an undirected edge list and produces a [`CsrGraph`].
+///
+/// ```
+/// use grappolo_graph::GraphBuilder;
+/// let g = GraphBuilder::new(4)
+///     .add_edge(0, 1, 1.0)
+///     .add_edge(1, 2, 0.5)
+///     .add_edge(2, 3, 2.0)
+///     .build()
+///     .unwrap();
+/// assert_eq!(g.num_vertices(), 4);
+/// assert_eq!(g.num_edges(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    num_vertices: usize,
+    edges: Vec<(VertexId, VertexId, f64)>,
+    merge_policy: MergePolicy,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph over vertices `0..n`.
+    pub fn new(n: usize) -> Self {
+        Self {
+            num_vertices: n,
+            edges: Vec::new(),
+            merge_policy: MergePolicy::default(),
+        }
+    }
+
+    /// Pre-allocates capacity for `m` edges.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        Self {
+            num_vertices: n,
+            edges: Vec::with_capacity(m),
+            merge_policy: MergePolicy::default(),
+        }
+    }
+
+    /// Sets the duplicate-edge resolution policy (default: sum).
+    pub fn merge_policy(mut self, policy: MergePolicy) -> Self {
+        self.merge_policy = policy;
+        self
+    }
+
+    /// Adds an undirected weighted edge `{u, v}`; `u == v` adds a self-loop.
+    pub fn add_edge(mut self, u: VertexId, v: VertexId, w: f64) -> Self {
+        self.edges.push((u, v, w));
+        self
+    }
+
+    /// Adds an undirected edge with [`DEFAULT_WEIGHT`].
+    pub fn add_unweighted_edge(self, u: VertexId, v: VertexId) -> Self {
+        self.add_edge(u, v, DEFAULT_WEIGHT)
+    }
+
+    /// Bulk-extends from `(u, v, w)` triples.
+    pub fn extend_edges<I: IntoIterator<Item = (VertexId, VertexId, f64)>>(
+        mut self,
+        iter: I,
+    ) -> Self {
+        self.edges.extend(iter);
+        self
+    }
+
+    /// Bulk-extends from unweighted `(u, v)` pairs.
+    pub fn extend_unweighted<I: IntoIterator<Item = (VertexId, VertexId)>>(
+        mut self,
+        iter: I,
+    ) -> Self {
+        self.edges
+            .extend(iter.into_iter().map(|(u, v)| (u, v, DEFAULT_WEIGHT)));
+        self
+    }
+
+    /// Number of raw (pre-merge) edges added so far.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True if no edges were added.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Validates, symmetrizes, merges duplicates, and builds the CSR graph.
+    pub fn build(self) -> Result<CsrGraph, BuildError> {
+        let n = self.num_vertices;
+        for &(u, v, w) in &self.edges {
+            if u as usize >= n || v as usize >= n {
+                return Err(BuildError::VertexOutOfRange { edge: (u, v), n });
+            }
+            if !w.is_finite() || w <= 0.0 {
+                return Err(BuildError::InvalidWeight { edge: (u, v), weight: w });
+            }
+        }
+
+        // Expand to directed entries: {u,v} u≠v → (u,v) and (v,u); loop once.
+        let mut entries: Vec<(VertexId, VertexId, f64)> =
+            Vec::with_capacity(self.edges.len() * 2);
+        for &(u, v, w) in &self.edges {
+            entries.push((u, v, w));
+            if u != v {
+                entries.push((v, u, w));
+            }
+        }
+        // Sorting by weight too makes duplicate runs merge in the same order
+        // for both directions of an edge, so float summation stays exactly
+        // symmetric (CsrGraph::validate checks mirror weights bit-for-bit).
+        entries.par_sort_unstable_by(|a, b| {
+            (a.0, a.1).cmp(&(b.0, b.1)).then(a.2.total_cmp(&b.2))
+        });
+
+        // Merge duplicate (u, v) runs according to policy. Duplicates of the
+        // same undirected edge appear as identical consecutive directed pairs,
+        // so the policy applies symmetrically.
+        let mut merged: Vec<(VertexId, VertexId, f64)> = Vec::with_capacity(entries.len());
+        for e in entries {
+            match merged.last_mut() {
+                Some(last) if last.0 == e.0 && last.1 == e.1 => match self.merge_policy {
+                    MergePolicy::Sum => last.2 += e.2,
+                    MergePolicy::Max => last.2 = last.2.max(e.2),
+                    MergePolicy::Reject => {
+                        return Err(BuildError::DuplicateEdge { edge: (e.0, e.1) })
+                    }
+                },
+                _ => merged.push(e),
+            }
+        }
+
+        // Offsets by counting per-vertex entries, then fill.
+        let mut offsets = vec![0usize; n + 1];
+        for &(u, _, _) in &merged {
+            offsets[u as usize + 1] += 1;
+        }
+        for v in 0..n {
+            offsets[v + 1] += offsets[v];
+        }
+        let mut targets = Vec::with_capacity(merged.len());
+        let mut weights = Vec::with_capacity(merged.len());
+        for (_, v, w) in merged {
+            targets.push(v);
+            weights.push(w);
+        }
+
+        Ok(CsrGraph::from_sorted_adjacency(offsets, targets, weights))
+    }
+}
+
+/// Convenience: builds a graph from an unweighted edge list.
+pub fn from_unweighted_edges(
+    n: usize,
+    edges: impl IntoIterator<Item = (VertexId, VertexId)>,
+) -> Result<CsrGraph, BuildError> {
+    GraphBuilder::new(n).extend_unweighted(edges).build()
+}
+
+/// Convenience: builds a graph from a weighted edge list.
+pub fn from_weighted_edges(
+    n: usize,
+    edges: impl IntoIterator<Item = (VertexId, VertexId, f64)>,
+) -> Result<CsrGraph, BuildError> {
+    GraphBuilder::new(n).extend_edges(edges).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_simple_path() {
+        let g = from_unweighted_edges(3, [(0, 1), (1, 2)]).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.weighted_degree(1), 2.0);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn merges_duplicates_by_sum() {
+        let g = GraphBuilder::new(2)
+            .add_edge(0, 1, 1.0)
+            .add_edge(1, 0, 2.5)
+            .build()
+            .unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge_weight(0, 1), Some(3.5));
+        assert_eq!(g.edge_weight(1, 0), Some(3.5));
+    }
+
+    #[test]
+    fn merges_duplicates_by_max() {
+        let g = GraphBuilder::new(2)
+            .merge_policy(MergePolicy::Max)
+            .add_edge(0, 1, 1.0)
+            .add_edge(0, 1, 2.5)
+            .build()
+            .unwrap();
+        assert_eq!(g.edge_weight(0, 1), Some(2.5));
+    }
+
+    #[test]
+    fn rejects_duplicates_when_asked() {
+        let err = GraphBuilder::new(2)
+            .merge_policy(MergePolicy::Reject)
+            .add_edge(0, 1, 1.0)
+            .add_edge(1, 0, 1.0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, BuildError::DuplicateEdge { .. }));
+    }
+
+    #[test]
+    fn duplicate_self_loops_merge() {
+        let g = GraphBuilder::new(1)
+            .add_edge(0, 0, 1.0)
+            .add_edge(0, 0, 2.0)
+            .build()
+            .unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.self_loop_weight(0), 3.0);
+        assert_eq!(g.weighted_degree(0), 3.0);
+        assert_eq!(g.total_weight(), 1.5);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let err = from_unweighted_edges(2, [(0, 2)]).unwrap_err();
+        assert!(matches!(err, BuildError::VertexOutOfRange { .. }));
+    }
+
+    #[test]
+    fn rejects_bad_weights() {
+        for w in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = from_weighted_edges(2, [(0, 1, w)]).unwrap_err();
+            assert!(matches!(err, BuildError::InvalidWeight { .. }), "w={w}");
+        }
+    }
+
+    #[test]
+    fn empty_builder_builds_isolated_vertices() {
+        let g = GraphBuilder::new(4).build().unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn adjacency_is_sorted_after_build() {
+        let g = from_unweighted_edges(5, [(4, 0), (2, 0), (0, 3), (0, 1)]).unwrap();
+        assert_eq!(g.neighbor_ids(0), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn large_random_graph_symmetry() {
+        // Deterministic pseudo-random multigraph; checks symmetrization +
+        // merge at a scale where parallel sort paths actually engage.
+        let n = 2_000u32;
+        let mut edges = Vec::new();
+        let mut state = 12345u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for _ in 0..20_000 {
+            let u = next() % n;
+            let v = next() % n;
+            edges.push((u, v, 1.0 + (next() % 5) as f64));
+        }
+        let g = from_weighted_edges(n as usize, edges).unwrap();
+        assert!(g.validate().is_ok());
+    }
+}

@@ -1,0 +1,89 @@
+//! Erdős–Rényi random graphs (G(n, m) flavor).
+//!
+//! ER graphs have essentially *no* community structure (expected modularity
+//! of the best partition decays with density), making them the negative
+//! control for solver tests: modularity should stay far below the planted /
+//! geometric families. They are also used by failure-injection tests.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`erdos_renyi`].
+#[derive(Clone, Debug)]
+pub struct ErConfig {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of (pre-merge) random edges to sample.
+    pub num_edges: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ErConfig {
+    fn default() -> Self {
+        Self { num_vertices: 1_000, num_edges: 5_000, seed: 1 }
+    }
+}
+
+/// Generates an Erdős–Rényi-style random graph by sampling `num_edges`
+/// endpoint pairs uniformly (duplicates merge; self-pairs re-rolled).
+pub fn erdos_renyi(cfg: &ErConfig) -> CsrGraph {
+    let n = cfg.num_vertices;
+    assert!(n >= 2);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut edges = Vec::with_capacity(cfg.num_edges);
+    for _ in 0..cfg.num_edges {
+        let u = rng.gen_range(0..n) as VertexId;
+        let mut v = rng.gen_range(0..n) as VertexId;
+        while v == u {
+            v = rng.gen_range(0..n) as VertexId;
+        }
+        edges.push((u, v, 1.0));
+    }
+    GraphBuilder::with_capacity(n, edges.len())
+        .extend_edges(edges)
+        .build()
+        .expect("generator produces valid edges")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::GraphStats;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let cfg = ErConfig::default();
+        assert_eq!(
+            erdos_renyi(&cfg).num_edges(),
+            erdos_renyi(&cfg).num_edges()
+        );
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = erdos_renyi(&ErConfig::default());
+        for v in 0..g.num_vertices() as VertexId {
+            assert!(!g.has_edge(v, v));
+        }
+    }
+
+    #[test]
+    fn edge_count_close_to_target() {
+        let cfg = ErConfig { num_vertices: 10_000, num_edges: 30_000, seed: 2 };
+        let g = erdos_renyi(&cfg);
+        // Few duplicate samples at this density.
+        assert!(g.num_edges() > 29_000 && g.num_edges() <= 30_000);
+    }
+
+    #[test]
+    fn poisson_like_degrees() {
+        let cfg = ErConfig { num_vertices: 10_000, num_edges: 50_000, seed: 3 };
+        let s = GraphStats::compute(&erdos_renyi(&cfg));
+        // Poisson(10): RSD ≈ 1/sqrt(10) ≈ 0.32.
+        assert!((s.avg_degree - 10.0).abs() < 0.5);
+        assert!(s.degree_rsd < 0.5);
+    }
+}

@@ -1,0 +1,482 @@
+//! Graph serialization: whitespace edge-list text, METIS (the DIMACS10
+//! distribution format of the paper's inputs), and a compact binary format.
+//!
+//! All readers produce graphs satisfying [`crate::csr::CsrGraph::validate`];
+//! all writers round-trip exactly with their readers (under test).
+
+use crate::builder::{BuildError, GraphBuilder};
+use crate::csr::{CsrGraph, VertexId, DEFAULT_WEIGHT};
+use bytes::{Buf, BufMut, BytesMut};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// I/O and parse errors.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Malformed input at a given 1-based line (0 for binary formats).
+    Parse {
+        /// 1-based line number, or 0 for binary formats.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// The parsed edge list failed graph validation.
+    Build(BuildError),
+}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<BuildError> for IoError {
+    fn from(e: BuildError) -> Self {
+        IoError::Build(e)
+    }
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse { line, message } => write!(f, "parse error (line {line}): {message}"),
+            IoError::Build(e) => write!(f, "graph build error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+fn parse_err(line: usize, message: impl Into<String>) -> IoError {
+    IoError::Parse { line, message: message.into() }
+}
+
+// ---------------------------------------------------------------------------
+// Edge-list text format
+// ---------------------------------------------------------------------------
+
+/// Reads a whitespace-separated edge list: `u v [w]` per line, 0-based vertex
+/// ids, optional weight (default 1). Lines starting with `#` or `%` are
+/// comments. The vertex count is `1 + max id` unless a larger `n` is given.
+pub fn read_edge_list<R: Read>(reader: R, n: Option<usize>) -> Result<CsrGraph, IoError> {
+    let reader = BufReader::new(reader);
+    let mut edges: Vec<(VertexId, VertexId, f64)> = Vec::new();
+    let mut max_id: u64 = 0;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let u: u64 = it
+            .next()
+            .unwrap()
+            .parse()
+            .map_err(|e| parse_err(lineno, format!("bad source id: {e}")))?;
+        let v: u64 = it
+            .next()
+            .ok_or_else(|| parse_err(lineno, "missing target id"))?
+            .parse()
+            .map_err(|e| parse_err(lineno, format!("bad target id: {e}")))?;
+        let w: f64 = match it.next() {
+            Some(tok) => tok
+                .parse()
+                .map_err(|e| parse_err(lineno, format!("bad weight: {e}")))?,
+            None => DEFAULT_WEIGHT,
+        };
+        if it.next().is_some() {
+            return Err(parse_err(lineno, "trailing tokens after weight"));
+        }
+        max_id = max_id.max(u).max(v);
+        edges.push((u as VertexId, v as VertexId, w));
+    }
+    let inferred = if edges.is_empty() { 0 } else { max_id as usize + 1 };
+    let n = n.unwrap_or(inferred).max(inferred);
+    Ok(GraphBuilder::with_capacity(n, edges.len())
+        .extend_edges(edges)
+        .build()?)
+}
+
+/// Writes the graph as an edge list (`u v w` per undirected edge, once).
+pub fn write_edge_list<W: Write>(g: &CsrGraph, writer: W) -> Result<(), IoError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# grappolo edge list: n={} m={}", g.num_vertices(), g.num_edges())?;
+    for (u, v, wt) in g.undirected_edges() {
+        writeln!(w, "{u} {v} {wt}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// METIS format (DIMACS10 distribution format)
+// ---------------------------------------------------------------------------
+
+/// Reads a METIS graph file.
+///
+/// Header: `n m [fmt]` where `fmt` ∈ {`0`/absent: unweighted, `1`: edge
+/// weights}; vertex-weighted variants (`10`, `11`) are accepted and vertex
+/// weights skipped. Vertex ids in the body are 1-based. Self-loops appear
+/// once; mutual entries are merged by the builder (METIS lists each edge in
+/// both endpoints' lines, so `MergePolicy::Max` keeps the weight as-is).
+pub fn read_metis<R: Read>(reader: R) -> Result<CsrGraph, IoError> {
+    let reader = BufReader::new(reader);
+    let mut lines = reader.lines().enumerate();
+
+    // Header: first non-comment line.
+    let (n, _m, has_edge_weights, has_vertex_weights) = loop {
+        let (idx, line) = lines
+            .next()
+            .ok_or_else(|| parse_err(0, "empty METIS file"))?;
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let toks: Vec<&str> = t.split_whitespace().collect();
+        if toks.len() < 2 {
+            return Err(parse_err(idx + 1, "METIS header needs `n m [fmt]`"));
+        }
+        let n: usize = toks[0]
+            .parse()
+            .map_err(|e| parse_err(idx + 1, format!("bad n: {e}")))?;
+        let m: usize = toks[1]
+            .parse()
+            .map_err(|e| parse_err(idx + 1, format!("bad m: {e}")))?;
+        let fmt = toks.get(2).copied().unwrap_or("0");
+        let (vw, ew) = match fmt {
+            "0" | "00" => (false, false),
+            "1" | "01" => (false, true),
+            "10" => (true, false),
+            "11" => (true, true),
+            other => return Err(parse_err(idx + 1, format!("unsupported fmt `{other}`"))),
+        };
+        break (n, m, ew, vw);
+    };
+
+    let mut edges: Vec<(VertexId, VertexId, f64)> = Vec::new();
+    let mut vertex = 0usize;
+    for (idx, line) in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.starts_with('%') {
+            continue;
+        }
+        if vertex >= n {
+            if t.is_empty() {
+                continue;
+            }
+            return Err(parse_err(idx + 1, "more vertex lines than n"));
+        }
+        let u = vertex as VertexId;
+        vertex += 1;
+        let mut toks = t.split_whitespace();
+        if has_vertex_weights {
+            toks.next(); // skip the vertex weight
+        }
+        loop {
+            let Some(vt) = toks.next() else { break };
+            let v: usize = vt
+                .parse()
+                .map_err(|e| parse_err(idx + 1, format!("bad neighbor id: {e}")))?;
+            if v == 0 || v > n {
+                return Err(parse_err(idx + 1, format!("neighbor id {v} out of 1..={n}")));
+            }
+            let w = if has_edge_weights {
+                let wt = toks
+                    .next()
+                    .ok_or_else(|| parse_err(idx + 1, "missing edge weight"))?;
+                wt.parse()
+                    .map_err(|e| parse_err(idx + 1, format!("bad edge weight: {e}")))?
+            } else {
+                DEFAULT_WEIGHT
+            };
+            let v = (v - 1) as VertexId;
+            // Each undirected edge occurs in both endpoint lines: keep the
+            // occurrence with u <= v only (self-loops occur once per line
+            // they appear on; METIS semantics list a loop on its own line).
+            if u <= v {
+                edges.push((u, v, w));
+            }
+        }
+    }
+    if vertex != n {
+        return Err(parse_err(0, format!("expected {n} vertex lines, found {vertex}")));
+    }
+    Ok(GraphBuilder::with_capacity(n, edges.len())
+        .extend_edges(edges)
+        .build()?)
+}
+
+/// Writes the graph in METIS format with edge weights (`fmt = 1`). Weights
+/// are written with full float precision (a superset of classic integer
+/// METIS, accepted by our reader).
+pub fn write_metis<W: Write>(g: &CsrGraph, writer: W) -> Result<(), IoError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "{} {} 1", g.num_vertices(), g.num_edges())?;
+    for v in 0..g.num_vertices() as VertexId {
+        let mut first = true;
+        for (u, wt) in g.neighbors(v) {
+            if !first {
+                write!(w, " ")?;
+            }
+            write!(w, "{} {}", u + 1, wt)?;
+            first = false;
+        }
+        writeln!(w)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Binary format
+// ---------------------------------------------------------------------------
+
+const BINARY_MAGIC: &[u8; 8] = b"GRPPOLO1";
+
+/// Serializes the CSR arrays to a compact little-endian binary buffer:
+/// magic, n, entry count, offsets (u64), targets (u32), weights (f64).
+pub fn to_binary(g: &CsrGraph) -> Vec<u8> {
+    let n = g.num_vertices();
+    let entries = g.num_adjacency_entries();
+    let mut buf = BytesMut::with_capacity(8 + 16 + (n + 1) * 8 + entries * 12);
+    buf.put_slice(BINARY_MAGIC);
+    buf.put_u64_le(n as u64);
+    buf.put_u64_le(entries as u64);
+    for v in 0..=n {
+        let off = if v == 0 { 0 } else { g.neighbor_range((v - 1) as VertexId).end };
+        buf.put_u64_le(off as u64);
+    }
+    for v in 0..n as VertexId {
+        for &t in g.neighbor_ids(v) {
+            buf.put_u32_le(t);
+        }
+    }
+    for v in 0..n as VertexId {
+        for &wt in g.neighbor_weights(v) {
+            buf.put_f64_le(wt);
+        }
+    }
+    buf.to_vec()
+}
+
+/// Deserializes a buffer produced by [`to_binary`].
+pub fn from_binary(data: &[u8]) -> Result<CsrGraph, IoError> {
+    let mut buf = data;
+    if buf.remaining() < 24 {
+        return Err(parse_err(0, "binary graph truncated (header)"));
+    }
+    let mut magic = [0u8; 8];
+    buf.copy_to_slice(&mut magic);
+    if &magic != BINARY_MAGIC {
+        return Err(parse_err(0, "bad magic; not a grappolo binary graph"));
+    }
+    let n = buf.get_u64_le() as usize;
+    let entries = buf.get_u64_le() as usize;
+    let need = (n + 1) * 8 + entries * 12;
+    if buf.remaining() != need {
+        return Err(parse_err(
+            0,
+            format!("binary graph size mismatch: have {}, need {need}", buf.remaining()),
+        ));
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        offsets.push(buf.get_u64_le() as usize);
+    }
+    let mut targets = Vec::with_capacity(entries);
+    for _ in 0..entries {
+        targets.push(buf.get_u32_le());
+    }
+    let mut weights = Vec::with_capacity(entries);
+    for _ in 0..entries {
+        weights.push(buf.get_f64_le());
+    }
+    if *offsets.last().unwrap_or(&usize::MAX) != entries || offsets[0] != 0 {
+        return Err(parse_err(0, "binary graph offsets corrupt"));
+    }
+    let g = CsrGraph::from_sorted_adjacency(offsets, targets, weights);
+    g.validate().map_err(|m| parse_err(0, m))?;
+    Ok(g)
+}
+
+// ---------------------------------------------------------------------------
+// Path helpers
+// ---------------------------------------------------------------------------
+
+/// Loads a graph, dispatching on extension: `.txt`/`.edges` edge list,
+/// `.graph`/`.metis` METIS, `.bin` binary.
+pub fn load_path(path: impl AsRef<Path>) -> Result<CsrGraph, IoError> {
+    let path = path.as_ref();
+    let f = std::fs::File::open(path)?;
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("graph") | Some("metis") => read_metis(f),
+        Some("bin") => {
+            let mut data = Vec::new();
+            BufReader::new(f).read_to_end(&mut data)?;
+            from_binary(&data)
+        }
+        _ => read_edge_list(f, None),
+    }
+}
+
+/// Saves a graph, dispatching on extension like [`load_path`].
+pub fn save_path(g: &CsrGraph, path: impl AsRef<Path>) -> Result<(), IoError> {
+    let path = path.as_ref();
+    let f = std::fs::File::create(path)?;
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("graph") | Some("metis") => write_metis(g, f),
+        Some("bin") => {
+            let mut w = BufWriter::new(f);
+            w.write_all(&to_binary(g))?;
+            w.flush()?;
+            Ok(())
+        }
+        _ => write_edge_list(g, f),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_weighted_edges;
+
+    fn sample() -> CsrGraph {
+        from_weighted_edges(
+            4,
+            [
+                (0, 1, 1.0),
+                (1, 2, 2.5),
+                (2, 3, 0.75),
+                (3, 0, 1.0),
+                (1, 1, 3.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn edge_list_round_trip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..], None).unwrap();
+        assert_eq!(g2.num_vertices(), g.num_vertices());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        for v in 0..4 {
+            let a: Vec<_> = g.neighbors(v).collect();
+            let b: Vec<_> = g2.neighbors(v).collect();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn edge_list_comments_and_defaults() {
+        let text = "# comment\n% another\n0 1\n1 2 2.5\n\n";
+        let g = read_edge_list(text.as_bytes(), None).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.edge_weight(0, 1), Some(1.0));
+        assert_eq!(g.edge_weight(1, 2), Some(2.5));
+    }
+
+    #[test]
+    fn edge_list_explicit_n_pads_isolated() {
+        let g = read_edge_list("0 1\n".as_bytes(), Some(10)).unwrap();
+        assert_eq!(g.num_vertices(), 10);
+    }
+
+    #[test]
+    fn edge_list_rejects_garbage() {
+        assert!(read_edge_list("0 x\n".as_bytes(), None).is_err());
+        assert!(read_edge_list("0\n".as_bytes(), None).is_err());
+        assert!(read_edge_list("0 1 2 3\n".as_bytes(), None).is_err());
+    }
+
+    #[test]
+    fn metis_round_trip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_metis(&g, &mut buf).unwrap();
+        let g2 = read_metis(&buf[..]).unwrap();
+        assert_eq!(g2.num_vertices(), g.num_vertices());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        assert_eq!(g2.total_weight(), g.total_weight());
+        assert_eq!(g2.self_loop_weight(1), 3.0);
+    }
+
+    #[test]
+    fn metis_unweighted_parse() {
+        // 3-path: 1-2-3 in 1-based METIS ids.
+        let text = "3 2\n2\n1 3\n2\n";
+        let g = read_metis(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.edge_weight(0, 1), Some(1.0));
+    }
+
+    #[test]
+    fn metis_with_comments() {
+        let text = "% hello\n3 2\n% mid comment\n2\n1 3\n2\n";
+        let g = read_metis(text.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn metis_rejects_bad_ids() {
+        let text = "3 2\n4\n1 3\n2\n"; // neighbor 4 > n=3
+        assert!(read_metis(text.as_bytes()).is_err());
+        let text2 = "3 2\n0\n1 3\n2\n"; // neighbor 0 invalid (1-based)
+        assert!(read_metis(text2.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn metis_wrong_line_count() {
+        assert!(read_metis("3 1\n2\n1\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let g = sample();
+        let bytes = to_binary(&g);
+        let g2 = from_binary(&bytes).unwrap();
+        assert_eq!(g2.num_vertices(), g.num_vertices());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        for v in 0..4 {
+            assert_eq!(
+                g.neighbors(v).collect::<Vec<_>>(),
+                g2.neighbors(v).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn binary_rejects_corruption() {
+        let g = sample();
+        let mut bytes = to_binary(&g);
+        bytes[0] = b'X';
+        assert!(from_binary(&bytes).is_err());
+        let bytes2 = to_binary(&g);
+        assert!(from_binary(&bytes2[..bytes2.len() - 4]).is_err());
+        assert!(from_binary(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn path_dispatch_round_trip() {
+        let dir = std::env::temp_dir().join("grappolo_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = sample();
+        for name in ["g.edges", "g.graph", "g.bin"] {
+            let p = dir.join(name);
+            save_path(&g, &p).unwrap();
+            let g2 = load_path(&p).unwrap();
+            assert_eq!(g2.num_edges(), g.num_edges(), "format {name}");
+            assert!((g2.total_weight() - g.total_weight()).abs() < 1e-12);
+        }
+    }
+}

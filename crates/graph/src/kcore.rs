@@ -1,0 +1,170 @@
+//! k-core decomposition (Batagelj–Zaveršnik, the paper's reference \[13\]).
+//!
+//! §5.3 frames the recursive vertex-following extension as "similar to that
+//! of a k-core decomposition of the graph": peeling degree-1 vertices
+//! repeatedly is exactly the computation of the 2-core. This module provides
+//! the full decomposition — core numbers for every vertex via the
+//! linear-time bucket algorithm — plus the k-core membership test the VF
+//! analysis uses.
+
+use crate::csr::{CsrGraph, VertexId};
+
+/// Computes the core number of every vertex: the largest `k` such that the
+/// vertex belongs to a subgraph where every vertex has (unweighted,
+/// loop-free) degree ≥ `k`.
+pub fn core_numbers(g: &CsrGraph) -> Vec<u32> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Loop-free degrees.
+    let mut degree: Vec<usize> = (0..n as VertexId)
+        .map(|v| g.neighbor_ids(v).iter().filter(|&&u| u != v).count())
+        .collect();
+    let max_degree = degree.iter().copied().max().unwrap_or(0);
+
+    // Bucket sort vertices by degree (Batagelj–Zaveršnik).
+    let mut bins = vec![0usize; max_degree + 2];
+    for &d in &degree {
+        bins[d] += 1;
+    }
+    let mut start = 0usize;
+    for b in bins.iter_mut() {
+        let count = *b;
+        *b = start;
+        start += count;
+    }
+    let mut pos = vec![0usize; n]; // vertex → index in `order`
+    let mut order = vec![0 as VertexId; n]; // sorted by current degree
+    {
+        let mut next = bins.clone();
+        for v in 0..n {
+            let d = degree[v];
+            pos[v] = next[d];
+            order[next[d]] = v as VertexId;
+            next[d] += 1;
+        }
+    }
+
+    let mut core = vec![0u32; n];
+    for i in 0..n {
+        let v = order[i] as usize;
+        core[v] = degree[v] as u32;
+        for j in g.neighbor_range(v as VertexId) {
+            let u = g.neighbor_ids(v as VertexId)[j - g.neighbor_range(v as VertexId).start] as usize;
+            if u == v || degree[u] <= degree[v] {
+                continue;
+            }
+            // Move u one bucket down: swap it with the first vertex of its
+            // current degree bucket, then decrement.
+            let du = degree[u];
+            let pu = pos[u];
+            let pw = bins[du];
+            let w = order[pw] as usize;
+            if u != w {
+                order.swap(pu, pw);
+                pos[u] = pw;
+                pos[w] = pu;
+            }
+            bins[du] += 1;
+            degree[u] -= 1;
+        }
+    }
+    core
+}
+
+/// Vertices belonging to the `k`-core (core number ≥ k), ascending.
+pub fn k_core_members(g: &CsrGraph, k: u32) -> Vec<VertexId> {
+    core_numbers(g)
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c >= k)
+        .map(|(v, _)| v as VertexId)
+        .collect()
+}
+
+/// The graph's degeneracy: the largest `k` with a non-empty `k`-core.
+pub fn degeneracy(g: &CsrGraph) -> u32 {
+    core_numbers(g).into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_unweighted_edges;
+    use crate::gen::{hub_spoke, ring_of_cliques, CliqueRingConfig, HubSpokeConfig};
+
+    #[test]
+    fn path_is_one_core() {
+        let g = from_unweighted_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(core_numbers(&g), vec![1, 1, 1, 1]);
+        assert_eq!(degeneracy(&g), 1);
+    }
+
+    #[test]
+    fn clique_core_numbers() {
+        let (g, _) = ring_of_cliques(&CliqueRingConfig {
+            num_cliques: 3,
+            clique_size: 5,
+            ..Default::default()
+        });
+        let core = core_numbers(&g);
+        // Every clique member sits in the 4-core (clique of 5).
+        assert!(core.iter().all(|&c| c >= 4), "{core:?}");
+        assert_eq!(degeneracy(&g), 4);
+    }
+
+    #[test]
+    fn star_spokes_are_one_core() {
+        let g = from_unweighted_edges(6, (1..6).map(|v| (0, v))).unwrap();
+        let core = core_numbers(&g);
+        assert_eq!(core, vec![1, 1, 1, 1, 1, 1]); // hub degenerates with spokes
+    }
+
+    #[test]
+    fn two_core_matches_recursive_leaf_peeling() {
+        // The §5.3 connection: the 2-core is what remains after recursively
+        // removing degree-1 vertices.
+        let (g, _) = hub_spoke(&HubSpokeConfig {
+            num_hubs: 10,
+            spokes_per_hub: 3,
+            ..Default::default()
+        });
+        // A chain of hubs with spokes has NO 2-core (the whole thing peels).
+        assert!(k_core_members(&g, 2).is_empty());
+        // Add a triangle: it survives as the 2-core.
+        let n = g.num_vertices();
+        let mut b = crate::builder::GraphBuilder::new(n + 3);
+        b = b.extend_edges(g.undirected_edges());
+        let t = n as VertexId;
+        b = b.add_edge(t, t + 1, 1.0).add_edge(t + 1, t + 2, 1.0).add_edge(t, t + 2, 1.0);
+        b = b.add_edge(0, t, 1.0);
+        let g2 = b.build().unwrap();
+        let members = k_core_members(&g2, 2);
+        assert_eq!(members, vec![t, t + 1, t + 2]);
+    }
+
+    #[test]
+    fn isolated_and_loops() {
+        let g = crate::builder::from_weighted_edges(3, [(0, 0, 1.0)]).unwrap();
+        // Self-loops don't count toward core degree.
+        assert_eq!(core_numbers(&g), vec![0, 0, 0]);
+        assert_eq!(degeneracy(&g), 0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert!(core_numbers(&CsrGraph::empty(0)).is_empty());
+    }
+
+    #[test]
+    fn core_numbers_nonincreasing_under_k() {
+        let (g, _) = ring_of_cliques(&CliqueRingConfig::default());
+        let members_2 = k_core_members(&g, 2);
+        let members_5 = k_core_members(&g, 5);
+        assert!(members_5.len() <= members_2.len());
+        for v in &members_5 {
+            assert!(members_2.contains(v));
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # grappolo-graph
+//!
+//! Weighted undirected graph substrate for the grappolo-rs reproduction of
+//! *"Parallel heuristics for scalable community detection"* (Lu,
+//! Halappanavar, Kalyanaraman; Parallel Computing 47, 2015 — extended from
+//! IPDPS-W 2014).
+//!
+//! Provides:
+//! * [`CsrGraph`] — compressed sparse row storage with the paper's §2
+//!   conventions (symmetric adjacency, self-loops stored once, `k_i` counts
+//!   self-loops once, `m = ½ Σ k_i`);
+//! * [`GraphBuilder`] — parallel edge-list → CSR construction with
+//!   multi-edge merging;
+//! * [`io`] — edge-list / METIS (DIMACS10) / binary formats;
+//! * [`gen`] — synthetic workload generators, including
+//!   [`gen::paper_suite::PaperInput`] proxies for the paper's 11 inputs;
+//! * [`stats`] — the Table 1 statistics (degree max/avg/RSD, single-degree
+//!   counts) and generator diagnostics;
+//! * [`perm`] — vertex relabeling utilities.
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod csr;
+pub mod gen;
+pub mod io;
+pub mod kcore;
+pub mod perm;
+pub mod stats;
+
+pub use builder::{from_unweighted_edges, from_weighted_edges, BuildError, GraphBuilder, MergePolicy};
+pub use csr::{CsrGraph, VertexId, DEFAULT_WEIGHT};
+pub use stats::GraphStats;

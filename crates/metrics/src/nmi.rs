@@ -1,0 +1,118 @@
+//! Normalized mutual information between two partitions.
+//!
+//! Not reported in the paper; included as an independent qualitative check
+//! alongside Table 3's pair-counting metrics (standard practice in the
+//! community-detection literature the paper cites, e.g. Fortunato \[1\]).
+//! Normalization: `NMI = 2·I(S;P) / (H(S) + H(P))`, which is 1 for identical
+//! partitions (up to label renaming) and 0 for independent ones.
+
+use rustc_hash::FxHashMap;
+
+/// Computes NMI between two equally sized label vectors.
+///
+/// Degenerate cases: if both partitions are single-cluster (zero entropy),
+/// they are identical up to renaming → 1.0; if exactly one has zero entropy,
+/// → 0.0.
+pub fn normalized_mutual_information(a: &[u32], b: &[u32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "partitions must cover the same vertex set");
+    let n = a.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let nf = n as f64;
+
+    let mut counts_a: FxHashMap<u32, u64> = FxHashMap::default();
+    let mut counts_b: FxHashMap<u32, u64> = FxHashMap::default();
+    let mut joint: FxHashMap<(u32, u32), u64> = FxHashMap::default();
+    for i in 0..n {
+        *counts_a.entry(a[i]).or_insert(0) += 1;
+        *counts_b.entry(b[i]).or_insert(0) += 1;
+        *joint.entry((a[i], b[i])).or_insert(0) += 1;
+    }
+
+    let entropy = |counts: &FxHashMap<u32, u64>| -> f64 {
+        counts
+            .values()
+            .map(|&c| {
+                let p = c as f64 / nf;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let h_a = entropy(&counts_a);
+    let h_b = entropy(&counts_b);
+
+    if h_a == 0.0 && h_b == 0.0 {
+        return 1.0;
+    }
+    if h_a == 0.0 || h_b == 0.0 {
+        return 0.0;
+    }
+
+    let mut mi = 0.0;
+    for (&(la, lb), &c) in &joint {
+        let p_joint = c as f64 / nf;
+        let p_a = counts_a[&la] as f64 / nf;
+        let p_b = counts_b[&lb] as f64 / nf;
+        mi += p_joint * (p_joint / (p_a * p_b)).ln();
+    }
+
+    (2.0 * mi / (h_a + h_b)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_give_one() {
+        let p = vec![0, 0, 1, 1, 2, 2];
+        assert!((normalized_mutual_information(&p, &p) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relabeled_partitions_give_one() {
+        let a = vec![0, 0, 1, 1];
+        let b = vec![7, 7, 3, 3];
+        assert!((normalized_mutual_information(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_partitions_give_near_zero() {
+        // b splits orthogonally to a.
+        let a = vec![0, 0, 1, 1];
+        let b = vec![0, 1, 0, 1];
+        assert!(normalized_mutual_information(&a, &b) < 1e-12);
+    }
+
+    #[test]
+    fn partial_agreement_in_between() {
+        let a = vec![0, 0, 0, 1, 1, 1];
+        let b = vec![0, 0, 1, 1, 1, 1];
+        let nmi = normalized_mutual_information(&a, &b);
+        assert!(nmi > 0.2 && nmi < 0.95, "nmi = {nmi}");
+    }
+
+    #[test]
+    fn degenerate_single_cluster() {
+        let one = vec![0, 0, 0];
+        let split = vec![0, 1, 2];
+        assert_eq!(normalized_mutual_information(&one, &one), 1.0);
+        assert_eq!(normalized_mutual_information(&one, &split), 0.0);
+        assert_eq!(normalized_mutual_information(&split, &one), 0.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(normalized_mutual_information(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = vec![0, 0, 1, 1, 2, 0, 1];
+        let b = vec![1, 1, 1, 0, 0, 2, 2];
+        let ab = normalized_mutual_information(&a, &b);
+        let ba = normalized_mutual_information(&b, &a);
+        assert!((ab - ba).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,188 @@
+//! Edge cases and failure injection across the public API: degenerate
+//! graphs, malformed inputs, extreme configurations, and panic contracts.
+
+use grappolo::core::config::LouvainConfig;
+use grappolo::graph::io;
+use grappolo::prelude::*;
+
+#[test]
+fn complete_graph_is_one_community() {
+    // A clique has no internal structure: everything merges, Q = 0.
+    let n = 12u32;
+    let mut b = GraphBuilder::new(n as usize);
+    for u in 0..n {
+        for v in u + 1..n {
+            b = b.add_edge(u, v, 1.0);
+        }
+    }
+    let g = b.build().unwrap();
+    for scheme in Scheme::ALL {
+        let r = detect_with_scheme(&g, scheme);
+        assert_eq!(r.num_communities, 1, "{}", scheme.name());
+        assert!(r.modularity.abs() < 1e-9, "{}", scheme.name());
+    }
+}
+
+#[test]
+fn disconnected_components_stay_separate() {
+    // Two triangles with NO bridge: two communities, never merged (merging
+    // them has negative gain).
+    let g = from_unweighted_edges(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+        .unwrap();
+    for scheme in Scheme::ALL {
+        let r = detect_with_scheme(&g, scheme);
+        assert_eq!(r.num_communities, 2, "{}", scheme.name());
+        assert_ne!(r.assignment[0], r.assignment[3]);
+    }
+}
+
+#[test]
+fn self_loop_only_graph() {
+    let g = from_weighted_edges(3, [(0, 0, 1.0), (1, 1, 2.0), (2, 2, 3.0)]).unwrap();
+    let r = detect_with_scheme(&g, Scheme::Baseline);
+    assert_eq!(r.num_communities, 3);
+    // Q = Σ w_loop/2m − Σ (k/2m)²; every vertex isolated in its own comm.
+    assert!(r.modularity.is_finite());
+}
+
+#[test]
+fn two_vertex_worlds() {
+    // Smallest possible non-trivial graphs.
+    let pair = from_unweighted_edges(2, [(0, 1)]).unwrap();
+    for scheme in Scheme::ALL {
+        let r = detect_with_scheme(&pair, scheme);
+        assert_eq!(r.num_communities, 1, "{}", scheme.name());
+    }
+    let single = from_weighted_edges(1, [(0, 0, 5.0)]).unwrap();
+    let r = detect_with_scheme(&single, Scheme::BaselineVf);
+    assert_eq!(r.num_communities, 1);
+}
+
+#[test]
+fn extreme_weights_do_not_break_math() {
+    let g = from_weighted_edges(
+        4,
+        [
+            (0, 1, 1e-12),
+            (1, 2, 1e12),
+            (2, 3, 1.0),
+            (3, 0, 1e-12),
+        ],
+    )
+    .unwrap();
+    let r = detect_with_scheme(&g, Scheme::Baseline);
+    assert!(r.modularity.is_finite());
+    // The overwhelming edge forces 1 and 2 together.
+    assert_eq!(r.assignment[1], r.assignment[2]);
+}
+
+#[test]
+fn star_graph_all_schemes() {
+    let g = from_unweighted_edges(50, (1..50).map(|v| (0, v))).unwrap();
+    for scheme in Scheme::ALL {
+        let r = detect_with_scheme(&g, scheme);
+        // A star is one community (spokes follow the hub, Lemma 3).
+        assert_eq!(r.num_communities, 1, "{}", scheme.name());
+    }
+}
+
+#[test]
+fn heavy_multi_edge_merging() {
+    // 1000 copies of the same edge collapse into weight 1000.
+    let edges = std::iter::repeat((0u32, 1u32, 1.0)).take(1000);
+    let g = GraphBuilder::new(2).extend_edges(edges).build().unwrap();
+    assert_eq!(g.num_edges(), 1);
+    assert_eq!(g.edge_weight(0, 1), Some(1000.0));
+}
+
+#[test]
+#[should_panic(expected = "invalid LouvainConfig")]
+fn invalid_config_panics() {
+    let g = from_unweighted_edges(2, [(0, 1)]).unwrap();
+    let cfg = LouvainConfig { final_threshold: -1.0, ..Default::default() };
+    detect_communities(&g, &cfg);
+}
+
+#[test]
+fn max_phases_one_still_terminates() {
+    let (g, _) = planted_partition(&PlantedConfig {
+        num_vertices: 500,
+        num_communities: 5,
+        ..Default::default()
+    });
+    let cfg = LouvainConfig { max_phases: 1, ..Scheme::Baseline.config() };
+    let r = detect_communities(&g, &cfg);
+    assert_eq!(r.trace.num_phases(), 1);
+    assert!(r.modularity > 0.0);
+}
+
+#[test]
+fn io_malformed_inputs_error_not_panic() {
+    assert!(io::read_edge_list("1 2 zzz\n".as_bytes(), None).is_err());
+    assert!(io::read_metis("not a header\n".as_bytes()).is_err());
+    assert!(io::from_binary(b"garbage").is_err());
+    assert!(io::load_path("/nonexistent/path/graph.bin").is_err());
+}
+
+#[test]
+fn io_negative_weight_rejected_at_build() {
+    let err = io::read_edge_list("0 1 -3.0\n".as_bytes(), None).unwrap_err();
+    assert!(matches!(err, io::IoError::Build(_)), "{err}");
+}
+
+#[test]
+fn huge_label_space_metrics() {
+    // Labels far above the vertex count must not break the metrics.
+    let a = vec![u32::MAX - 1, u32::MAX - 1, 7];
+    let b = vec![0, 0, 1];
+    let m = pairwise_comparison(&a, &b);
+    assert_eq!(m.rand_index(), 1.0);
+}
+
+#[test]
+fn zero_threads_clamps_to_one() {
+    let g = from_unweighted_edges(4, [(0, 1), (2, 3)]).unwrap();
+    let cfg = LouvainConfig { num_threads: Some(0), ..Scheme::Baseline.config() };
+    let r = detect_communities(&g, &cfg);
+    assert_eq!(r.num_communities, 2);
+}
+
+#[test]
+fn oversubscribed_threads_work() {
+    let (g, _) = planted_partition(&PlantedConfig {
+        num_vertices: 400,
+        num_communities: 4,
+        ..Default::default()
+    });
+    let cfg = LouvainConfig { num_threads: Some(64), ..Scheme::Baseline.config() };
+    let r = detect_communities(&g, &cfg);
+    assert!(r.modularity > 0.3);
+}
+
+#[test]
+fn coloring_cutoff_zero_always_colors() {
+    let (g, _) = planted_partition(&PlantedConfig {
+        num_vertices: 300,
+        num_communities: 3,
+        ..Default::default()
+    });
+    let cfg = LouvainConfig {
+        coloring_vertex_cutoff: 0,
+        ..Scheme::BaselineVfColor.config()
+    };
+    let r = detect_communities(&g, &cfg);
+    assert!(r.trace.phases[0].colored);
+}
+
+#[test]
+fn dense_labels_after_every_scheme() {
+    let g = PaperInput::EuropeOsm.generate(0.02, 9);
+    for scheme in Scheme::ALL {
+        let r = detect_with_scheme(&g, scheme);
+        let mut seen = vec![false; r.num_communities];
+        for &c in &r.assignment {
+            seen[c as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{}: holes in label space", scheme.name());
+    }
+}

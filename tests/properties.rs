@@ -1,0 +1,179 @@
+//! Property-based tests (proptest) on the core invariants the reproduction
+//! rests on: modularity algebra, rebuild/VF weight preservation, coloring
+//! validity, metric identities, and determinism.
+
+use grappolo::coloring::{color_greedy_serial, color_parallel, is_valid_distance1, ParallelColoringConfig};
+use grappolo::core::modularity::{community_degrees, modularity, Community};
+use grappolo::core::rebuild::rebuild;
+use grappolo::core::serial::serial_modularity;
+use grappolo::core::vf::vf_preprocess;
+use grappolo::core::{RebuildStrategy, RenumberStrategy, Scheme};
+use grappolo::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a random small weighted undirected graph (possibly with
+/// self-loops, duplicate edges merged by the builder).
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    (2usize..40).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32, 1u32..100);
+        proptest::collection::vec(edge, 0..120).prop_map(move |edges| {
+            GraphBuilder::new(n)
+                .extend_edges(
+                    edges
+                        .into_iter()
+                        .map(|(u, v, w)| (u, v, w as f64 / 10.0)),
+                )
+                .build()
+                .expect("arb edges are valid")
+        })
+    })
+}
+
+/// Strategy: a graph plus a random community assignment over it.
+fn arb_graph_with_assignment() -> impl Strategy<Value = (CsrGraph, Vec<Community>)> {
+    arb_graph().prop_flat_map(|g| {
+        let n = g.num_vertices();
+        proptest::collection::vec(0..n as Community, n).prop_map(move |a| (g.clone(), a))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Q is bounded: Q ∈ [-1, 1) for any partition (standard modularity
+    /// bounds).
+    #[test]
+    fn modularity_is_bounded((g, a) in arb_graph_with_assignment()) {
+        let q = modularity(&g, &a);
+        prop_assert!(q >= -1.0 - 1e-12 && q < 1.0 + 1e-12, "Q = {q}");
+    }
+
+    /// The serial (loop) and parallel (deterministic-reduction) modularity
+    /// kernels agree to floating-point noise.
+    #[test]
+    fn serial_and_parallel_modularity_agree((g, a) in arb_graph_with_assignment()) {
+        let qp = modularity(&g, &a);
+        let qs = serial_modularity(&g, &a, 1.0);
+        prop_assert!((qp - qs).abs() < 1e-9, "parallel {qp} vs serial {qs}");
+    }
+
+    /// Community degrees always sum to 2m, for any assignment.
+    #[test]
+    fn community_degrees_sum_to_2m((g, a) in arb_graph_with_assignment()) {
+        let sum: f64 = community_degrees(&g, &a).iter().sum();
+        prop_assert!((sum - 2.0 * g.total_weight()).abs() < 1e-9);
+    }
+
+    /// Rebuild preserves total weight and modularity (the phase-transition
+    /// invariant), under every strategy combination.
+    #[test]
+    fn rebuild_preserves_weight_and_q((g, a) in arb_graph_with_assignment()) {
+        let q_before = modularity(&g, &a);
+        for strat in [RebuildStrategy::SortAggregate, RebuildStrategy::LockMap] {
+            for renum in [RenumberStrategy::Serial, RenumberStrategy::ParallelPrefix] {
+                let res = rebuild(&g, &a, strat, renum);
+                prop_assert!(
+                    (res.graph.total_weight() - g.total_weight()).abs() < 1e-9,
+                    "{strat:?}/{renum:?} changed m"
+                );
+                let singleton: Vec<Community> =
+                    (0..res.graph.num_vertices() as Community).collect();
+                let q_after = modularity(&res.graph, &singleton);
+                prop_assert!(
+                    (q_before - q_after).abs() < 1e-9,
+                    "{strat:?}/{renum:?}: Q {q_before} → {q_after}"
+                );
+            }
+        }
+    }
+
+    /// VF preserves total weight, and any compacted-graph partition projects
+    /// to an equal-modularity original partition.
+    #[test]
+    fn vf_preserves_weight_and_projected_q(g in arb_graph()) {
+        let r = vf_preprocess(&g);
+        prop_assert!((r.graph.total_weight() - g.total_weight()).abs() < 1e-9);
+        prop_assert_eq!(r.graph.num_vertices() + r.merged, g.num_vertices());
+        // Random-ish compact partition: alternate labels.
+        let nc = r.graph.num_vertices();
+        if nc > 0 {
+            let compact: Vec<Community> = (0..nc as Community).map(|v| v % 3).collect();
+            let original = r.project_assignment(&compact);
+            let qc = modularity(&r.graph, &compact);
+            let qo = modularity(&g, &original);
+            prop_assert!((qc - qo).abs() < 1e-9, "compact {qc} vs original {qo}");
+        }
+    }
+
+    /// Both colorings are always valid distance-1 colorings.
+    #[test]
+    fn colorings_are_valid(g in arb_graph()) {
+        let serial = color_greedy_serial(&g);
+        prop_assert!(is_valid_distance1(&g, &serial));
+        let cfg = ParallelColoringConfig { serial_cutoff: 0, ..Default::default() };
+        let parallel = color_parallel(&g, &cfg);
+        prop_assert!(is_valid_distance1(&g, &parallel));
+    }
+
+    /// Pair-counting metrics: fast contingency path ≡ brute force, and the
+    /// four bins always partition C(n,2).
+    #[test]
+    fn pairwise_fast_equals_bruteforce(
+        labels in proptest::collection::vec((0u32..6, 0u32..6), 1..60)
+    ) {
+        let s: Vec<u32> = labels.iter().map(|&(a, _)| a).collect();
+        let p: Vec<u32> = labels.iter().map(|&(_, b)| b).collect();
+        let fast = pairwise_comparison(&s, &p);
+        let slow = grappolo::metrics::pairwise_comparison_bruteforce(&s, &p);
+        prop_assert_eq!(fast, slow);
+        let n = s.len() as u128;
+        prop_assert_eq!(fast.total_pairs(), n * (n - 1) / 2);
+    }
+
+    /// NMI is symmetric and bounded in [0, 1].
+    #[test]
+    fn nmi_symmetric_bounded(
+        labels in proptest::collection::vec((0u32..5, 0u32..5), 1..60)
+    ) {
+        let a: Vec<u32> = labels.iter().map(|&(x, _)| x).collect();
+        let b: Vec<u32> = labels.iter().map(|&(_, y)| y).collect();
+        let ab = normalized_mutual_information(&a, &b);
+        let ba = normalized_mutual_information(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&ab));
+    }
+
+    /// End-to-end detection never produces an invalid result: dense labels,
+    /// assignment covers all vertices, Q matches a recomputation.
+    #[test]
+    fn detection_output_contract(g in arb_graph()) {
+        let result = detect_with_scheme(&g, Scheme::Baseline);
+        prop_assert_eq!(result.assignment.len(), g.num_vertices());
+        if !result.assignment.is_empty() {
+            let max = *result.assignment.iter().max().unwrap() as usize;
+            prop_assert_eq!(max + 1, result.num_communities);
+        }
+        let q = modularity(&g, &result.assignment);
+        prop_assert!((q - result.modularity).abs() < 1e-9);
+    }
+
+    /// Baseline detection is deterministic: two runs agree exactly.
+    #[test]
+    fn detection_is_deterministic(g in arb_graph()) {
+        let r1 = detect_with_scheme(&g, Scheme::Baseline);
+        let r2 = detect_with_scheme(&g, Scheme::Baseline);
+        prop_assert_eq!(r1.assignment, r2.assignment);
+        prop_assert_eq!(r1.modularity, r2.modularity);
+    }
+
+    /// Serial Louvain's modularity never decreases across its trace (the §3
+    /// monotonicity property), on arbitrary graphs.
+    #[test]
+    fn serial_trace_is_monotone(g in arb_graph()) {
+        let result = detect_with_scheme(&g, Scheme::Serial);
+        prop_assert!(result
+            .trace
+            .check_monotone_within_phases(1e-9)
+            .is_ok());
+    }
+}
