@@ -1,9 +1,13 @@
-//! Criterion micro-benchmark: the modularity kernel (Eq. 3) and the
-//! community-degree scatter — the per-iteration bookkeeping §5.5 optimizes
-//! by pre-aggregation.
+//! Criterion micro-benchmark: the modularity kernel (Eq. 3), the
+//! community-degree scatter, and the neighbor-gather kernels (flat stamped
+//! scratch vs the sort-based reference) — the per-iteration building blocks
+//! §5.5 optimizes by pre-aggregation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use grappolo_core::modularity::{community_degrees, intra_community_weight, modularity};
+use grappolo_core::modularity::{
+    community_degrees, intra_community_weight, modularity, NeighborScratch,
+};
+use grappolo_core::reference::gather_sorted;
 use grappolo_graph::gen::{planted_partition, PlantedConfig};
 
 fn bench_modularity(c: &mut Criterion) {
@@ -22,6 +26,30 @@ fn bench_modularity(c: &mut Criterion) {
     });
     group.bench_with_input(BenchmarkId::new("community_degrees", "planted50k"), &g, |b, g| {
         b.iter(|| community_degrees(g, &truth));
+    });
+    // One full pass of per-vertex neighbor-community aggregation, the inner
+    // loop of the local-moving sweep: flat stamped scratch vs sorted merge.
+    group.bench_with_input(BenchmarkId::new("gather_flat", "planted50k"), &g, |b, g| {
+        let mut scratch = NeighborScratch::with_capacity(g.num_vertices());
+        b.iter(|| {
+            let mut acc = 0usize;
+            for v in 0..g.num_vertices() as u32 {
+                scratch.gather(g, &truth, v);
+                acc += scratch.entries.len();
+            }
+            acc
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("gather_sorted", "planted50k"), &g, |b, g| {
+        let mut entries = Vec::new();
+        b.iter(|| {
+            let mut acc = 0usize;
+            for v in 0..g.num_vertices() as u32 {
+                gather_sorted(g, &truth, v, &mut entries);
+                acc += entries.len();
+            }
+            acc
+        });
     });
     group.finish();
 }

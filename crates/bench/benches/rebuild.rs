@@ -22,6 +22,7 @@ fn bench_rebuild(c: &mut Criterion) {
 
     for (partition_name, assignment) in [("intra_heavy", &truth), ("inter_heavy", &scattered)] {
         for (strat_name, strat) in [
+            ("stamp", RebuildStrategy::StampAggregate),
             ("lockmap", RebuildStrategy::LockMap),
             ("sort", RebuildStrategy::SortAggregate),
         ] {

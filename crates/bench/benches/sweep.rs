@@ -1,23 +1,41 @@
-//! Criterion micro-benchmark: one parallel Louvain iteration (the unordered
-//! sweep of Algorithm 1 lines 9–14) on a fixed planted graph — the kernel
-//! whose per-iteration complexity §5.6 analyzes as O((M+n·k̄)/p).
+//! Criterion benchmark for the local-moving sweep (Algorithm 1 lines 9–14)
+//! — the kernel whose per-iteration complexity §5.6 analyzes as
+//! O((M+n·k̄)/p).
+//!
+//! `flat` is the production path: generation-stamped O(deg) gathers plus
+//! incremental `Σ e_in` / `Σ a_C²` accounting. `sort_baseline` is the
+//! historical kernel it replaced (O(deg·log deg) sorted gathers, O(n)
+//! community-degree rebuild and O(m) modularity rescan per iteration); both
+//! make identical decisions (see `tests/properties.rs`), so the ratio is a
+//! pure kernel speedup. The acceptance bar for the rewrite was flat ≥ 1.5×
+//! faster per iteration on the 100 K-vertex planted graph.
+//!
+//! `cargo bench --bench sweep` emits `BENCH_sweep.json` for the perf
+//! trajectory.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use grappolo_core::parallel::parallel_phase_unordered;
+use grappolo_core::reference::parallel_phase_unordered_sortbased;
 use grappolo_graph::gen::{planted_partition, PlantedConfig};
+
+/// Fixed iteration budget so both kernels do identical sweep work per
+/// sample (they converge identically; see the equivalence property test).
+const ITERS: usize = 4;
 
 fn bench_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("sweep");
-    for &n in &[5_000usize, 20_000] {
+    for &n in &[20_000usize, 100_000] {
         let (g, _) = planted_partition(&PlantedConfig {
             num_vertices: n,
             num_communities: n / 100,
             ..Default::default()
         });
         group.throughput(Throughput::Elements(g.num_adjacency_entries() as u64));
-        group.bench_with_input(BenchmarkId::new("one_iteration", n), &g, |b, g| {
-            // max_iterations = 1 isolates a single sweep + modularity pass.
-            b.iter(|| parallel_phase_unordered(g, 1e-6, 1, 1.0));
+        group.bench_with_input(BenchmarkId::new("flat", n), &g, |b, g| {
+            b.iter(|| parallel_phase_unordered(g, 1e-9, ITERS, 1.0));
+        });
+        group.bench_with_input(BenchmarkId::new("sort_baseline", n), &g, |b, g| {
+            b.iter(|| parallel_phase_unordered_sortbased(g, 1e-9, ITERS, 1.0));
         });
     }
     group.finish();

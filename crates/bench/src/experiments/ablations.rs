@@ -64,11 +64,12 @@ fn balanced_coloring_ablation(ctx: &ExperimentContext) {
 }
 
 fn rebuild_ablation(ctx: &ExperimentContext) {
-    println!("\n=== Ablation 3: rebuild aggregation, lock-map vs sort ===\n");
+    println!("\n=== Ablation 3: rebuild aggregation, stamp vs lock-map vs sort ===\n");
     let mut table = TextTable::new(vec!["input", "strategy", "Q", "rebuild(s)", "total(s)"]);
     for input in [PaperInput::EuropeOsm, PaperInput::Mg2] {
         let g = ctx.generate(input);
         for (name, strategy) in [
+            ("stamp (default)", RebuildStrategy::StampAggregate),
             ("lock-map (paper)", RebuildStrategy::LockMap),
             ("sort (deterministic)", RebuildStrategy::SortAggregate),
         ] {

@@ -81,6 +81,9 @@ fn detect(
     if let Some(t) = threads {
         config.num_threads = Some(t);
     }
+    // Surface bad parameters (e.g. a negative γ) as a clean CLI error
+    // instead of the library's panic.
+    config.validate()?;
     // Scale the paper's 100 K coloring cutoff down for small inputs so the
     // colored scheme stays meaningful on laptop-sized graphs.
     config.coloring_vertex_cutoff = config.coloring_vertex_cutoff.min(g.num_vertices() / 8).max(64);

@@ -81,7 +81,7 @@ mod tests {
     #[test]
     fn concurrent_adds_sum_correctly() {
         let a = AtomicF64::new(0.0);
-        (0..10_000).into_par_iter().for_each(|_| {
+        (0..10_000u32).into_par_iter().for_each(|_| {
             a.fetch_add(1.0, Ordering::Relaxed);
         });
         // Adding 1.0 ten thousand times is exact in f64.
@@ -91,7 +91,7 @@ mod tests {
     #[test]
     fn concurrent_mixed_add_sub() {
         let a = AtomicF64::new(500.0);
-        (0..1_000).into_par_iter().for_each(|i| {
+        (0..1_000u32).into_par_iter().for_each(|i| {
             if i % 2 == 0 {
                 a.fetch_add(2.0, Ordering::Relaxed);
             } else {

@@ -88,8 +88,13 @@ pub enum ColoringSchedule {
 /// (iii) and the DESIGN.md ablation).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum RebuildStrategy {
-    /// Sort-based aggregation: deterministic, lock-free (default; preserves
-    /// the §5.4 stability guarantee bit-for-bit).
+    /// Per-community aggregation through the generation-stamped flat scratch
+    /// (the same kernel as the local-moving sweep): O(deg) per community
+    /// row, no global sort, no locks, deterministic (default; preserves the
+    /// §5.4 stability guarantee bit-for-bit).
+    StampAggregate,
+    /// Global sort-based aggregation over all adjacency entries:
+    /// deterministic and lock-free, but pays an O(E log E) sort.
     SortAggregate,
     /// Per-community `Mutex<FxHashMap>` accumulation — the paper's
     /// "one lock … two locks" implementation. Last-ulp float sums may vary
@@ -162,7 +167,7 @@ impl Default for LouvainConfig {
             final_threshold: 1e-6,
             max_phases: 64,
             max_iterations_per_phase: 10_000,
-            rebuild: RebuildStrategy::SortAggregate,
+            rebuild: RebuildStrategy::StampAggregate,
             renumber: RenumberStrategy::Serial,
             resolution: 1.0,
             num_threads: None,
@@ -178,6 +183,8 @@ impl LouvainConfig {
     }
 
     /// Validates parameter sanity; returns the first problem found.
+    // The negated comparisons are deliberate: `!(x > 0.0)` also rejects NaN.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     pub fn validate(&self) -> Result<(), String> {
         if !(self.final_threshold > 0.0) {
             return Err("final_threshold must be > 0".into());
@@ -224,15 +231,13 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_params() {
-        let mut c = LouvainConfig::default();
+        let c = LouvainConfig::default();
         assert!(c.validate().is_ok());
-        c.final_threshold = 0.0;
-        assert!(c.validate().is_err());
-        let mut c2 = LouvainConfig::default();
-        c2.max_phases = 0;
+        let c1 = LouvainConfig { final_threshold: 0.0, ..Default::default() };
+        assert!(c1.validate().is_err());
+        let c2 = LouvainConfig { max_phases: 0, ..Default::default() };
         assert!(c2.validate().is_err());
-        let mut c3 = LouvainConfig::default();
-        c3.resolution = -1.0;
+        let c3 = LouvainConfig { resolution: -1.0, ..Default::default() };
         assert!(c3.validate().is_err());
         let mut c4 = LouvainConfig { use_vf: true, vf_rounds: 0, ..Default::default() };
         assert!(c4.validate().is_err());

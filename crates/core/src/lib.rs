@@ -39,6 +39,7 @@ pub mod modularity;
 pub mod parallel;
 pub mod phase;
 pub mod rebuild;
+pub mod reference;
 pub mod serial;
 pub mod vf;
 

@@ -1,12 +1,46 @@
 //! Modularity (Eq. 3) and modularity-gain (Eq. 4) kernels, shared by the
 //! serial and parallel algorithms.
 //!
-//! Floating-point policy: every reduction that feeds a *convergence decision*
-//! uses [`det_sum`] — fixed-size chunking with an ordered sequential combine —
-//! so results are bitwise identical for any rayon thread count. This is what
-//! lets the non-colored parallel variants honor the paper's stability claim
-//! (§5.4: "stable in that it always produces the same output regardless of
-//! the number of cores used").
+//! # The flat timestamped neighbor scan
+//!
+//! The hottest operation in the whole codebase is the per-vertex
+//! neighbor-community aggregation feeding Eq. 4: for vertex `i`, collect
+//! `e_{i→C}` for every community `C` adjacent to `i`. The original
+//! implementation pushed `(community, weight)` pairs and sorted them —
+//! O(deg·log deg) per vertex per iteration. [`NeighborScratch`] now uses a
+//! **generation-stamped dense scratch** (Staudt & Meyerhenke's flat
+//! per-thread hashtable, and the GVE-Louvain lineage's per-thread
+//! collision-free map): two `n`-sized arrays, `stamp` (which generation last
+//! touched a community) and `slot` (where that community's accumulator lives
+//! in the touched list `entries`). A gather is then O(deg) with no sorting
+//! and no per-vertex allocation; bumping the generation invalidates the
+//! whole scratch in O(1).
+//!
+//! Entries come out in **first-touch (adjacency) order**, not label order.
+//! The paper's generalized minimum-label heuristic (§5.1) is preserved
+//! because [`best_move`] breaks equal-gain ties by explicit label
+//! comparison, which is order-independent: per-candidate gains are computed
+//! by the same float expression regardless of scan order, so "maximum gain,
+//! then minimum label" selects the identical target the sorted scan did.
+//!
+//! # Incremental accounting
+//!
+//! [`ModularityTracker`] maintains `Σ_i e_{i→C(i)}` and `Σ_C a_C²` across
+//! iterations by applying only the committed moves, so the per-iteration
+//! modularity is O(#moves + Σ deg(moved)) instead of a full O(m) rescan.
+//! The O(m) recomputation survives only as a `debug_assert` cross-check
+//! (`ModularityTracker::drift_from_full`).
+//!
+//! # Floating-point / determinism policy
+//!
+//! Every reduction that feeds a *convergence decision* is ordered: batch
+//! `e_in` deltas go through [`det_sum`] (fixed-size chunking with an ordered
+//! sequential combine) and `a_C`/`Σ a_C²` updates are applied in ascending
+//! vertex order of the move list, which itself is assembled in vertex order.
+//! Results are therefore bitwise identical for any rayon thread count — the
+//! paper's §5.4 stability claim ("stable in that it always produces the same
+//! output regardless of the number of cores used") extended to the
+//! incremental state.
 
 use grappolo_graph::{CsrGraph, VertexId};
 use rayon::prelude::*;
@@ -44,7 +78,9 @@ pub fn det_sum<F: Fn(usize) -> f64 + Sync>(n: usize, f: F) -> f64 {
 
 /// Community weighted degrees `a_C = Σ_{i∈C} k_i` (Eq. 2), indexed by
 /// community label. The scatter is sequential in vertex order, which makes it
-/// deterministic; it is O(n) and negligible next to the sweep.
+/// deterministic. The sweeps no longer call this per iteration (they carry
+/// `a` incrementally); it remains the canonical initializer and the
+/// debug-time cross-check.
 pub fn community_degrees(g: &CsrGraph, assignment: &[Community]) -> Vec<f64> {
     let n = g.num_vertices();
     debug_assert_eq!(assignment.len(), n);
@@ -101,40 +137,100 @@ pub fn modularity_with_resolution(g: &CsrGraph, assignment: &[Community], gamma:
     e_in / two_m - gamma * null
 }
 
-/// Scratch space for per-vertex neighbor-community aggregation. One instance
-/// per worker thread (rayon `map_with`); reused across vertices to avoid
-/// per-vertex allocation (perf-book: reuse workhorse collections).
+/// Per-thread scratch for neighbor-community aggregation: a generation-
+/// stamped dense map from community label to an accumulator slot in
+/// [`NeighborScratch::entries`].
+///
+/// One instance per worker (rayon `map_init`), reused across vertices so a
+/// gather is O(deg) with no allocation and no sort. `stamp[c] == generation`
+/// marks community `c` as touched in the current gather and `slot[c]` holds
+/// the index of its `(c, weight)` accumulator; bumping `generation`
+/// invalidates everything in O(1).
 #[derive(Clone, Debug, Default)]
 pub struct NeighborScratch {
-    /// Distinct neighboring communities with accumulated edge weight.
+    /// Distinct neighboring communities with accumulated edge weight, in
+    /// **first-touch (adjacency) order** — not sorted by label.
     pub entries: Vec<(Community, f64)>,
+    /// Per-community mark word: generation in the high 32 bits, `entries`
+    /// slot index in the low 32. One word (instead of separate stamp/slot
+    /// arrays) halves the random cache traffic per accumulated neighbor.
+    marks: Vec<u64>,
+    /// Current gather generation.
+    generation: u32,
 }
 
 impl NeighborScratch {
+    /// Scratch pre-sized for community labels `< n` (labels are phase-graph
+    /// vertex ids). `default()` works too; the arrays grow on first use.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            entries: Vec::new(),
+            marks: vec![0; n],
+            generation: 0,
+        }
+    }
+
+    /// Starts a new aggregation over community labels `< n`.
+    #[inline]
+    pub fn begin(&mut self, n: usize) {
+        self.entries.clear();
+        if self.marks.len() < n {
+            if self.marks.is_empty() {
+                // First use of a `default()` scratch: `vec![0; n]` goes
+                // through alloc_zeroed (lazily-faulted zero pages), so a
+                // freshly-created per-chunk scratch only pays for the pages
+                // its gathers actually touch — not an eager O(n) fill.
+                self.marks = vec![0; n];
+            } else {
+                self.marks.resize(n, 0);
+            }
+        }
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // u32 wrap: stale generations could collide; reset once every
+            // 2³² gathers.
+            self.marks.fill(0);
+            self.generation = 1;
+        }
+    }
+
+    /// Adds `w` to community `c`'s accumulator (O(1)).
+    #[inline]
+    pub fn accumulate(&mut self, c: Community, w: f64) {
+        let mark = self.marks[c as usize];
+        if (mark >> 32) as u32 == self.generation {
+            self.entries[mark as u32 as usize].1 += w;
+        } else {
+            self.marks[c as usize] =
+                ((self.generation as u64) << 32) | self.entries.len() as u64;
+            self.entries.push((c, w));
+        }
+    }
+
     /// Collects `e_{i→C}` for every community `C` adjacent to `v` (excluding
     /// `v`'s self-loop, which moves with the vertex and cancels in gain
-    /// comparisons). Entries are sorted by community label ascending —
-    /// the order the minimum-label heuristic requires.
-    pub fn gather(&mut self, g: &CsrGraph, assignment: &[Community], v: VertexId) {
-        self.entries.clear();
+    /// comparisons), with communities read through `community_of`. Entries
+    /// end up in first-touch order; weights accumulate in adjacency order.
+    #[inline]
+    pub fn gather_by(
+        &mut self,
+        g: &CsrGraph,
+        v: VertexId,
+        community_of: impl Fn(usize) -> Community,
+    ) {
+        self.begin(g.num_vertices());
         for (u, w) in g.neighbors(v) {
             if u == v {
                 continue;
             }
-            self.entries.push((assignment[u as usize], w));
+            self.accumulate(community_of(u as usize), w);
         }
-        self.entries.sort_unstable_by_key(|&(c, _)| c);
-        // In-place merge of duplicate community labels.
-        let mut out = 0usize;
-        for i in 0..self.entries.len() {
-            if out > 0 && self.entries[out - 1].0 == self.entries[i].0 {
-                self.entries[out - 1].1 += self.entries[i].1;
-            } else {
-                self.entries[out] = self.entries[i];
-                out += 1;
-            }
-        }
-        self.entries.truncate(out);
+    }
+
+    /// [`Self::gather_by`] against a plain assignment slice.
+    #[inline]
+    pub fn gather(&mut self, g: &CsrGraph, assignment: &[Community], v: VertexId) {
+        self.gather_by(g, v, |u| assignment[u]);
     }
 }
 
@@ -160,17 +256,26 @@ pub struct MoveDecision {
     pub target: Community,
     /// Modularity gain of moving there (Eq. 4); 0 when staying.
     pub gain: f64,
+    /// `e_{i→C(i)∖{i}}` — weight to current co-members (found during the
+    /// scan; feeds [`ModularityTracker::apply_move`] without a re-scan).
+    pub e_src: f64,
+    /// `e_{i→target}`; equals `e_src` when staying.
+    pub e_tgt: f64,
 }
 
-/// Evaluates Eq. 4 over sorted candidate communities and returns the target
-/// per Eq. 5 with the paper's **generalized minimum-label heuristic**: among
-/// equal-gain maxima, the smallest community label wins (§5.1). `a_of` maps a
-/// community label to its current degree `a_C`.
+/// Evaluates Eq. 4 over the candidate communities (any order) and returns
+/// the target per Eq. 5 with the paper's **generalized minimum-label
+/// heuristic**: among equal-gain maxima, the smallest community label wins
+/// (§5.1). `a_of` maps a community label to its current degree `a_C`.
 ///
 /// The gain of moving `i` from `C(i)` to `C(j)` (Eq. 4) is, with
 /// `a_src' = a_{C(i)} − k_i`:
 /// `ΔQ = (e_{i→C(j)} − e_{i→C(i)∖{i}})/m + 2·k_i·(a_src' − a_{C(j)})/(2m)²`.
 /// Staying (`C(j) = C(i)`) evaluates to exactly 0 by construction.
+///
+/// The tie-break is order-independent: each candidate's gain is the same
+/// float expression whatever the scan order, so comparing `(gain, label)`
+/// pairs selects the same target the historical sorted-ascending scan did.
 pub fn best_move(
     ctx: &MoveContext,
     candidates: &[(Community, f64)],
@@ -184,22 +289,180 @@ pub fn best_move(
         .find(|&&(c, _)| c == ctx.current)
         .map(|&(_, w)| w)
         .unwrap_or(0.0);
+    // Hoist the two divisions out of the candidate loop (the loop body runs
+    // once per adjacent community per vertex per iteration — the hottest
+    // arithmetic in the codebase).
+    let inv_m = 1.0 / ctx.m;
+    let null_factor = ctx.gamma * 2.0 * ctx.k / (two_m * two_m);
 
-    let mut best = MoveDecision { target: ctx.current, gain: 0.0 };
+    let mut best = MoveDecision { target: ctx.current, gain: 0.0, e_src, e_tgt: e_src };
     for &(c, e_c) in candidates {
         if c == ctx.current {
             continue;
         }
-        let gain = (e_c - e_src) / ctx.m
-            + ctx.gamma * 2.0 * ctx.k * (a_src_without - a_of(c)) / (two_m * two_m);
-        // Strict `>` over label-ascending candidates implements the
-        // generalized minimum-label tie-break.
-        if gain > best.gain {
-            best = MoveDecision { target: c, gain };
+        let gain = (e_c - e_src) * inv_m + null_factor * (a_src_without - a_of(c));
+        // Strictly better gain wins; an exactly equal gain wins only with a
+        // smaller label (minimum-label heuristic). Staying keeps priority at
+        // gain 0: a non-current `best` only ever holds gain > 0.
+        if gain > best.gain
+            || (gain == best.gain && best.target != ctx.current && c < best.target)
+        {
+            best = MoveDecision { target: c, gain, e_src, e_tgt: e_c };
         }
     }
     best
 }
+
+/// Incrementally maintained modularity state for one phase:
+/// `e_in = Σ_i e_{i→C(i)}` and `null_sum = Σ_C a_C²`, with
+/// `Q = e_in/2m − γ·null_sum/(2m)²`.
+///
+/// The full O(m)+O(n) rescan happens once at construction; afterwards every
+/// committed move updates both terms in O(1) (plus O(deg) for the parallel
+/// batch's `e_in` correction), in an order that does not depend on the
+/// thread count.
+#[derive(Clone, Debug)]
+pub struct ModularityTracker {
+    /// `Σ_i e_{i→C(i)}` (every intra adjacency entry, self-loops once).
+    pub e_in: f64,
+    /// `Σ_C a_C²`.
+    pub null_sum: f64,
+    two_m: f64,
+    gamma: f64,
+}
+
+impl ModularityTracker {
+    /// Full-scan initialization (parallel, deterministic reductions).
+    pub fn new(g: &CsrGraph, assignment: &[Community], a: &[f64], gamma: f64) -> Self {
+        let e_in = intra_community_weight(g, assignment);
+        let null_sum = det_sum(a.len(), |c| a[c] * a[c]);
+        Self { e_in, null_sum, two_m: 2.0 * g.total_weight(), gamma }
+    }
+
+    /// Full-scan initialization with plain loops — for the serial scheme,
+    /// which must never touch the rayon pool.
+    pub fn new_serial(g: &CsrGraph, assignment: &[Community], a: &[f64], gamma: f64) -> Self {
+        let mut e_in = 0.0f64;
+        for v in 0..g.num_vertices() as VertexId {
+            let cv = assignment[v as usize];
+            for (u, w) in g.neighbors(v) {
+                if assignment[u as usize] == cv {
+                    e_in += w;
+                }
+            }
+        }
+        let mut null_sum = 0.0f64;
+        for &ac in a {
+            null_sum += ac * ac;
+        }
+        Self { e_in, null_sum, two_m: 2.0 * g.total_weight(), gamma }
+    }
+
+    /// Current modularity, O(1).
+    #[inline]
+    pub fn modularity(&self) -> f64 {
+        self.e_in / self.two_m - self.gamma * self.null_sum / (self.two_m * self.two_m)
+    }
+
+    /// Moves weighted degree `k` from community `from` to `to`, updating
+    /// `a` in place and `null_sum = Σ a_C²` by the exact difference — the
+    /// shared accounting core of [`Self::apply_move`] and
+    /// [`Self::apply_batch`].
+    #[inline]
+    fn transfer_degree(&mut self, k: f64, from: Community, to: Community, a: &mut [f64]) {
+        // A no-op "move" would double-write a[from] and corrupt null_sum.
+        debug_assert_ne!(from, to, "transfer_degree requires from != to");
+        let a_from = a[from as usize];
+        let a_to = a[to as usize];
+        self.null_sum += (a_from - k) * (a_from - k) - a_from * a_from
+            + (a_to + k) * (a_to + k) - a_to * a_to;
+        a[from as usize] = a_from - k;
+        a[to as usize] = a_to + k;
+    }
+
+    /// Applies one immediately-committed move (the serial sweep): `v` with
+    /// degree `k` leaves `from` for `to`, where `e_src = e_{v→from∖{v}}` and
+    /// `e_tgt = e_{v→to}` come from the gather that produced the decision.
+    /// Updates `a` in place.
+    #[inline]
+    pub fn apply_move(
+        &mut self,
+        k: f64,
+        e_src: f64,
+        e_tgt: f64,
+        from: Community,
+        to: Community,
+        a: &mut [f64],
+    ) {
+        // Both directions of every (v, co-member) edge enter/leave e_in.
+        self.e_in += 2.0 * (e_tgt - e_src);
+        self.transfer_degree(k, from, to, a);
+    }
+
+    /// Applies one parallel iteration's batch of simultaneous moves.
+    ///
+    /// `moved` lists the vertices with `c_prev[v] != c_curr[v]` in ascending
+    /// vertex order. An adjacency entry `(x → y)` contributes to `e_in` iff
+    /// `C(x) == C(y)`, so only entries incident to a moved vertex can
+    /// change. Scanning the moved vertices visits `(v → u)` once from `v`;
+    /// the mirrored entry `(u → v)` is visited by `u`'s own scan when `u`
+    /// also moved, and accounted with a factor of two otherwise. The
+    /// reduction is a [`det_sum`] over the moved list and the `a`/`null_sum`
+    /// updates run sequentially in list order, so the result is bitwise
+    /// independent of the thread count. Cost: O(Σ deg(moved)), which decays
+    /// with the move count instead of staying at O(m).
+    pub fn apply_batch(
+        &mut self,
+        g: &CsrGraph,
+        c_prev: &[Community],
+        c_curr: &[Community],
+        moved: &[VertexId],
+        a: &mut [f64],
+        sizes: &mut [u32],
+    ) {
+        let delta = det_sum(moved.len(), |i| {
+            let v = moved[i];
+            let pv = c_prev[v as usize];
+            let cv = c_curr[v as usize];
+            let mut acc = 0.0;
+            for (u, w) in g.neighbors(v) {
+                if u == v {
+                    continue; // a self-loop is always intra
+                }
+                let pu = c_prev[u as usize];
+                let cu = c_curr[u as usize];
+                let change = (cu == cv) as i32 - (pu == pv) as i32;
+                if change != 0 {
+                    // If u also moved it will account for (u → v) itself;
+                    // otherwise v accounts for both directions.
+                    let factor = if pu != cu { 1.0 } else { 2.0 };
+                    acc += factor * change as f64 * w;
+                }
+            }
+            acc
+        });
+        self.e_in += delta;
+        for &v in moved {
+            let from = c_prev[v as usize];
+            let to = c_curr[v as usize];
+            self.transfer_degree(g.weighted_degree(v), from, to, a);
+            sizes[from as usize] -= 1;
+            sizes[to as usize] += 1;
+        }
+    }
+
+    /// Absolute deviation of the tracked modularity from a full O(m) + O(n)
+    /// recomputation — the debug-assert cross-check that replaced the
+    /// per-iteration rescan on the hot path.
+    pub fn drift_from_full(&self, g: &CsrGraph, assignment: &[Community]) -> f64 {
+        (self.modularity() - modularity_with_resolution(g, assignment, self.gamma)).abs()
+    }
+}
+
+/// Tolerance for the incremental-vs-full debug cross-checks: fp drift of the
+/// incremental sums stays many orders of magnitude below any modularity
+/// difference the convergence thresholds (≥ 1e-6) can act on.
+pub const TRACKER_DRIFT_TOLERANCE: f64 = 1e-9;
 
 #[cfg(test)]
 mod tests {
@@ -303,7 +566,7 @@ mod tests {
     }
 
     #[test]
-    fn scratch_gathers_sorted_merged() {
+    fn scratch_gathers_merged_first_touch_order() {
         let g = from_weighted_edges(
             4,
             [(0, 1, 1.0), (0, 2, 2.0), (0, 3, 4.0), (0, 0, 9.0)],
@@ -312,8 +575,25 @@ mod tests {
         let assignment = vec![5u32 % 4, 3, 3, 1]; // v1,v2 → comm 3; v3 → comm 1
         let mut s = NeighborScratch::default();
         s.gather(&g, &assignment, 0);
-        // self-loop excluded; comm 1 (w 4), comm 3 (1+2=3), sorted by label.
-        assert_eq!(s.entries, vec![(1, 4.0), (3, 3.0)]);
+        // Self-loop excluded; comm 3 first touched (via v1, then v2 merges),
+        // then comm 1 — first-touch order, weights merged in adjacency order.
+        assert_eq!(s.entries, vec![(3, 3.0), (1, 4.0)]);
+        // Reuse on another vertex resets cleanly.
+        s.gather(&g, &assignment, 3);
+        assert_eq!(s.entries, vec![(assignment[0], 4.0)]);
+    }
+
+    #[test]
+    fn scratch_with_capacity_matches_default() {
+        let g = two_triangles();
+        let part = vec![0u32, 0, 1, 1, 2, 2];
+        let mut lazy = NeighborScratch::default();
+        let mut sized = NeighborScratch::with_capacity(g.num_vertices());
+        for v in 0..6 {
+            lazy.gather(&g, &part, v);
+            sized.gather(&g, &part, v);
+            assert_eq!(lazy.entries, sized.entries, "vertex {v}");
+        }
     }
 
     #[test]
@@ -331,13 +611,16 @@ mod tests {
     }
 
     #[test]
-    fn best_move_min_label_tie_break() {
+    fn best_move_min_label_tie_break_any_order() {
         // Two identical candidates — the generalized ML heuristic picks the
-        // smaller label (§5.1, Fig. 2 case 2).
+        // smaller label (§5.1, Fig. 2 case 2) regardless of candidate order.
         let ctx = MoveContext { current: 9, k: 1.0, m: 5.0, a_current: 1.0, gamma: 1.0 };
-        let candidates = vec![(3u32, 1.0), (7u32, 1.0)];
-        let d = best_move(&ctx, &candidates, |c| if c == 9 { 1.0 } else { 2.0 });
+        let a_of = |c: Community| if c == 9 { 1.0 } else { 2.0 };
+        let d = best_move(&ctx, &[(3u32, 1.0), (7u32, 1.0)], a_of);
         assert_eq!(d.target, 3);
+        let d_rev = best_move(&ctx, &[(7u32, 1.0), (3u32, 1.0)], a_of);
+        assert_eq!(d_rev.target, 3, "tie-break must not depend on scan order");
+        assert_eq!(d.gain, d_rev.gain);
     }
 
     #[test]
@@ -349,6 +632,16 @@ mod tests {
         let d = best_move(&ctx, &candidates, |c| if c == 0 { 10.0 } else { 8.0 });
         assert_eq!(d.target, 0);
         assert_eq!(d.gain, 0.0);
+    }
+
+    #[test]
+    fn best_move_zero_gain_never_moves() {
+        // A candidate whose gain is exactly 0 must lose to staying, even
+        // with a smaller label (the tie clause guards on a non-current best).
+        let ctx = MoveContext { current: 5, k: 0.0, m: 10.0, a_current: 0.0, gamma: 1.0 };
+        // k = 0 makes every gain term 0 when e_c == e_src == 0.
+        let d = best_move(&ctx, &[(1u32, 0.0)], |_| 3.0);
+        assert_eq!(d.target, 5);
     }
 
     #[test]
@@ -391,5 +684,71 @@ mod tests {
             decision.gain,
             q_after - q_before
         );
+    }
+
+    #[test]
+    fn tracker_apply_move_tracks_full_recompute() {
+        let g = two_triangles();
+        let mut assignment = vec![0u32, 0, 2, 2, 4, 5];
+        let mut a = community_degrees(&g, &assignment);
+        let mut tracker = ModularityTracker::new(&g, &assignment, &a, 1.0);
+        assert!(tracker.drift_from_full(&g, &assignment) < 1e-12);
+
+        // Move vertex 4 into community 5, then vertex 5 into community 2.
+        for (v, to) in [(4u32, 5u32), (5u32, 2u32)] {
+            let mut scratch = NeighborScratch::default();
+            scratch.gather(&g, &assignment, v);
+            let from = assignment[v as usize];
+            let e_src = scratch
+                .entries
+                .iter()
+                .find(|&&(c, _)| c == from)
+                .map_or(0.0, |&(_, w)| w);
+            let e_tgt = scratch
+                .entries
+                .iter()
+                .find(|&&(c, _)| c == to)
+                .map_or(0.0, |&(_, w)| w);
+            tracker.apply_move(g.weighted_degree(v), e_src, e_tgt, from, to, &mut a);
+            assignment[v as usize] = to;
+            assert!(
+                tracker.drift_from_full(&g, &assignment) < 1e-12,
+                "tracker drifted after moving {v}"
+            );
+        }
+        assert_eq!(a, community_degrees(&g, &assignment));
+    }
+
+    #[test]
+    fn tracker_apply_batch_handles_simultaneous_moves() {
+        // Both endpoints of the bridge move at once plus an unrelated vertex
+        // — exercises the moved/unmoved factor-of-two accounting.
+        let g = two_triangles();
+        let c_prev = vec![0u32, 0, 0, 1, 1, 1];
+        let c_curr = vec![0u32, 0, 1, 0, 1, 4];
+        let moved: Vec<VertexId> = vec![2, 3, 5];
+        let mut a = community_degrees(&g, &c_prev);
+        let mut sizes = community_sizes(&c_prev);
+        let mut tracker = ModularityTracker::new(&g, &c_prev, &a, 1.0);
+        tracker.apply_batch(&g, &c_prev, &c_curr, &moved, &mut a, &mut sizes);
+        assert!(
+            tracker.drift_from_full(&g, &c_curr) < 1e-12,
+            "batch drift {}",
+            tracker.drift_from_full(&g, &c_curr)
+        );
+        assert_eq!(a, community_degrees(&g, &c_curr));
+        assert_eq!(sizes, community_sizes(&c_curr));
+    }
+
+    #[test]
+    fn tracker_serial_init_matches_parallel_init() {
+        let g = two_triangles();
+        let assignment = vec![0u32, 0, 0, 1, 1, 1];
+        let a = community_degrees(&g, &assignment);
+        let p = ModularityTracker::new(&g, &assignment, &a, 1.0);
+        let s = ModularityTracker::new_serial(&g, &assignment, &a, 1.0);
+        assert!((p.e_in - s.e_in).abs() < 1e-12);
+        assert!((p.null_sum - s.null_sum).abs() < 1e-12);
+        assert!((p.modularity() - modularity(&g, &assignment)).abs() < 1e-12);
     }
 }

@@ -13,17 +13,26 @@
 //!   of the paper's `__sync_fetch_and_add`, §5.5). Later classes observe
 //!   earlier commits — the colored analogue of serial freshness.
 
-use crate::modularity::{
-    best_move, community_degrees, community_sizes, modularity_with_resolution, Community,
-    MoveContext, NeighborScratch,
-};
 use crate::atomicf64::AtomicF64;
+use crate::modularity::{
+    best_move, modularity_with_resolution, Community, ModularityTracker, MoveContext,
+    NeighborScratch, TRACKER_DRIFT_TOLERANCE,
+};
 use crate::phase::{should_stop, singlet_veto, PhaseOutcome};
 use grappolo_graph::{CsrGraph, VertexId};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Runs one **unordered** (non-colored) parallel phase to convergence.
+///
+/// Per-iteration bookkeeping is incremental: community degrees, sizes, and
+/// the `Σ e_in` / `Σ a_C²` modularity terms are carried across iterations
+/// and updated only for the committed moves
+/// ([`ModularityTracker::apply_batch`]), so the historical O(n) degree
+/// rebuild and O(m) modularity rescan are gone from the hot path (the
+/// rescan survives as a `debug_assert` cross-check). All updates are
+/// applied in deterministic order, preserving the §5.4 bitwise-stability
+/// guarantee across thread counts.
 pub fn parallel_phase_unordered(
     g: &CsrGraph,
     threshold: f64,
@@ -41,15 +50,18 @@ pub fn parallel_phase_unordered(
         };
     }
 
+    // Incremental state, initialized once for the singleton partition and
+    // carried across iterations (Algorithm 1 line 8's "previous iteration"
+    // view is exactly this state before the batch is applied).
+    let mut a: Vec<f64> = (0..n).map(|v| g.weighted_degree(v as VertexId)).collect();
+    let mut sizes: Vec<u32> = vec![1; n];
+    let mut tracker = ModularityTracker::new(g, &c_prev, &a, resolution);
+
     let mut iterations: Vec<(f64, usize)> = Vec::new();
-    let mut q_prev = modularity_with_resolution(g, &c_prev, resolution);
+    let mut q_prev = tracker.modularity();
 
     for _iter in 0..max_iterations {
-        // Community state from the previous iteration (Algorithm 1 line 8).
-        let a = community_degrees(g, &c_prev);
-        let sizes = community_sizes(&c_prev);
-
-        // Lines 9–14: parallel sweep without locks.
+        // Lines 9–14: parallel sweep without locks, against snapshot state.
         let c_curr: Vec<Community> = (0..n as VertexId)
             .into_par_iter()
             .map_init(NeighborScratch::default, |scratch, v| {
@@ -57,12 +69,19 @@ pub fn parallel_phase_unordered(
             })
             .collect();
 
-        let moves = c_prev
-            .par_iter()
-            .zip(c_curr.par_iter())
-            .filter(|(a, b)| a != b)
-            .count();
-        let q_curr = modularity_with_resolution(g, &c_curr, resolution);
+        // The committed moves, in ascending vertex order (deterministic).
+        let moved: Vec<VertexId> = (0..n as VertexId)
+            .into_par_iter()
+            .filter(|&v| c_prev[v as usize] != c_curr[v as usize])
+            .collect();
+        let moves = moved.len();
+        tracker.apply_batch(g, &c_prev, &c_curr, &moved, &mut a, &mut sizes);
+        let q_curr = tracker.modularity();
+        debug_assert!(
+            tracker.drift_from_full(g, &c_curr) < TRACKER_DRIFT_TOLERANCE,
+            "incremental modularity drifted: {} vs full recompute",
+            tracker.drift_from_full(g, &c_curr),
+        );
         iterations.push((q_curr, moves));
         c_prev = c_curr;
         if should_stop(q_prev, q_curr, moves, threshold) {
@@ -154,28 +173,10 @@ pub fn parallel_phase_colored(
                 .par_iter()
                 .map_init(NeighborScratch::default, |scratch, &v| {
                     let cur = assignment[v as usize].load(Ordering::Relaxed);
-                    // Gather against live assignments: neighbors are in other
-                    // color classes and not being mutated during this class.
-                    scratch.entries.clear();
-                    for (u, w) in g.neighbors(v) {
-                        if u == v {
-                            continue;
-                        }
-                        scratch
-                            .entries
-                            .push((assignment[u as usize].load(Ordering::Relaxed), w));
-                    }
-                    scratch.entries.sort_unstable_by_key(|&(c, _)| c);
-                    let mut out = 0usize;
-                    for i in 0..scratch.entries.len() {
-                        if out > 0 && scratch.entries[out - 1].0 == scratch.entries[i].0 {
-                            scratch.entries[out - 1].1 += scratch.entries[i].1;
-                        } else {
-                            scratch.entries[out] = scratch.entries[i];
-                            out += 1;
-                        }
-                    }
-                    scratch.entries.truncate(out);
+                    // Gather against live assignments through the shared
+                    // flat-scratch kernel: neighbors are in other color
+                    // classes and not being mutated during this class.
+                    scratch.gather_by(g, v, |u| assignment[u].load(Ordering::Relaxed));
                     if scratch.entries.is_empty() {
                         return 0usize;
                     }

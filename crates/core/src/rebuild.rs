@@ -5,9 +5,11 @@
 //! their release, with a parallel prefix-sum approach listed as future work —
 //! both are implemented here, see [`RenumberStrategy`]); (ii)–(iii) aggregate
 //! edges, in their case via a per-community map guarded by locks ("the former
-//! requires one lock and the latter requires two"). We additionally provide a
-//! deterministic sort-based aggregation which is the default because it keeps
-//! the §5.4 stability guarantee bitwise (see DESIGN.md §3).
+//! requires one lock and the latter requires two"). We additionally provide
+//! two deterministic lock-free aggregations: a global sort and — the default
+//! — per-community accumulation through the same generation-stamped flat
+//! scratch ([`NeighborScratch`]) the local-moving sweep uses, which is
+//! O(deg) per row with only a small per-row sort for CSR ordering.
 //!
 //! Weight convention: traversing every adjacency entry means an intra-
 //! community non-loop edge contributes twice to the meta-vertex self-loop and
@@ -15,7 +17,7 @@
 //! modularity across the phase transition (tested below).
 
 use crate::config::{RebuildStrategy, RenumberStrategy};
-use crate::modularity::Community;
+use crate::modularity::{Community, NeighborScratch};
 use grappolo_graph::{CsrGraph, VertexId};
 use parking_lot::Mutex;
 use rayon::prelude::*;
@@ -119,12 +121,126 @@ pub fn rebuild(
     let (renumber, num_communities) = renumber_communities(assignment, renumber_strategy);
 
     let graph = match strategy {
+        RebuildStrategy::StampAggregate => {
+            rebuild_stamp(g, assignment, &renumber, num_communities)
+        }
         RebuildStrategy::SortAggregate => {
             rebuild_sort(g, assignment, &renumber, num_communities)
         }
         RebuildStrategy::LockMap => rebuild_lockmap(g, assignment, &renumber, num_communities),
     };
     RebuildResult { graph, renumber, num_communities }
+}
+
+/// Groups vertices `0..n` by output row: returns `(offsets, members)` with
+/// `members[offsets[r]..offsets[r + 1]]` listing row `r`'s vertices in
+/// ascending id order (counting sort — deterministic).
+pub(crate) fn group_by_row(
+    n: usize,
+    num_rows: usize,
+    row_of: impl Fn(usize) -> Community,
+) -> (Vec<usize>, Vec<VertexId>) {
+    let mut offsets = vec![0usize; num_rows + 1];
+    for v in 0..n {
+        offsets[row_of(v) as usize + 1] += 1;
+    }
+    for r in 0..num_rows {
+        offsets[r + 1] += offsets[r];
+    }
+    let mut cursor = offsets.clone();
+    let mut members = vec![0 as VertexId; n];
+    for v in 0..n {
+        let r = row_of(v) as usize;
+        members[cursor[r]] = v as VertexId;
+        cursor[r] += 1;
+    }
+    (offsets, members)
+}
+
+/// Makes the low-id row authoritative for each inter-community pair and
+/// mirrors its weight, restoring exact CSR symmetry when the two directions
+/// were accumulated in different orders. Rows must be sorted by target.
+pub(crate) fn mirror_low_id_rows(rows: &mut [Vec<(Community, f64)>]) {
+    for u in 0..rows.len() {
+        for idx in 0..rows[u].len() {
+            let (v, w) = rows[u][idx];
+            if (v as usize) > u {
+                let row_v = &mut rows[v as usize];
+                if let Ok(pos) = row_v.binary_search_by(|&(c, _)| c.cmp(&(u as Community))) {
+                    row_v[pos].1 = w;
+                }
+            }
+        }
+    }
+}
+
+/// Assembles sorted per-community rows into a CSR graph.
+pub(crate) fn rows_to_csr(rows: Vec<Vec<(Community, f64)>>) -> CsrGraph {
+    let num_rows = rows.len();
+    let mut offsets = vec![0usize; num_rows + 1];
+    for (c, row) in rows.iter().enumerate() {
+        offsets[c + 1] = offsets[c] + row.len();
+    }
+    let mut targets = Vec::with_capacity(offsets[num_rows]);
+    let mut weights = Vec::with_capacity(offsets[num_rows]);
+    for row in rows {
+        for (c, w) in row {
+            targets.push(c);
+            weights.push(w);
+        }
+    }
+    CsrGraph::from_sorted_adjacency(offsets, targets, weights)
+}
+
+/// Stamped-scratch condensation shared by the inter-phase rebuild and VF
+/// compaction: one flat-scratch pass per output row over the row's grouped
+/// member vertices, with `row_of` mapping any original vertex to its output
+/// row.
+///
+/// Every directed adjacency entry of the row's members is accumulated in
+/// (member, adjacency) order — intra non-loop edges are seen from both
+/// endpoints (doubling into the meta self-loop, the m-preserving
+/// convention) and self-loops once. The accumulation order is fixed by the
+/// CSR layout, so results are bitwise independent of the thread count; only
+/// the final per-row sort (unique keys) orders the typically-short target
+/// list. Mirror weights are then unified exactly as in the lock-map path so
+/// the CSR stays bitwise symmetric.
+pub(crate) fn condense_stamped(
+    g: &CsrGraph,
+    num_rows: usize,
+    offsets: &[usize],
+    members: &[VertexId],
+    row_of: impl Fn(usize) -> Community + Sync + Send,
+) -> CsrGraph {
+    let mut rows: Vec<Vec<(Community, f64)>> = (0..num_rows as Community)
+        .into_par_iter()
+        .map_init(NeighborScratch::default, |scratch, c| {
+            scratch.begin(num_rows);
+            for &v in &members[offsets[c as usize]..offsets[c as usize + 1]] {
+                for (u, w) in g.neighbors(v) {
+                    scratch.accumulate(row_of(u as usize), w);
+                }
+            }
+            let mut row = std::mem::take(&mut scratch.entries);
+            row.sort_unstable_by_key(|&(t, _)| t);
+            row
+        })
+        .collect();
+    mirror_low_id_rows(&mut rows);
+    rows_to_csr(rows)
+}
+
+/// Default aggregation: [`condense_stamped`] over the renumbered
+/// communities.
+fn rebuild_stamp(
+    g: &CsrGraph,
+    assignment: &[Community],
+    renumber: &[Community],
+    num_communities: usize,
+) -> CsrGraph {
+    let row_of = |u: usize| renumber[assignment[u] as usize];
+    let (offsets, members) = group_by_row(assignment.len(), num_communities, row_of);
+    condense_stamped(g, num_communities, &offsets, &members, row_of)
 }
 
 /// Deterministic sort-based aggregation over all directed adjacency entries.
@@ -202,7 +318,10 @@ fn rebuild_lockmap(
         }
     });
 
-    // Drain maps into sorted CSR rows.
+    // Drain maps into sorted CSR rows. The two directions of an
+    // inter-community pair accumulate the same multiset of weights but in
+    // unordered thread interleavings, so their float sums can differ in the
+    // last ulp; `mirror_low_id_rows` restores exact CSR symmetry.
     let mut rows: Vec<Vec<(Community, f64)>> = maps
         .into_par_iter()
         .map(|m| {
@@ -211,35 +330,8 @@ fn rebuild_lockmap(
             row
         })
         .collect();
-
-    // The two directions of an inter-community pair accumulate the same
-    // multiset of weights but in unordered thread interleavings, so their
-    // float sums can differ in the last ulp. Make the low-id row
-    // authoritative and mirror it, restoring exact CSR symmetry.
-    for u in 0..num_communities {
-        for idx in 0..rows[u].len() {
-            let (v, w) = rows[u][idx];
-            if (v as usize) > u {
-                let row_v = &mut rows[v as usize];
-                if let Ok(pos) = row_v.binary_search_by(|&(c, _)| c.cmp(&(u as Community))) {
-                    row_v[pos].1 = w;
-                }
-            }
-        }
-    }
-    let mut offsets = vec![0usize; num_communities + 1];
-    for (c, row) in rows.iter().enumerate() {
-        offsets[c + 1] = offsets[c] + row.len();
-    }
-    let mut targets = Vec::with_capacity(offsets[num_communities]);
-    let mut weights = Vec::with_capacity(offsets[num_communities]);
-    for row in rows {
-        for (c, w) in row {
-            targets.push(c);
-            weights.push(w);
-        }
-    }
-    CsrGraph::from_sorted_adjacency(offsets, targets, weights)
+    mirror_low_id_rows(&mut rows);
+    rows_to_csr(rows)
 }
 
 #[cfg(test)]
@@ -249,8 +341,10 @@ mod tests {
     use grappolo_graph::from_unweighted_edges;
     use grappolo_graph::gen::{planted_partition, PlantedConfig};
 
-    fn strategies() -> [(RebuildStrategy, RenumberStrategy); 4] {
+    fn strategies() -> [(RebuildStrategy, RenumberStrategy); 6] {
         [
+            (RebuildStrategy::StampAggregate, RenumberStrategy::Serial),
+            (RebuildStrategy::StampAggregate, RenumberStrategy::ParallelPrefix),
             (RebuildStrategy::SortAggregate, RenumberStrategy::Serial),
             (RebuildStrategy::SortAggregate, RenumberStrategy::ParallelPrefix),
             (RebuildStrategy::LockMap, RenumberStrategy::Serial),
@@ -332,6 +426,62 @@ mod tests {
                 for ((ta, wa), (tb, wb)) in a.iter().zip(b.iter()) {
                     assert_eq!(ta, tb);
                     assert!((wa - wb).abs() < 1e-9, "weight mismatch {wa} vs {wb}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stamp_rebuild_bitwise_deterministic_across_thread_counts() {
+        // The default aggregation must keep the §5.4 stability guarantee:
+        // identical CSR arrays (weights bit-for-bit) for any pool size.
+        let (g, truth) = planted_partition(&PlantedConfig {
+            num_vertices: 3_000,
+            num_communities: 30,
+            ..Default::default()
+        });
+        let run = |threads: usize| {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            pool.install(|| {
+                rebuild(
+                    &g,
+                    &truth,
+                    RebuildStrategy::StampAggregate,
+                    RenumberStrategy::ParallelPrefix,
+                )
+            })
+        };
+        let r1 = run(1);
+        let r4 = run(4);
+        assert_eq!(r1.num_communities, r4.num_communities);
+        for v in 0..r1.graph.num_vertices() as VertexId {
+            let a: Vec<_> = r1.graph.neighbors(v).collect();
+            let b: Vec<_> = r4.graph.neighbors(v).collect();
+            assert_eq!(a, b, "row {v} differs between pool sizes");
+        }
+    }
+
+    #[test]
+    fn stamp_rebuild_rows_are_exactly_symmetric() {
+        let (g, truth) = planted_partition(&PlantedConfig {
+            num_vertices: 2_000,
+            num_communities: 20,
+            ..Default::default()
+        });
+        let res = rebuild(
+            &g,
+            &truth,
+            RebuildStrategy::StampAggregate,
+            RenumberStrategy::Serial,
+        );
+        let cg = &res.graph;
+        for u in 0..cg.num_vertices() as VertexId {
+            for (v, w) in cg.neighbors(u) {
+                if v != u {
+                    assert_eq!(cg.edge_weight(v, u), Some(w), "asymmetry at ({u},{v})");
                 }
             }
         }

@@ -1,0 +1,151 @@
+//! Reference (pre-optimization) kernels, kept for property tests and as the
+//! benchmark baseline for the flat timestamped neighbor scan.
+//!
+//! [`gather_sorted`] is the historical sort-based neighbor-community
+//! aggregation — O(deg·log deg) per vertex — and
+//! [`parallel_phase_unordered_sortbased`] is the historical phase loop that
+//! rebuilds `community_degrees` (O(n)) and recomputes full-graph modularity
+//! (O(m)) every iteration. On integer-weight graphs both implementations
+//! make bitwise-identical decisions to the optimized path (all sums are
+//! exact), which is what the equivalence tests in `tests/properties.rs`
+//! assert; the optimized path's advantage is purely time.
+
+use crate::modularity::{
+    best_move, community_degrees, community_sizes, modularity_with_resolution, Community,
+    MoveContext,
+};
+use crate::phase::{should_stop, singlet_veto, PhaseOutcome};
+use grappolo_graph::{CsrGraph, VertexId};
+use rayon::prelude::*;
+
+/// The historical sort-based gather: collect `(community, weight)` per
+/// neighbor, sort by label, merge duplicates. Entries come out sorted by
+/// ascending community label.
+pub fn gather_sorted(
+    g: &CsrGraph,
+    assignment: &[Community],
+    v: VertexId,
+    entries: &mut Vec<(Community, f64)>,
+) {
+    entries.clear();
+    for (u, w) in g.neighbors(v) {
+        if u == v {
+            continue;
+        }
+        entries.push((assignment[u as usize], w));
+    }
+    entries.sort_unstable_by_key(|&(c, _)| c);
+    let mut out = 0usize;
+    for i in 0..entries.len() {
+        if out > 0 && entries[out - 1].0 == entries[i].0 {
+            entries[out - 1].1 += entries[i].1;
+        } else {
+            entries[out] = entries[i];
+            out += 1;
+        }
+    }
+    entries.truncate(out);
+}
+
+/// The historical unordered phase: sort-based gathers, an O(n)
+/// `community_degrees` rebuild and an O(m) modularity recomputation every
+/// iteration. Semantics match [`crate::parallel::parallel_phase_unordered`];
+/// only the constants differ.
+pub fn parallel_phase_unordered_sortbased(
+    g: &CsrGraph,
+    threshold: f64,
+    max_iterations: usize,
+    resolution: f64,
+) -> PhaseOutcome {
+    let n = g.num_vertices();
+    let m = g.total_weight();
+    let mut c_prev: Vec<Community> = (0..n as Community).collect();
+    if n == 0 || m <= 0.0 {
+        return PhaseOutcome {
+            assignment: c_prev,
+            iterations: Vec::new(),
+            final_modularity: 0.0,
+        };
+    }
+
+    let mut iterations: Vec<(f64, usize)> = Vec::new();
+    let mut q_prev = modularity_with_resolution(g, &c_prev, resolution);
+
+    for _iter in 0..max_iterations {
+        let a = community_degrees(g, &c_prev);
+        let sizes = community_sizes(&c_prev);
+
+        let c_curr: Vec<Community> = (0..n as VertexId)
+            .into_par_iter()
+            .map_init(Vec::new, |entries, v| {
+                let cur = c_prev[v as usize];
+                gather_sorted(g, &c_prev, v, entries);
+                if entries.is_empty() {
+                    return cur;
+                }
+                let ctx = MoveContext {
+                    current: cur,
+                    k: g.weighted_degree(v),
+                    m,
+                    a_current: a[cur as usize],
+                    gamma: resolution,
+                };
+                let decision = best_move(&ctx, entries, |c| a[c as usize]);
+                if decision.target != cur
+                    && singlet_veto(cur, decision.target, |c| sizes[c as usize])
+                {
+                    return cur;
+                }
+                decision.target
+            })
+            .collect();
+
+        let moves = c_prev
+            .par_iter()
+            .zip(c_curr.par_iter())
+            .filter(|(a, b)| a != b)
+            .count();
+        let q_curr = modularity_with_resolution(g, &c_curr, resolution);
+        iterations.push((q_curr, moves));
+        c_prev = c_curr;
+        if should_stop(q_prev, q_curr, moves, threshold) {
+            break;
+        }
+        q_prev = q_curr;
+    }
+
+    let final_modularity = iterations.last().map(|&(q, _)| q).unwrap_or(q_prev);
+    PhaseOutcome { assignment: c_prev, iterations, final_modularity }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modularity::NeighborScratch;
+    use grappolo_graph::gen::{ring_of_cliques, CliqueRingConfig};
+
+    #[test]
+    fn sorted_gather_agrees_with_flat_gather() {
+        let (g, truth) = ring_of_cliques(&CliqueRingConfig::default());
+        let mut sorted = Vec::new();
+        let mut flat = NeighborScratch::default();
+        for v in 0..g.num_vertices() as VertexId {
+            gather_sorted(&g, &truth, v, &mut sorted);
+            flat.gather(&g, &truth, v);
+            let mut flat_entries = flat.entries.clone();
+            flat_entries.sort_unstable_by_key(|&(c, _)| c);
+            assert_eq!(sorted, flat_entries, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn sortbased_phase_recovers_cliques() {
+        let (g, _) = ring_of_cliques(&CliqueRingConfig {
+            num_cliques: 6,
+            clique_size: 5,
+            ..Default::default()
+        });
+        let out = parallel_phase_unordered_sortbased(&g, 1e-6, 1000, 1.0);
+        assert!(out.final_modularity > 0.7);
+    }
+}

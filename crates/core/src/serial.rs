@@ -12,7 +12,10 @@
 //! silently parallelize, or Table 2 / Fig. 7's absolute speedups would be
 //! meaningless.
 
-use crate::modularity::{best_move, Community, MoveContext, NeighborScratch};
+use crate::modularity::{
+    best_move, Community, ModularityTracker, MoveContext, NeighborScratch,
+    TRACKER_DRIFT_TOLERANCE,
+};
 use crate::phase::{should_stop, PhaseOutcome};
 use grappolo_graph::{CsrGraph, VertexId};
 
@@ -36,13 +39,17 @@ pub fn serial_phase(
         };
     }
 
-    // Live bookkeeping: community degrees and e_in for O(1) modularity.
+    // Live bookkeeping: community degrees, sizes, and the e_in / Σ a_C²
+    // modularity terms, all updated per committed move so the per-iteration
+    // modularity is O(1) instead of an O(m) rescan. The tracker's serial
+    // constructor keeps this module rayon-free.
     let mut a: Vec<f64> = (0..n).map(|v| g.weighted_degree(v as VertexId)).collect();
     let mut sizes: Vec<u32> = vec![1; n];
-    let mut scratch = NeighborScratch::default();
+    let mut scratch = NeighborScratch::with_capacity(n);
+    let mut tracker = ModularityTracker::new_serial(g, &assignment, &a, resolution);
 
     let mut iterations: Vec<(f64, usize)> = Vec::new();
-    let mut q_prev = serial_modularity(g, &assignment, resolution);
+    let mut q_prev = tracker.modularity();
 
     for _iter in 0..max_iterations {
         let mut moves = 0usize;
@@ -61,16 +68,26 @@ pub fn serial_phase(
             };
             let decision = best_move(&ctx, &scratch.entries, |c| a[c as usize]);
             if decision.target != cur {
-                let k = ctx.k;
-                a[cur as usize] -= k;
-                a[decision.target as usize] += k;
+                tracker.apply_move(
+                    ctx.k,
+                    decision.e_src,
+                    decision.e_tgt,
+                    cur,
+                    decision.target,
+                    &mut a,
+                );
                 sizes[cur as usize] -= 1;
                 sizes[decision.target as usize] += 1;
                 assignment[v as usize] = decision.target;
                 moves += 1;
             }
         }
-        let q_curr = serial_modularity(g, &assignment, resolution);
+        let q_curr = tracker.modularity();
+        debug_assert!(
+            (q_curr - serial_modularity(g, &assignment, resolution)).abs()
+                < TRACKER_DRIFT_TOLERANCE,
+            "serial incremental modularity drifted from full recompute",
+        );
         iterations.push((q_curr, moves));
         if should_stop(q_prev, q_curr, moves, threshold) {
             break;

@@ -19,7 +19,8 @@
 //! until no single-degree vertices remain (chain compression, the §5.3
 //! extension "to lead to fast compression of chains within the input graph").
 
-use grappolo_graph::{stats::is_single_degree, CsrGraph, GraphBuilder, VertexId};
+use crate::rebuild::{condense_stamped, group_by_row};
+use grappolo_graph::{stats::is_single_degree, CsrGraph, VertexId};
 use rayon::prelude::*;
 
 /// Result of VF preprocessing.
@@ -150,19 +151,15 @@ fn vf_round(g: &CsrGraph, allow_single_neighbor: bool) -> VfResult {
         })
         .collect();
 
-    // Step 3: rebuild edges under the mapping. A merged pair's edge becomes
-    // a self-loop of weight 2ω (m-preserving condensation); existing loops
-    // carry over at their own weight.
-    let mut b = GraphBuilder::with_capacity(survivors, g.num_edges());
-    for (u, v, w) in g.undirected_edges() {
-        let (mu, mv) = (mapping[u as usize], mapping[v as usize]);
-        if mu == mv && u != v {
-            b = b.add_edge(mu, mu, 2.0 * w);
-        } else {
-            b = b.add_edge(mu, mv, w);
-        }
-    }
-    let graph = b.build().expect("VF rebuild of a valid graph cannot fail");
+    // Step 3: rebuild edges under the mapping with the same stamped-scratch
+    // condensation the inter-phase rebuild uses. Traversing every directed
+    // adjacency entry makes a merged pair's edge contribute twice to the
+    // survivor's self-loop (the m-preserving condensation, 2ω) and existing
+    // loops once, with deterministic accumulation order.
+    let row_of = |u: usize| mapping[u];
+    let (offsets, members) = group_by_row(n, survivors, row_of);
+    let graph = condense_stamped(g, survivors, &offsets, &members, row_of);
+    debug_assert!(graph.validate().is_ok(), "VF rebuild produced an invalid CSR");
     VfResult { graph, mapping, merged }
 }
 

@@ -213,6 +213,8 @@ impl CsrGraph {
 
     /// Checks structural invariants; returns a description of the first
     /// violation found.
+    // The negated comparison is deliberate: `!(w > 0.0)` also rejects NaN.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     pub fn validate(&self) -> Result<(), String> {
         let n = self.num_vertices();
         if self.offsets[0] != 0 {

@@ -102,6 +102,7 @@ pub fn hub_spoke(cfg: &HubSpokeConfig) -> (CsrGraph, Vec<u32>) {
     let n = h + h * sp;
     let mut b = GraphBuilder::with_capacity(n, h - 1 + h * sp);
     let mut owner = vec![0u32; n];
+    #[allow(clippy::needless_range_loop)] // `i` also names hub vertices below
     for i in 0..h {
         owner[i] = i as u32;
         if i + 1 < h {

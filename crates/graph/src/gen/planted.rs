@@ -71,9 +71,7 @@ pub fn planted_partition(cfg: &PlantedConfig) -> (CsrGraph, Vec<u32>) {
         let mut acc = 0usize;
         for (c, &s) in sizes.iter().enumerate() {
             starts.push(acc);
-            for v in acc..acc + s {
-                ground_truth[v] = c as u32;
-            }
+            ground_truth[acc..acc + s].fill(c as u32);
             acc += s;
         }
         debug_assert_eq!(acc, n);

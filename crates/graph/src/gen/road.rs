@@ -70,6 +70,7 @@ pub fn road_network(cfg: &RoadConfig) -> CsrGraph {
     // Spanning connection: attach each new core vertex to a random already
     // placed vertex from its own or a neighboring cell (falling back to the
     // most recent vertex to guarantee connectivity).
+    #[allow(clippy::needless_range_loop)] // `v` is a vertex id, not just an index
     for v in 0..core_n {
         let (cx, cy) = cell_of(pts[v]);
         if v > 0 {

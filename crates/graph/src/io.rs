@@ -179,8 +179,7 @@ pub fn read_metis<R: Read>(reader: R) -> Result<CsrGraph, IoError> {
         if has_vertex_weights {
             toks.next(); // skip the vertex weight
         }
-        loop {
-            let Some(vt) = toks.next() else { break };
+        while let Some(vt) = toks.next() {
             let v: usize = vt
                 .parse()
                 .map_err(|e| parse_err(idx + 1, format!("bad neighbor id: {e}")))?;

@@ -1,0 +1,40 @@
+//! Minimal stand-in for `parking_lot`: a `Mutex` with the non-poisoning
+//! `lock()` signature, backed by `std::sync::Mutex`.
+
+use std::sync::Mutex as StdMutex;
+
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+/// Non-poisoning mutex (poison is swallowed, as parking_lot does by design).
+#[derive(Debug, Default)]
+pub struct Mutex<T>(StdMutex<T>);
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Self(StdMutex::new(value))
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_and_into_inner() {
+        let m = Mutex::new(41);
+        *m.lock() += 1;
+        assert_eq!(m.into_inner(), 42);
+    }
+}

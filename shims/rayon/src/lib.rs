@@ -1,0 +1,831 @@
+//! Minimal work-alike for the subset of `rayon` this workspace uses.
+//!
+//! The build environment has no registry access, so the workspace provides
+//! its own data-parallel layer behind the same names. Parallelism is real:
+//! terminal operations split the index space into one contiguous chunk per
+//! worker and run the chunks on scoped OS threads. Every reduction combines
+//! chunk results **in index order**, so any result is bitwise independent of
+//! the worker count — a stronger guarantee than rayon's, and exactly the
+//! property the paper's §5.4 stability argument needs from the runtime.
+//!
+//! Supported surface: `into_par_iter` on integer ranges and `Vec<T>`,
+//! `par_iter` on slices, the adapters `map` / `map_init` / `filter` /
+//! `flat_map_iter` / `copied` / `zip` / `fold`, the terminals `collect` /
+//! `count` / `sum` / `reduce` / `for_each`, plus `par_sort_unstable{,_by}`,
+//! `par_chunks_mut` and `ThreadPoolBuilder`/`ThreadPool::install`.
+
+use std::cell::Cell;
+use std::cmp::Ordering as CmpOrdering;
+use std::sync::Mutex;
+
+thread_local! {
+    /// 0 = "no pool installed": fall back to the machine's parallelism.
+    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Below this many items a terminal operation runs inline: spawning threads
+/// for tiny inputs costs more than it saves and the result is identical
+/// either way (ordered combines).
+const SEQ_CUTOFF: usize = 1024;
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Number of workers terminal operations on this thread will use.
+pub fn current_num_threads() -> usize {
+    let t = POOL_THREADS.with(|c| c.get());
+    if t == 0 {
+        default_threads()
+    } else {
+        t
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build`]; never actually produced.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self { num_threads: 0 }
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            default_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A "pool" is just a worker-count scope: `install` pins the count for the
+/// duration of the closure (on this thread), which is all the workspace
+/// needs from dedicated pools.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(POOL_THREADS.with(|c| {
+            let prev = c.get();
+            c.set(self.num_threads);
+            prev
+        }));
+        op()
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Core trait
+// ---------------------------------------------------------------------------
+
+/// A chunk-evaluable parallel iterator: items are produced for contiguous
+/// index ranges of a fixed-length underlying source.
+pub trait ParallelIterator: Sized + Send + Sync {
+    type Item: Send;
+
+    /// Length of the underlying index space.
+    fn pi_len(&self) -> usize;
+
+    /// Produces the items of indices `lo..hi`, in order, into `sink`.
+    fn pi_chunk<S: FnMut(Self::Item)>(&self, lo: usize, hi: usize, sink: &mut S);
+
+    // ---- adapters -------------------------------------------------------
+
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    fn map_init<T, R, INIT, F>(self, init: INIT, f: F) -> MapInit<Self, INIT, F>
+    where
+        R: Send,
+        INIT: Fn() -> T + Sync + Send,
+        F: Fn(&mut T, Self::Item) -> R + Sync + Send,
+    {
+        MapInit { base: self, init, f }
+    }
+
+    fn filter<F>(self, f: F) -> Filter<Self, F>
+    where
+        F: Fn(&Self::Item) -> bool + Sync + Send,
+    {
+        Filter { base: self, f }
+    }
+
+    fn flat_map_iter<U, F>(self, f: F) -> FlatMapIter<Self, F>
+    where
+        U: IntoIterator,
+        U::Item: Send,
+        F: Fn(Self::Item) -> U + Sync + Send,
+    {
+        FlatMapIter { base: self, f }
+    }
+
+    fn copied(self) -> Copied<Self> {
+        Copied { base: self }
+    }
+
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    fn fold<A, ID, F>(self, identity: ID, fold_op: F) -> FoldPartials<Self, ID, F>
+    where
+        A: Send,
+        ID: Fn() -> A + Sync + Send,
+        F: Fn(A, Self::Item) -> A + Sync + Send,
+    {
+        FoldPartials { base: self, identity, fold_op }
+    }
+
+    // ---- terminals ------------------------------------------------------
+
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        drive_chunks(&self, || (), |_: &mut (), item| f(item));
+    }
+
+    fn count(self) -> usize {
+        drive_chunks(&self, || 0usize, |acc, _| *acc += 1)
+            .into_iter()
+            .sum()
+    }
+
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+    {
+        let buffers = drive_chunks(&self, Vec::new, |v, item| v.push(item));
+        buffers.into_iter().map(|v| v.into_iter().sum::<S>()).sum()
+    }
+
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync + Send,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+    {
+        let partials = drive_chunks(
+            &self,
+            || None::<Self::Item>,
+            |acc, item| {
+                let prev = acc.take().unwrap_or_else(&identity);
+                *acc = Some(op(prev, item));
+            },
+        );
+        partials
+            .into_iter()
+            .flatten()
+            .fold(identity(), &op)
+    }
+}
+
+/// Splits `0..n` into at most `threads` contiguous chunks and folds each
+/// chunk into a per-chunk accumulator; returns the accumulators in chunk
+/// (= index) order. Runs inline when a pool of one is installed or the input
+/// is small.
+fn drive_chunks<P, A>(
+    p: &P,
+    seed: impl Fn() -> A + Sync,
+    consume: impl Fn(&mut A, P::Item) + Sync,
+) -> Vec<A>
+where
+    P: ParallelIterator,
+    A: Send,
+{
+    let n = p.pi_len();
+    let threads = current_num_threads().max(1);
+    if threads == 1 || n <= SEQ_CUTOFF {
+        let mut acc = seed();
+        p.pi_chunk(0, n, &mut |item| consume(&mut acc, item));
+        return vec![acc];
+    }
+    let chunk = n.div_ceil(threads);
+    let bounds: Vec<(usize, usize)> = (0..threads)
+        .map(|t| (t * chunk, ((t + 1) * chunk).min(n)))
+        .filter(|&(lo, hi)| lo < hi)
+        .collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = bounds
+            .iter()
+            .map(|&(lo, hi)| {
+                let p = &p;
+                let seed = &seed;
+                let consume = &consume;
+                scope.spawn(move || {
+                    let mut acc = seed();
+                    p.pi_chunk(lo, hi, &mut |item| consume(&mut acc, item));
+                    acc
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Adapters
+// ---------------------------------------------------------------------------
+
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, R, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn pi_chunk<S: FnMut(R)>(&self, lo: usize, hi: usize, sink: &mut S) {
+        self.base.pi_chunk(lo, hi, &mut |item| sink((self.f)(item)));
+    }
+}
+
+pub struct MapInit<P, INIT, F> {
+    base: P,
+    init: INIT,
+    f: F,
+}
+
+impl<P, T, R, INIT, F> ParallelIterator for MapInit<P, INIT, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    INIT: Fn() -> T + Sync + Send,
+    F: Fn(&mut T, P::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn pi_chunk<S: FnMut(R)>(&self, lo: usize, hi: usize, sink: &mut S) {
+        // One scratch state per chunk — the moral equivalent of rayon's
+        // per-split init.
+        let mut state = (self.init)();
+        self.base
+            .pi_chunk(lo, hi, &mut |item| sink((self.f)(&mut state, item)));
+    }
+}
+
+pub struct Filter<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F> ParallelIterator for Filter<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(&P::Item) -> bool + Sync + Send,
+{
+    type Item = P::Item;
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn pi_chunk<S: FnMut(P::Item)>(&self, lo: usize, hi: usize, sink: &mut S) {
+        self.base.pi_chunk(lo, hi, &mut |item| {
+            if (self.f)(&item) {
+                sink(item);
+            }
+        });
+    }
+}
+
+pub struct FlatMapIter<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, U, F> ParallelIterator for FlatMapIter<P, F>
+where
+    P: ParallelIterator,
+    U: IntoIterator,
+    U::Item: Send,
+    F: Fn(P::Item) -> U + Sync + Send,
+{
+    type Item = U::Item;
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn pi_chunk<S: FnMut(U::Item)>(&self, lo: usize, hi: usize, sink: &mut S) {
+        self.base.pi_chunk(lo, hi, &mut |item| {
+            for out in (self.f)(item) {
+                sink(out);
+            }
+        });
+    }
+}
+
+pub struct Copied<P> {
+    base: P,
+}
+
+impl<'a, T, P> ParallelIterator for Copied<P>
+where
+    T: Copy + Send + Sync + 'a,
+    P: ParallelIterator<Item = &'a T>,
+{
+    type Item = T;
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn pi_chunk<S: FnMut(T)>(&self, lo: usize, hi: usize, sink: &mut S) {
+        self.base.pi_chunk(lo, hi, &mut |item| sink(*item));
+    }
+}
+
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> ParallelIterator for Zip<A, B>
+where
+    A: ParallelIterator,
+    B: ParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+
+    fn pi_len(&self) -> usize {
+        self.a.pi_len().min(self.b.pi_len())
+    }
+
+    fn pi_chunk<S: FnMut((A::Item, B::Item))>(&self, lo: usize, hi: usize, sink: &mut S) {
+        let mut left = Vec::with_capacity(hi - lo);
+        self.a.pi_chunk(lo, hi, &mut |item| left.push(item));
+        let mut right = Vec::with_capacity(hi - lo);
+        self.b.pi_chunk(lo, hi, &mut |item| right.push(item));
+        for pair in left.into_iter().zip(right) {
+            sink(pair);
+        }
+    }
+}
+
+pub struct Enumerate<P> {
+    base: P,
+}
+
+impl<P: ParallelIterator> ParallelIterator for Enumerate<P> {
+    type Item = (usize, P::Item);
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn pi_chunk<S: FnMut((usize, P::Item))>(&self, lo: usize, hi: usize, sink: &mut S) {
+        let mut idx = lo;
+        self.base.pi_chunk(lo, hi, &mut |item| {
+            sink((idx, item));
+            idx += 1;
+        });
+    }
+}
+
+/// Result of [`ParallelIterator::fold`]: per-chunk accumulators awaiting a
+/// final `reduce`. Matches the `fold(..).reduce(..)` idiom.
+pub struct FoldPartials<P, ID, F> {
+    base: P,
+    identity: ID,
+    fold_op: F,
+}
+
+impl<P, A, ID, F> FoldPartials<P, ID, F>
+where
+    P: ParallelIterator,
+    A: Send,
+    ID: Fn() -> A + Sync + Send,
+    F: Fn(A, P::Item) -> A + Sync + Send,
+{
+    pub fn reduce<RID, OP>(self, reduce_identity: RID, op: OP) -> A
+    where
+        RID: Fn() -> A + Sync + Send,
+        OP: Fn(A, A) -> A + Sync + Send,
+    {
+        let partials = drive_chunks(
+            &self.base,
+            || None::<A>,
+            |acc, item| {
+                let prev = acc.take().unwrap_or_else(&self.identity);
+                *acc = Some((self.fold_op)(prev, item));
+            },
+        );
+        partials
+            .into_iter()
+            .flatten()
+            .fold(reduce_identity(), &op)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+/// Conversion into a parallel iterator (mirrors rayon's trait).
+pub trait IntoParallelIterator {
+    type Iter: ParallelIterator<Item = Self::Item>;
+    type Item: Send;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Parallel iterator over an integer range.
+pub struct RangePar<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! impl_range_par {
+    ($($t:ty),*) => {$(
+        impl ParallelIterator for RangePar<$t> {
+            type Item = $t;
+
+            fn pi_len(&self) -> usize {
+                self.len
+            }
+
+            fn pi_chunk<S: FnMut($t)>(&self, lo: usize, hi: usize, sink: &mut S) {
+                for i in lo..hi {
+                    sink(self.start + i as $t);
+                }
+            }
+        }
+
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Iter = RangePar<$t>;
+            type Item = $t;
+
+            fn into_par_iter(self) -> RangePar<$t> {
+                let len = if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                };
+                RangePar { start: self.start, len }
+            }
+        }
+    )*};
+}
+
+impl_range_par!(u32, u64, usize, i32, i64);
+
+/// Parallel iterator over a slice.
+pub struct SlicePar<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SlicePar<'a, T> {
+    type Item = &'a T;
+
+    fn pi_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn pi_chunk<S: FnMut(&'a T)>(&self, lo: usize, hi: usize, sink: &mut S) {
+        for item in &self.slice[lo..hi] {
+            sink(item);
+        }
+    }
+}
+
+impl<'a, T: Sync + Send> IntoParallelIterator for &'a [T] {
+    type Iter = SlicePar<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> SlicePar<'a, T> {
+        SlicePar { slice: self }
+    }
+}
+
+impl<'a, T: Sync + Send> IntoParallelIterator for &'a Vec<T> {
+    type Iter = SlicePar<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> SlicePar<'a, T> {
+        SlicePar { slice: self }
+    }
+}
+
+/// `par_iter()` on slices / Vecs (receiver auto-derefs to `[T]`).
+pub trait IntoParallelRefIterator<'a> {
+    type Iter: ParallelIterator<Item = Self::Item>;
+    type Item: Send + 'a;
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + Send + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = SlicePar<'a, T>;
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> SlicePar<'a, T> {
+        SlicePar { slice: self }
+    }
+}
+
+/// Parallel iterator that moves items out of a `Vec`. Slots are mutexed so
+/// chunks can take ownership through a shared reference.
+pub struct VecPar<T> {
+    slots: Vec<Mutex<Option<T>>>,
+}
+
+impl<T: Send> ParallelIterator for VecPar<T> {
+    type Item = T;
+
+    fn pi_len(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn pi_chunk<S: FnMut(T)>(&self, lo: usize, hi: usize, sink: &mut S) {
+        for slot in &self.slots[lo..hi] {
+            let item = slot
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .expect("VecPar item taken twice");
+            sink(item);
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = VecPar<T>;
+    type Item = T;
+
+    fn into_par_iter(self) -> VecPar<T> {
+        VecPar {
+            slots: self.into_iter().map(|x| Mutex::new(Some(x))).collect(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collection
+// ---------------------------------------------------------------------------
+
+pub trait FromParallelIterator<T: Send>: Sized {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(p: P) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(p: P) -> Self {
+        let buffers = drive_chunks(&p, Vec::new, |v, item| v.push(item));
+        let total = buffers.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(total);
+        for b in buffers {
+            out.extend(b);
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutable slice operations
+// ---------------------------------------------------------------------------
+
+pub trait ParallelSliceMut<T: Send> {
+    /// Sorts the slice (sequentially; the workspace's sorts feed ordered
+    /// merges, so a parallel sort would have to be stable in the same way).
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+
+    fn par_sort_unstable_by<F>(&mut self, cmp: F)
+    where
+        F: Fn(&T, &T) -> CmpOrdering;
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+
+    fn par_sort_unstable_by<F>(&mut self, cmp: F)
+    where
+        F: Fn(&T, &T) -> CmpOrdering,
+    {
+        self.sort_unstable_by(cmp);
+    }
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        ParChunksMut {
+            chunks: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+pub struct ParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate {
+            items: self.chunks.into_iter().enumerate().collect(),
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a mut [T]) + Sync + Send,
+    {
+        self.enumerate().for_each(|(_, c)| f(c));
+    }
+}
+
+pub struct ParChunksMutEnumerate<'a, T> {
+    items: Vec<(usize, &'a mut [T])>,
+}
+
+impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &'a mut [T])) + Sync + Send,
+    {
+        let threads = current_num_threads().max(1);
+        let items = self.items;
+        if threads == 1 || items.len() <= 1 {
+            for item in items {
+                f(item);
+            }
+            return;
+        }
+        let per = items.len().div_ceil(threads);
+        let mut groups: Vec<Vec<(usize, &'a mut [T])>> = Vec::new();
+        let mut it = items.into_iter();
+        loop {
+            let group: Vec<_> = it.by_ref().take(per).collect();
+            if group.is_empty() {
+                break;
+            }
+            groups.push(group);
+        }
+        std::thread::scope(|scope| {
+            for group in groups {
+                let f = &f;
+                scope.spawn(move || {
+                    for item in group {
+                        f(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Prelude
+// ---------------------------------------------------------------------------
+
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+        ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let v: Vec<u32> = (0u32..10_000).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v.len(), 10_000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == 2 * i as u32));
+    }
+
+    #[test]
+    fn filter_count_and_sum() {
+        let n = (0usize..50_000)
+            .into_par_iter()
+            .filter(|&x| x % 3 == 0)
+            .count();
+        assert_eq!(n, 16_667);
+        let s: usize = (0usize..10_000).into_par_iter().sum();
+        assert_eq!(s, 9_999 * 10_000 / 2);
+    }
+
+    #[test]
+    fn collect_deterministic_across_pool_sizes() {
+        let run = |threads| {
+            let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            pool.install(|| {
+                (0u32..100_000)
+                    .into_par_iter()
+                    .map(|x| (x as f64).sin())
+                    .collect::<Vec<f64>>()
+            })
+        };
+        let a = run(1);
+        let b = run(4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn vec_into_par_iter_moves_items() {
+        let v: Vec<String> = (0..3_000).map(|i| i.to_string()).collect();
+        let out: Vec<usize> = v.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(out.len(), 3_000);
+    }
+
+    #[test]
+    fn zip_and_copied() {
+        let a: Vec<u32> = (0..5_000).collect();
+        let b: Vec<u32> = (0..5_000).map(|x| x + 1).collect();
+        let n = a
+            .par_iter()
+            .zip(b.par_iter())
+            .filter(|(x, y)| **y == **x + 1)
+            .count();
+        assert_eq!(n, 5_000);
+        let s: u32 = a.par_iter().copied().filter(|&x| x < 10).sum();
+        assert_eq!(s, 45);
+    }
+
+    #[test]
+    fn fold_reduce_matches_serial() {
+        let total = (0u64..100_000)
+            .into_par_iter()
+            .fold(|| 0u64, |acc, x| acc + x)
+            .reduce(|| 0u64, |a, b| a + b);
+        assert_eq!(total, 99_999 * 100_000 / 2);
+    }
+
+    #[test]
+    fn par_chunks_mut_enumerate() {
+        let mut v = vec![0usize; 10_000];
+        v.par_chunks_mut(128).enumerate().for_each(|(i, chunk)| {
+            for x in chunk {
+                *x = i;
+            }
+        });
+        assert_eq!(v[0], 0);
+        assert_eq!(v[129], 1);
+        assert_eq!(v[9_999], 9_999 / 128);
+    }
+}

@@ -1,0 +1,304 @@
+//! Minimal stand-in for `serde`: instead of the visitor architecture, the
+//! traits serialize directly to (and deserialize directly from) a [`Json`]
+//! value tree. The companion `serde_derive` shim generates impls for
+//! named-field structs and unit-variant enums — the only shapes this
+//! workspace derives.
+
+use std::time::Duration;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON value. Object fields keep insertion order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up a field of an object; `Err` on non-objects/missing keys.
+    pub fn get_field(&self, key: &str) -> Result<&Json, String> {
+        match self {
+            Json::Obj(fields) => fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing field `{key}`")),
+            other => Err(format!("expected object with field `{key}`, got {other:?}")),
+        }
+    }
+
+    fn write(&self, out: &mut String, pretty: bool, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    out.push_str(&format!("{n}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => write_seq(out, pretty, indent, '[', ']', items.len(), |out, i| {
+                items[i].write(out, pretty, indent + 1);
+            }),
+            Json::Obj(fields) => write_seq(out, pretty, indent, '{', '}', fields.len(), |out, i| {
+                let (k, v) = &fields[i];
+                write_escaped(out, k);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                v.write(out, pretty, indent + 1);
+            }),
+        }
+    }
+
+    /// Compact rendering.
+    pub fn to_json_string(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s, false, 0);
+        s
+    }
+
+    /// Two-space-indented rendering.
+    pub fn to_json_string_pretty(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s, true, 0);
+        s
+    }
+
+    fn as_f64(&self) -> Result<f64, String> {
+        match self {
+            Json::Num(n) => Ok(*n),
+            other => Err(format!("expected number, got {other:?}")),
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    pretty: bool,
+    indent: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut write_item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if pretty {
+            out.push('\n');
+            out.push_str(&"  ".repeat(indent + 1));
+        }
+        write_item(out, i);
+    }
+    if pretty {
+        out.push('\n');
+        out.push_str(&"  ".repeat(indent));
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Serialization straight to a [`Json`] tree.
+pub trait Serialize {
+    fn to_json(&self) -> Json;
+}
+
+/// Deserialization straight from a [`Json`] tree.
+pub trait Deserialize: Sized {
+    fn from_json(v: &Json) -> Result<Self, String>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json {
+                Json::Num(*self as f64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_json(v: &Json) -> Result<Self, String> {
+                Ok(v.as_f64()? as $t)
+            }
+        }
+    )*};
+}
+
+impl_num!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Serialize for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        match v {
+            Json::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, got {other:?}")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        match v {
+            Json::Str(s) => Ok(s.clone()),
+            other => Err(format!("expected string, got {other:?}")),
+        }
+    }
+}
+
+impl Serialize for &str {
+    fn to_json(&self) -> Json {
+        Json::Str((*self).to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        // Only reachable from derived test round-trips; leaking is fine there.
+        String::from_json(v).map(|s| &*Box::leak(s.into_boxed_str()))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            None => Json::Null,
+            Some(x) => x.to_json(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        match v {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        match v {
+            Json::Arr(items) => items.iter().map(T::from_json).collect(),
+            other => Err(format!("expected array, got {other:?}")),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl Serialize for Duration {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("secs".to_string(), Json::Num(self.as_secs() as f64)),
+            ("nanos".to_string(), Json::Num(self.subsec_nanos() as f64)),
+        ])
+    }
+}
+
+impl Deserialize for Duration {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let secs = v.get_field("secs")?.as_f64()? as u64;
+        let nanos = v.get_field("nanos")?.as_f64()? as u32;
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+impl<T: Serialize> Serialize for &T {
+    fn to_json(&self) -> Json {
+        (*self).to_json()
+    }
+}
+
+impl Serialize for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl Deserialize for Json {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(u32::from_json(&42u32.to_json()).unwrap(), 42);
+        assert_eq!(f64::from_json(&0.25f64.to_json()).unwrap(), 0.25);
+        assert_eq!(
+            Duration::from_json(&Duration::from_millis(1234).to_json()).unwrap(),
+            Duration::from_millis(1234)
+        );
+        assert_eq!(Option::<u32>::from_json(&Json::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn render_shapes() {
+        let v = Json::Obj(vec![
+            ("a".to_string(), Json::Arr(vec![Json::Num(1.0), Json::Num(2.5)])),
+            ("b".to_string(), Json::Str("x\"y".to_string())),
+        ]);
+        assert_eq!(v.to_json_string(), r#"{"a":[1,2.5],"b":"x\"y"}"#);
+        assert!(v.to_json_string_pretty().contains("\n  \"a\""));
+    }
+}

@@ -89,7 +89,7 @@ fn star_graph_all_schemes() {
 #[test]
 fn heavy_multi_edge_merging() {
     // 1000 copies of the same edge collapse into weight 1000.
-    let edges = std::iter::repeat((0u32, 1u32, 1.0)).take(1000);
+    let edges = std::iter::repeat_n((0u32, 1u32, 1.0), 1000);
     let g = GraphBuilder::new(2).extend_edges(edges).build().unwrap();
     assert_eq!(g.num_edges(), 1);
     assert_eq!(g.edge_weight(0, 1), Some(1000.0));
