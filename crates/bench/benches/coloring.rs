@@ -10,18 +10,29 @@ fn inputs() -> Vec<(&'static str, CsrGraph)> {
     vec![
         (
             "uniform",
-            erdos_renyi(&ErConfig { num_vertices: 20_000, num_edges: 120_000, seed: 1 }),
+            erdos_renyi(&ErConfig {
+                num_vertices: 20_000,
+                num_edges: 120_000,
+                seed: 1,
+            }),
         ),
         (
             "skewed",
-            rmat(&RmatConfig { scale: 14, num_edges: 120_000, ..Default::default() }),
+            rmat(&RmatConfig {
+                scale: 14,
+                num_edges: 120_000,
+                ..Default::default()
+            }),
         ),
     ]
 }
 
 fn bench_coloring(c: &mut Criterion) {
     let mut group = c.benchmark_group("coloring");
-    let cfg = ParallelColoringConfig { serial_cutoff: 0, ..Default::default() };
+    let cfg = ParallelColoringConfig {
+        serial_cutoff: 0,
+        ..Default::default()
+    };
     for (name, g) in inputs() {
         group.bench_with_input(BenchmarkId::new("parallel", name), &g, |b, g| {
             b.iter(|| color_parallel(g, &cfg));

@@ -16,13 +16,9 @@ fn bench_end_to_end(c: &mut Criterion) {
     for scheme in Scheme::ALL {
         let mut cfg = scheme.config();
         cfg.coloring_vertex_cutoff = 1_024;
-        group.bench_with_input(
-            BenchmarkId::new("scheme", scheme.name()),
-            &cfg,
-            |b, cfg| {
-                b.iter(|| detect_communities(&g, cfg));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("scheme", scheme.name()), &cfg, |b, cfg| {
+            b.iter(|| detect_communities(&g, cfg));
+        });
     }
     group.finish();
 }

@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use grappolo_graph::gen::{
-    planted_partition, random_geometric, rmat, road_network, PlantedConfig, RggConfig,
-    RmatConfig, RoadConfig,
+    planted_partition, random_geometric, rmat, road_network, PlantedConfig, RggConfig, RmatConfig,
+    RoadConfig,
 };
 
 fn bench_generators(c: &mut Criterion) {
@@ -20,13 +20,29 @@ fn bench_generators(c: &mut Criterion) {
         })
     });
     group.bench_function("rmat_s14", |b| {
-        b.iter(|| rmat(&RmatConfig { scale: 14, num_edges: 150_000, ..Default::default() }))
+        b.iter(|| {
+            rmat(&RmatConfig {
+                scale: 14,
+                num_edges: 150_000,
+                ..Default::default()
+            })
+        })
     });
     group.bench_function("rgg_20k", |b| {
-        b.iter(|| random_geometric(&RggConfig { num_vertices: 20_000, ..Default::default() }))
+        b.iter(|| {
+            random_geometric(&RggConfig {
+                num_vertices: 20_000,
+                ..Default::default()
+            })
+        })
     });
     group.bench_function("road_20k", |b| {
-        b.iter(|| road_network(&RoadConfig { num_vertices: 20_000, ..Default::default() }))
+        b.iter(|| {
+            road_network(&RoadConfig {
+                num_vertices: 20_000,
+                ..Default::default()
+            })
+        })
     });
     group.finish();
 }

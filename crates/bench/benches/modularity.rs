@@ -24,9 +24,13 @@ fn bench_modularity(c: &mut Criterion) {
     group.bench_with_input(BenchmarkId::new("e_in_only", "planted50k"), &g, |b, g| {
         b.iter(|| intra_community_weight(g, &truth));
     });
-    group.bench_with_input(BenchmarkId::new("community_degrees", "planted50k"), &g, |b, g| {
-        b.iter(|| community_degrees(g, &truth));
-    });
+    group.bench_with_input(
+        BenchmarkId::new("community_degrees", "planted50k"),
+        &g,
+        |b, g| {
+            b.iter(|| community_degrees(g, &truth));
+        },
+    );
     // One full pass of per-vertex neighbor-community aggregation, the inner
     // loop of the local-moving sweep: flat stamped scratch vs sorted merge.
     group.bench_with_input(BenchmarkId::new("gather_flat", "planted50k"), &g, |b, g| {
@@ -40,17 +44,21 @@ fn bench_modularity(c: &mut Criterion) {
             acc
         });
     });
-    group.bench_with_input(BenchmarkId::new("gather_sorted", "planted50k"), &g, |b, g| {
-        let mut entries = Vec::new();
-        b.iter(|| {
-            let mut acc = 0usize;
-            for v in 0..g.num_vertices() as u32 {
-                gather_sorted(g, &truth, v, &mut entries);
-                acc += entries.len();
-            }
-            acc
-        });
-    });
+    group.bench_with_input(
+        BenchmarkId::new("gather_sorted", "planted50k"),
+        &g,
+        |b, g| {
+            let mut entries = Vec::new();
+            b.iter(|| {
+                let mut acc = 0usize;
+                for v in 0..g.num_vertices() as u32 {
+                    gather_sorted(g, &truth, v, &mut entries);
+                    acc += entries.len();
+                }
+                acc
+            });
+        },
+    );
     group.finish();
 }
 

@@ -14,6 +14,7 @@
 //! trajectory.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use grappolo_bench::cached_graph;
 use grappolo_core::parallel::parallel_phase_unordered;
 use grappolo_core::reference::parallel_phase_unordered_sortbased;
 use grappolo_graph::gen::{planted_partition, PlantedConfig};
@@ -25,10 +26,15 @@ const ITERS: usize = 4;
 fn bench_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("sweep");
     for &n in &[20_000usize, 100_000] {
-        let (g, _) = planted_partition(&PlantedConfig {
-            num_vertices: n,
-            num_communities: n / 100,
-            ..Default::default()
+        // The planted input is deterministic, so it lives in the .grb cache
+        // and only the first run pays generation + CSR construction.
+        let g = cached_graph(&format!("sweep_planted_{n}"), || {
+            planted_partition(&PlantedConfig {
+                num_vertices: n,
+                num_communities: n / 100,
+                ..Default::default()
+            })
+            .0
         });
         group.throughput(Throughput::Elements(g.num_adjacency_entries() as u64));
         group.bench_with_input(BenchmarkId::new("flat", n), &g, |b, g| {

@@ -96,7 +96,10 @@ fn renumber_ablation(ctx: &ExperimentContext) {
     let g = ctx.generate(PaperInput::Friendster);
     for (name, strategy) in [
         ("serial scan (paper)", RenumberStrategy::Serial),
-        ("parallel prefix (future work)", RenumberStrategy::ParallelPrefix),
+        (
+            "parallel prefix (future work)",
+            RenumberStrategy::ParallelPrefix,
+        ),
     ] {
         let mut cfg = ctx.config(Scheme::BaselineVfColor, 2);
         cfg.renumber = strategy;

@@ -16,12 +16,7 @@ pub fn run(ctx: &ExperimentContext) {
     let max_threads = *ctx.thread_counts.last().unwrap();
 
     let mut summary = TextTable::new(vec![
-        "input",
-        "scheme",
-        "final Q",
-        "#iter",
-        "#phases",
-        "time(s)",
+        "input", "scheme", "final Q", "#iter", "#phases", "time(s)",
     ]);
 
     for input in PaperInput::ALL {
@@ -37,7 +32,11 @@ pub fn run(ctx: &ExperimentContext) {
             Scheme::ALL.to_vec()
         };
         for scheme in &schemes {
-            let threads = if *scheme == Scheme::Serial { 1 } else { max_threads.min(2) };
+            let threads = if *scheme == Scheme::Serial {
+                1
+            } else {
+                max_threads.min(2)
+            };
             let rec = run_scheme(ctx, &g, *scheme, threads);
             for (gi, it) in rec.trace.iterations.iter().enumerate() {
                 evolution.push_str(&format!(

@@ -12,7 +12,13 @@ use grappolo_graph::gen::paper_suite::PaperInput;
 /// Runs the Fig. 7 harness.
 pub fn run(ctx: &ExperimentContext) {
     println!("\n=== Fig 7: relative (vs 2-thread) and absolute (vs serial) speedup ===\n");
-    let mut table = TextTable::new(vec!["input", "threads", "time(s)", "rel speedup", "abs speedup"]);
+    let mut table = TextTable::new(vec![
+        "input",
+        "threads",
+        "time(s)",
+        "rel speedup",
+        "abs speedup",
+    ]);
     let mut csv = String::from("input,threads,time_seconds,relative_speedup,absolute_speedup\n");
 
     for input in PaperInput::ALL {

@@ -30,8 +30,7 @@ pub fn run(ctx: &ExperimentContext) {
         "clustering(s)",
         "clustering %",
     ]);
-    let mut csv =
-        String::from("input,threads,coloring_s,rebuild_s,clustering_s,total_s\n");
+    let mut csv = String::from("input,threads,coloring_s,rebuild_s,clustering_s,total_s\n");
 
     for input in INPUTS {
         let g = ctx.generate(input);

@@ -40,7 +40,9 @@ pub fn run(ctx: &ExperimentContext) {
                 input.id().to_string(),
                 t.to_string(),
                 format!("{rebuild:.4}"),
-                speedup.map(|s| format!("{s:.2}")).unwrap_or_else(|| "-".into()),
+                speedup
+                    .map(|s| format!("{s:.2}"))
+                    .unwrap_or_else(|| "-".into()),
             ]);
             csv.push_str(&format!(
                 "{},{},{},{}\n",

@@ -4,12 +4,12 @@
 
 pub mod ablations;
 pub mod accuracy;
+pub mod fig10;
 pub mod fig3_6;
-pub mod scaling;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
-pub mod fig10;
+pub mod scaling;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -27,8 +27,7 @@ pub fn run(ctx: &ExperimentContext) {
         "clustering(s)",
         "rebuild(s)",
     ]);
-    let mut csv =
-        String::from("input,scale,n,m,q,iterations,total_s,clustering_s,rebuild_s\n");
+    let mut csv = String::from("input,scale,n,m,q,iterations,total_s,clustering_s,rebuild_s\n");
 
     for input in [PaperInput::Mg1, PaperInput::Nlpkkt240] {
         for &scale in &SCALES {

@@ -13,7 +13,12 @@ use grappolo_graph::gen::paper_suite::PaperInput;
 
 /// Runs the Table 2 harness.
 pub fn run(ctx: &ExperimentContext) {
-    let threads = *ctx.thread_counts.iter().filter(|&&t| t <= 2).max().unwrap_or(&2);
+    let threads = *ctx
+        .thread_counts
+        .iter()
+        .filter(|&&t| t <= 2)
+        .max()
+        .unwrap_or(&2);
     println!("\n=== Table 2: modularity & run-time, parallel ({threads} threads) vs serial ===\n");
     let mut table = TextTable::new(vec![
         "input",

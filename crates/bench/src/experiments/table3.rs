@@ -19,7 +19,12 @@ const PAPER_ROWS: [(PaperInput, f64, f64, f64, f64); 2] = [
 
 /// Runs the Table 3 harness.
 pub fn run(ctx: &ExperimentContext) {
-    let threads = *ctx.thread_counts.iter().filter(|&&t| t <= 2).max().unwrap_or(&2);
+    let threads = *ctx
+        .thread_counts
+        .iter()
+        .filter(|&&t| t <= 2)
+        .max()
+        .unwrap_or(&2);
     println!("\n=== Table 3: parallel vs serial output composition ===\n");
     let mut table = TextTable::new(vec![
         "input",

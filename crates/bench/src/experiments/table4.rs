@@ -22,7 +22,9 @@ const INPUTS: [PaperInput; 4] = [
 
 /// Runs the Table 4 harness.
 pub fn run(ctx: &ExperimentContext) {
-    println!("\n=== Table 4: first-phase vs multi-phase coloring (2 threads, {TRIALS} trials) ===\n");
+    println!(
+        "\n=== Table 4: first-phase vs multi-phase coloring (2 threads, {TRIALS} trials) ===\n"
+    );
     let mut table = TextTable::new(vec![
         "input",
         "1-phase [min,max] Q",
@@ -34,7 +36,10 @@ pub fn run(ctx: &ExperimentContext) {
     for input in INPUTS {
         let g = ctx.generate(input);
         let mut cells = vec![input.reference().name.to_string()];
-        for schedule in [ColoringSchedule::FirstPhaseOnly, ColoringSchedule::MultiPhase] {
+        for schedule in [
+            ColoringSchedule::FirstPhaseOnly,
+            ColoringSchedule::MultiPhase,
+        ] {
             let mut qmin = f64::INFINITY;
             let mut qmax = f64::NEG_INFINITY;
             let mut total_time = Duration::ZERO;

@@ -11,9 +11,13 @@
 //! * `GRAPPOLO_SCALE` — size multiplier for the proxy inputs (default 0.25;
 //!   1.0 ≈ 32 K–130 K vertices per input);
 //! * `GRAPPOLO_SEED` — generator seed (default 1);
-//! * `GRAPPOLO_RESULTS` — output directory (default `results/`).
+//! * `GRAPPOLO_RESULTS` — output directory (default `results/`);
+//! * `GRAPPOLO_GRAPH_CACHE` — directory for cached generated graphs
+//!   (`.grb`; default under the system temp dir).
 
+pub mod cache;
 pub mod experiments;
 pub mod harness;
 
+pub use cache::cached_graph;
 pub use harness::{ExperimentContext, RunRecord, TextTable};

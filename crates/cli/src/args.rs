@@ -18,8 +18,11 @@ USAGE:
   grappolo color <graph-file> [--balanced]
   grappolo compare <assignments-a> <assignments-b>
   grappolo convert <in-file> <out-file>
+      e.g. `grappolo convert web.edges web.grb` caches a parsed graph in the
+      binary .grb format, which later loads in O(read) (no re-parse/re-sort)
 
-Graph files: .edges/.txt (edge list), .graph/.metis (METIS), .bin (binary).";
+Graph files: .edges/.txt (edge list), .graph/.metis (METIS),
+             .grb (versioned binary, fastest to load), .bin (legacy binary).";
 
 /// A parsed command.
 #[derive(Clone, Debug, PartialEq)]
@@ -96,17 +99,26 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         "color" => {
             let path = positional(&rest, 0, "graph-file")?;
             let balanced = rest.contains(&"--balanced");
-            Ok(Command::Color { path: path.into(), balanced })
+            Ok(Command::Color {
+                path: path.into(),
+                balanced,
+            })
         }
         "compare" => {
             let a = positional(&rest, 0, "assignments-a")?;
             let b = positional(&rest, 1, "assignments-b")?;
-            Ok(Command::Compare { a: a.into(), b: b.into() })
+            Ok(Command::Compare {
+                a: a.into(),
+                b: b.into(),
+            })
         }
         "convert" => {
             let input = positional(&rest, 0, "in-file")?;
             let output = positional(&rest, 1, "out-file")?;
-            Ok(Command::Convert { input: input.into(), output: output.into() })
+            Ok(Command::Convert {
+                input: input.into(),
+                output: output.into(),
+            })
         }
         other => Err(format!("unknown subcommand `{other}`")),
     }
@@ -228,7 +240,14 @@ mod tests {
         ))
         .unwrap();
         match cmd {
-            Command::Detect { scheme, threads, gamma, assignments, trace, .. } => {
+            Command::Detect {
+                scheme,
+                threads,
+                gamma,
+                assignments,
+                trace,
+                ..
+            } => {
                 assert_eq!(scheme, Scheme::BaselineVf);
                 assert_eq!(threads, Some(4));
                 assert_eq!(gamma, 2.0);
@@ -258,19 +277,30 @@ mod tests {
     fn parses_simple_subcommands() {
         assert_eq!(
             parse(&args("stats g.metis")).unwrap(),
-            Command::Stats { path: "g.metis".into() }
+            Command::Stats {
+                path: "g.metis".into()
+            }
         );
         assert_eq!(
             parse(&args("compare a.txt b.txt")).unwrap(),
-            Command::Compare { a: "a.txt".into(), b: "b.txt".into() }
+            Command::Compare {
+                a: "a.txt".into(),
+                b: "b.txt".into()
+            }
         );
         assert_eq!(
             parse(&args("convert a.edges b.bin")).unwrap(),
-            Command::Convert { input: "a.edges".into(), output: "b.bin".into() }
+            Command::Convert {
+                input: "a.edges".into(),
+                output: "b.bin".into()
+            }
         );
         assert_eq!(
             parse(&args("color g.bin --balanced")).unwrap(),
-            Command::Color { path: "g.bin".into(), balanced: true }
+            Command::Color {
+                path: "g.bin".into(),
+                balanced: true
+            }
         );
         assert_eq!(parse(&args("--help")).unwrap(), Command::Help);
     }

@@ -16,11 +16,28 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             println!("{USAGE}");
             Ok(())
         }
-        Command::Generate { input, scale, seed, output } => generate(&input, scale, seed, &output),
+        Command::Generate {
+            input,
+            scale,
+            seed,
+            output,
+        } => generate(&input, scale, seed, &output),
         Command::Stats { path } => stats(&path),
-        Command::Detect { path, scheme, threads, gamma, assignments, trace } => {
-            detect(&path, scheme, threads, gamma, assignments.as_deref(), trace.as_deref())
-        }
+        Command::Detect {
+            path,
+            scheme,
+            threads,
+            gamma,
+            assignments,
+            trace,
+        } => detect(
+            &path,
+            scheme,
+            threads,
+            gamma,
+            assignments.as_deref(),
+            trace.as_deref(),
+        ),
         Command::Color { path, balanced } => color(&path, balanced),
         Command::Compare { a, b } => compare(&a, &b),
         Command::Convert { input, output } => convert(&input, &output),
@@ -86,7 +103,10 @@ fn detect(
     config.validate()?;
     // Scale the paper's 100 K coloring cutoff down for small inputs so the
     // colored scheme stays meaningful on laptop-sized graphs.
-    config.coloring_vertex_cutoff = config.coloring_vertex_cutoff.min(g.num_vertices() / 8).max(64);
+    config.coloring_vertex_cutoff = config
+        .coloring_vertex_cutoff
+        .min(g.num_vertices() / 8)
+        .max(64);
 
     let t = Instant::now();
     let result = detect_communities(&g, &config);
@@ -145,8 +165,8 @@ fn color(path: &Path, balanced: bool) -> Result<(), String> {
 
 /// Reads a `vertex community` assignment file into a dense vector.
 pub fn read_assignments(path: &Path) -> Result<Vec<u32>, String> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
     let mut pairs: Vec<(usize, u32)> = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
@@ -234,7 +254,10 @@ mod tests {
             output: graph_path.clone(),
         })
         .unwrap();
-        execute(Command::Stats { path: graph_path.clone() }).unwrap();
+        execute(Command::Stats {
+            path: graph_path.clone(),
+        })
+        .unwrap();
 
         let assign_path = tmp("a.txt");
         execute(Command::Detect {
@@ -266,14 +289,31 @@ mod tests {
         let edges = tmp("c.edges");
         std::fs::write(&edges, "0 1 2.0\n1 2 1.0\n").unwrap();
         let metis = tmp("c.graph");
-        execute(Command::Convert { input: edges, output: metis.clone() }).unwrap();
+        execute(Command::Convert {
+            input: edges.clone(),
+            output: metis.clone(),
+        })
+        .unwrap();
         let g = io::load_path(&metis).unwrap();
         assert_eq!(g.num_edges(), 2);
+        // Edge list → .grb binary and back: identical structure.
+        let grb = tmp("c.grb");
+        execute(Command::Convert {
+            input: edges,
+            output: grb.clone(),
+        })
+        .unwrap();
+        let g2 = io::load_path(&grb).unwrap();
+        assert_eq!(g2.num_edges(), 2);
+        assert_eq!(g2.edge_weight(0, 1), Some(2.0));
     }
 
     #[test]
     fn errors_are_reported_not_panicked() {
-        assert!(execute(Command::Stats { path: "/no/such/file.bin".into() }).is_err());
+        assert!(execute(Command::Stats {
+            path: "/no/such/file.bin".into()
+        })
+        .is_err());
         assert!(execute(Command::Generate {
             input: "bogus".into(),
             scale: 1.0,
@@ -303,7 +343,15 @@ mod tests {
             output: graph_path.clone(),
         })
         .unwrap();
-        execute(Command::Color { path: graph_path.clone(), balanced: false }).unwrap();
-        execute(Command::Color { path: graph_path, balanced: true }).unwrap();
+        execute(Command::Color {
+            path: graph_path.clone(),
+            balanced: false,
+        })
+        .unwrap();
+        execute(Command::Color {
+            path: graph_path,
+            balanced: true,
+        })
+        .unwrap();
     }
 }

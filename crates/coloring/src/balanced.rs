@@ -91,7 +91,11 @@ mod tests {
 
     #[test]
     fn preserves_validity() {
-        let g = erdos_renyi(&ErConfig { num_vertices: 2_000, num_edges: 8_000, seed: 1 });
+        let g = erdos_renyi(&ErConfig {
+            num_vertices: 2_000,
+            num_edges: 8_000,
+            seed: 1,
+        });
         let mut c = color_greedy_serial(&g);
         balance_colors(&g, &mut c, 0.1);
         assert!(is_valid_distance1(&g, &c));
@@ -101,7 +105,11 @@ mod tests {
     fn reduces_skew_on_greedy_coloring() {
         // Greedy first-fit concentrates mass in color 0; balancing must cut
         // the class-size RSD.
-        let g = rmat(&RmatConfig { scale: 12, num_edges: 40_000, ..Default::default() });
+        let g = rmat(&RmatConfig {
+            scale: 12,
+            num_edges: 40_000,
+            ..Default::default()
+        });
         let mut c = color_greedy_serial(&g);
         let before = ColoringStats::compute(&c).size_rsd;
         let moved = balance_colors(&g, &mut c, 0.05);
@@ -116,7 +124,11 @@ mod tests {
 
     #[test]
     fn does_not_increase_color_count() {
-        let g = erdos_renyi(&ErConfig { num_vertices: 1_000, num_edges: 6_000, seed: 2 });
+        let g = erdos_renyi(&ErConfig {
+            num_vertices: 1_000,
+            num_edges: 6_000,
+            seed: 2,
+        });
         let mut c = color_greedy_serial(&g);
         let before = ColoringStats::compute(&c).num_colors;
         balance_colors(&g, &mut c, 0.1);
@@ -142,8 +154,7 @@ mod tests {
     #[test]
     fn already_balanced_untouched() {
         // 4-cycle colored 0,1,0,1 is perfectly balanced.
-        let g = grappolo_graph::from_unweighted_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
-            .unwrap();
+        let g = grappolo_graph::from_unweighted_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
         let mut c = vec![0, 1, 0, 1];
         assert_eq!(balance_colors(&g, &mut c, 0.0), 0);
         assert_eq!(c, vec![0, 1, 0, 1]);

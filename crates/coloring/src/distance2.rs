@@ -94,14 +94,22 @@ mod tests {
 
     #[test]
     fn valid_on_random() {
-        let g = erdos_renyi(&ErConfig { num_vertices: 300, num_edges: 900, seed: 1 });
+        let g = erdos_renyi(&ErConfig {
+            num_vertices: 300,
+            num_edges: 900,
+            seed: 1,
+        });
         let c = color_distance2(&g);
         assert!(is_valid_distance2(&g, &c));
     }
 
     #[test]
     fn distance2_is_also_distance1_valid() {
-        let g = erdos_renyi(&ErConfig { num_vertices: 200, num_edges: 600, seed: 2 });
+        let g = erdos_renyi(&ErConfig {
+            num_vertices: 200,
+            num_edges: 600,
+            seed: 2,
+        });
         let c = color_distance2(&g);
         assert!(crate::stats::is_valid_distance1(&g, &c));
     }

@@ -48,11 +48,7 @@ mod tests {
 
     #[test]
     fn clique_needs_n_colors() {
-        let g = from_unweighted_edges(
-            4,
-            [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
-        )
-        .unwrap();
+        let g = from_unweighted_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).unwrap();
         let c = color_greedy_serial(&g);
         assert!(is_valid_distance1(&g, &c));
         let mut sorted = c.clone();

@@ -31,7 +31,10 @@ pub struct ParallelColoringConfig {
 
 impl Default for ParallelColoringConfig {
     fn default() -> Self {
-        Self { serial_cutoff: 1_024, max_rounds: 10_000 }
+        Self {
+            serial_cutoff: 1_024,
+            max_rounds: 10_000,
+        }
     }
 }
 
@@ -114,30 +117,45 @@ pub fn color_parallel(g: &CsrGraph, cfg: &ParallelColoringConfig) -> Coloring {
 mod tests {
     use super::*;
     use crate::stats::{color_class_sizes, is_valid_distance1};
-    use grappolo_graph::gen::{erdos_renyi, rmat, ErConfig, RmatConfig};
     use grappolo_graph::from_unweighted_edges;
+    use grappolo_graph::gen::{erdos_renyi, rmat, ErConfig, RmatConfig};
 
     fn cfg_parallel_always() -> ParallelColoringConfig {
-        ParallelColoringConfig { serial_cutoff: 0, ..Default::default() }
+        ParallelColoringConfig {
+            serial_cutoff: 0,
+            ..Default::default()
+        }
     }
 
     #[test]
     fn valid_on_random_graph() {
-        let g = erdos_renyi(&ErConfig { num_vertices: 5_000, num_edges: 30_000, seed: 1 });
+        let g = erdos_renyi(&ErConfig {
+            num_vertices: 5_000,
+            num_edges: 30_000,
+            seed: 1,
+        });
         let c = color_parallel(&g, &cfg_parallel_always());
         assert!(is_valid_distance1(&g, &c));
     }
 
     #[test]
     fn valid_on_skewed_graph() {
-        let g = rmat(&RmatConfig { scale: 12, num_edges: 50_000, ..Default::default() });
+        let g = rmat(&RmatConfig {
+            scale: 12,
+            num_edges: 50_000,
+            ..Default::default()
+        });
         let c = color_parallel(&g, &cfg_parallel_always());
         assert!(is_valid_distance1(&g, &c));
     }
 
     #[test]
     fn all_vertices_colored() {
-        let g = erdos_renyi(&ErConfig { num_vertices: 2_000, num_edges: 10_000, seed: 2 });
+        let g = erdos_renyi(&ErConfig {
+            num_vertices: 2_000,
+            num_edges: 10_000,
+            seed: 2,
+        });
         let c = color_parallel(&g, &cfg_parallel_always());
         assert_eq!(c.len(), 2_000);
         assert!(c.iter().all(|&x| x != u32::MAX));
@@ -147,7 +165,11 @@ mod tests {
     fn color_count_reasonable() {
         // Parallel speculation may use a few more colors than serial greedy,
         // but stays within max_degree + 1 per round-local first-fit.
-        let g = erdos_renyi(&ErConfig { num_vertices: 3_000, num_edges: 20_000, seed: 3 });
+        let g = erdos_renyi(&ErConfig {
+            num_vertices: 3_000,
+            num_edges: 20_000,
+            seed: 3,
+        });
         let c = color_parallel(&g, &cfg_parallel_always());
         let used = *c.iter().max().unwrap() as usize + 1;
         assert!(used <= g.max_degree() + 1, "used {used} colors");
@@ -157,7 +179,10 @@ mod tests {
     fn serial_cutoff_matches_greedy() {
         let g = from_unweighted_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
         let cfg = ParallelColoringConfig::default(); // cutoff engages
-        assert_eq!(color_parallel(&g, &cfg), crate::greedy::color_greedy_serial(&g));
+        assert_eq!(
+            color_parallel(&g, &cfg),
+            crate::greedy::color_greedy_serial(&g)
+        );
     }
 
     #[test]
@@ -168,18 +193,19 @@ mod tests {
 
     #[test]
     fn self_loops_ignored() {
-        let g = grappolo_graph::from_weighted_edges(
-            3,
-            [(0, 0, 1.0), (0, 1, 1.0), (1, 2, 1.0)],
-        )
-        .unwrap();
+        let g = grappolo_graph::from_weighted_edges(3, [(0, 0, 1.0), (0, 1, 1.0), (1, 2, 1.0)])
+            .unwrap();
         let c = color_parallel(&g, &cfg_parallel_always());
         assert!(is_valid_distance1(&g, &c));
     }
 
     #[test]
     fn class_sizes_cover_all_vertices() {
-        let g = erdos_renyi(&ErConfig { num_vertices: 4_000, num_edges: 16_000, seed: 5 });
+        let g = erdos_renyi(&ErConfig {
+            num_vertices: 4_000,
+            num_edges: 16_000,
+            seed: 5,
+        });
         let c = color_parallel(&g, &cfg_parallel_always());
         let sizes = color_class_sizes(&c);
         assert_eq!(sizes.iter().sum::<usize>(), 4_000);

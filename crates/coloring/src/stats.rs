@@ -57,8 +57,7 @@ pub fn color_class_sizes(coloring: &Coloring) -> Vec<usize> {
 /// Algorithm 1 line 2.
 pub fn color_classes(coloring: &Coloring) -> Vec<Vec<VertexId>> {
     let sizes = color_class_sizes(coloring);
-    let mut classes: Vec<Vec<VertexId>> =
-        sizes.iter().map(|&s| Vec::with_capacity(s)).collect();
+    let mut classes: Vec<Vec<VertexId>> = sizes.iter().map(|&s| Vec::with_capacity(s)).collect();
     for (v, &c) in coloring.iter().enumerate() {
         classes[c as usize].push(v as VertexId);
     }

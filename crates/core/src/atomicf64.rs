@@ -38,7 +38,10 @@ impl AtomicF64 {
         let mut cur = self.0.load(Ordering::Relaxed);
         loop {
             let next = (f64::from_bits(cur) + delta).to_bits();
-            match self.0.compare_exchange_weak(cur, next, order, Ordering::Relaxed) {
+            match self
+                .0
+                .compare_exchange_weak(cur, next, order, Ordering::Relaxed)
+            {
                 Ok(prev) => return f64::from_bits(prev),
                 Err(actual) => cur = actual,
             }

@@ -233,13 +233,26 @@ mod tests {
     fn validation_catches_bad_params() {
         let c = LouvainConfig::default();
         assert!(c.validate().is_ok());
-        let c1 = LouvainConfig { final_threshold: 0.0, ..Default::default() };
+        let c1 = LouvainConfig {
+            final_threshold: 0.0,
+            ..Default::default()
+        };
         assert!(c1.validate().is_err());
-        let c2 = LouvainConfig { max_phases: 0, ..Default::default() };
+        let c2 = LouvainConfig {
+            max_phases: 0,
+            ..Default::default()
+        };
         assert!(c2.validate().is_err());
-        let c3 = LouvainConfig { resolution: -1.0, ..Default::default() };
+        let c3 = LouvainConfig {
+            resolution: -1.0,
+            ..Default::default()
+        };
         assert!(c3.validate().is_err());
-        let mut c4 = LouvainConfig { use_vf: true, vf_rounds: 0, ..Default::default() };
+        let mut c4 = LouvainConfig {
+            use_vf: true,
+            vf_rounds: 0,
+            ..Default::default()
+        };
         assert!(c4.validate().is_err());
         c4.vf_rounds = 1;
         assert!(c4.validate().is_ok());

@@ -112,7 +112,10 @@ mod tests {
 
     #[test]
     fn flatten_without_levels_is_vf_mapping() {
-        let d = Dendrogram { vf_mapping: vec![0, 1, 1], levels: Vec::new() };
+        let d = Dendrogram {
+            vf_mapping: vec![0, 1, 1],
+            levels: Vec::new(),
+        };
         assert_eq!(d.flatten(), vec![0, 1, 1]);
     }
 

@@ -98,9 +98,7 @@ fn run_inner(g: &CsrGraph, config: &LouvainConfig) -> CommunityResult {
         let colored = match config.coloring {
             ColoringSchedule::Off => false,
             ColoringSchedule::FirstPhaseOnly => coloring_active && phase_idx == 0,
-            ColoringSchedule::MultiPhase => {
-                coloring_active && n >= config.coloring_vertex_cutoff
-            }
+            ColoringSchedule::MultiPhase => coloring_active && n >= config.coloring_vertex_cutoff,
         } && config.parallel;
 
         // Step (2): coloring preprocessing.

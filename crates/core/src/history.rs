@@ -144,9 +144,24 @@ mod tests {
     fn mk_trace() -> RunTrace {
         RunTrace {
             iterations: vec![
-                IterationRecord { phase: 0, iteration: 0, modularity: 0.1, moves: 10 },
-                IterationRecord { phase: 0, iteration: 1, modularity: 0.3, moves: 5 },
-                IterationRecord { phase: 1, iteration: 0, modularity: 0.5, moves: 2 },
+                IterationRecord {
+                    phase: 0,
+                    iteration: 0,
+                    modularity: 0.1,
+                    moves: 10,
+                },
+                IterationRecord {
+                    phase: 0,
+                    iteration: 1,
+                    modularity: 0.3,
+                    moves: 5,
+                },
+                IterationRecord {
+                    phase: 1,
+                    iteration: 0,
+                    modularity: 0.5,
+                    moves: 2,
+                },
             ],
             phases: vec![
                 PhaseRecord {

@@ -201,8 +201,7 @@ impl NeighborScratch {
         if (mark >> 32) as u32 == self.generation {
             self.entries[mark as u32 as usize].1 += w;
         } else {
-            self.marks[c as usize] =
-                ((self.generation as u64) << 32) | self.entries.len() as u64;
+            self.marks[c as usize] = ((self.generation as u64) << 32) | self.entries.len() as u64;
             self.entries.push((c, w));
         }
     }
@@ -295,7 +294,12 @@ pub fn best_move(
     let inv_m = 1.0 / ctx.m;
     let null_factor = ctx.gamma * 2.0 * ctx.k / (two_m * two_m);
 
-    let mut best = MoveDecision { target: ctx.current, gain: 0.0, e_src, e_tgt: e_src };
+    let mut best = MoveDecision {
+        target: ctx.current,
+        gain: 0.0,
+        e_src,
+        e_tgt: e_src,
+    };
     for &(c, e_c) in candidates {
         if c == ctx.current {
             continue;
@@ -304,10 +308,14 @@ pub fn best_move(
         // Strictly better gain wins; an exactly equal gain wins only with a
         // smaller label (minimum-label heuristic). Staying keeps priority at
         // gain 0: a non-current `best` only ever holds gain > 0.
-        if gain > best.gain
-            || (gain == best.gain && best.target != ctx.current && c < best.target)
+        if gain > best.gain || (gain == best.gain && best.target != ctx.current && c < best.target)
         {
-            best = MoveDecision { target: c, gain, e_src, e_tgt: e_c };
+            best = MoveDecision {
+                target: c,
+                gain,
+                e_src,
+                e_tgt: e_c,
+            };
         }
     }
     best
@@ -336,7 +344,12 @@ impl ModularityTracker {
     pub fn new(g: &CsrGraph, assignment: &[Community], a: &[f64], gamma: f64) -> Self {
         let e_in = intra_community_weight(g, assignment);
         let null_sum = det_sum(a.len(), |c| a[c] * a[c]);
-        Self { e_in, null_sum, two_m: 2.0 * g.total_weight(), gamma }
+        Self {
+            e_in,
+            null_sum,
+            two_m: 2.0 * g.total_weight(),
+            gamma,
+        }
     }
 
     /// Full-scan initialization with plain loops — for the serial scheme,
@@ -355,7 +368,12 @@ impl ModularityTracker {
         for &ac in a {
             null_sum += ac * ac;
         }
-        Self { e_in, null_sum, two_m: 2.0 * g.total_weight(), gamma }
+        Self {
+            e_in,
+            null_sum,
+            two_m: 2.0 * g.total_weight(),
+            gamma,
+        }
     }
 
     /// Current modularity, O(1).
@@ -374,8 +392,8 @@ impl ModularityTracker {
         debug_assert_ne!(from, to, "transfer_degree requires from != to");
         let a_from = a[from as usize];
         let a_to = a[to as usize];
-        self.null_sum += (a_from - k) * (a_from - k) - a_from * a_from
-            + (a_to + k) * (a_to + k) - a_to * a_to;
+        self.null_sum +=
+            (a_from - k) * (a_from - k) - a_from * a_from + (a_to + k) * (a_to + k) - a_to * a_to;
         a[from as usize] = a_from - k;
         a[to as usize] = a_to + k;
     }
@@ -472,11 +490,7 @@ mod tests {
     fn two_triangles() -> CsrGraph {
         // Two triangles joined by one bridge: the canonical Q = 10/28 ≈ 0.357
         // example (for the 2-community partition).
-        from_unweighted_edges(
-            6,
-            [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
-        .unwrap()
+        from_unweighted_edges(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]).unwrap()
     }
 
     #[test]
@@ -567,11 +581,8 @@ mod tests {
 
     #[test]
     fn scratch_gathers_merged_first_touch_order() {
-        let g = from_weighted_edges(
-            4,
-            [(0, 1, 1.0), (0, 2, 2.0), (0, 3, 4.0), (0, 0, 9.0)],
-        )
-        .unwrap();
+        let g =
+            from_weighted_edges(4, [(0, 1, 1.0), (0, 2, 2.0), (0, 3, 4.0), (0, 0, 9.0)]).unwrap();
         let assignment = vec![5u32 % 4, 3, 3, 1]; // v1,v2 → comm 3; v3 → comm 1
         let mut s = NeighborScratch::default();
         s.gather(&g, &assignment, 0);
@@ -599,7 +610,13 @@ mod tests {
     #[test]
     fn best_move_prefers_positive_gain() {
         // Vertex 0 between two communities; candidate with more weight wins.
-        let ctx = MoveContext { current: 0, k: 2.0, m: 10.0, a_current: 2.0, gamma: 1.0 };
+        let ctx = MoveContext {
+            current: 0,
+            k: 2.0,
+            m: 10.0,
+            a_current: 2.0,
+            gamma: 1.0,
+        };
         let candidates = vec![(1u32, 1.0), (2u32, 2.0)];
         let a = |c: Community| match c {
             0 => 2.0,
@@ -614,7 +631,13 @@ mod tests {
     fn best_move_min_label_tie_break_any_order() {
         // Two identical candidates — the generalized ML heuristic picks the
         // smaller label (§5.1, Fig. 2 case 2) regardless of candidate order.
-        let ctx = MoveContext { current: 9, k: 1.0, m: 5.0, a_current: 1.0, gamma: 1.0 };
+        let ctx = MoveContext {
+            current: 9,
+            k: 1.0,
+            m: 5.0,
+            a_current: 1.0,
+            gamma: 1.0,
+        };
         let a_of = |c: Community| if c == 9 { 1.0 } else { 2.0 };
         let d = best_move(&ctx, &[(3u32, 1.0), (7u32, 1.0)], a_of);
         assert_eq!(d.target, 3);
@@ -626,7 +649,13 @@ mod tests {
     #[test]
     fn best_move_stays_when_all_negative() {
         // Staying yields 0; an unattractive move must not be taken.
-        let ctx = MoveContext { current: 0, k: 5.0, m: 10.0, a_current: 10.0, gamma: 1.0 };
+        let ctx = MoveContext {
+            current: 0,
+            k: 5.0,
+            m: 10.0,
+            a_current: 10.0,
+            gamma: 1.0,
+        };
         // e_src = 4 (strong ties to own community), candidate weak.
         let candidates = vec![(0u32, 4.0), (1u32, 0.1)];
         let d = best_move(&ctx, &candidates, |c| if c == 0 { 10.0 } else { 8.0 });
@@ -638,7 +667,13 @@ mod tests {
     fn best_move_zero_gain_never_moves() {
         // A candidate whose gain is exactly 0 must lose to staying, even
         // with a smaller label (the tie clause guards on a non-current best).
-        let ctx = MoveContext { current: 5, k: 0.0, m: 10.0, a_current: 0.0, gamma: 1.0 };
+        let ctx = MoveContext {
+            current: 5,
+            k: 0.0,
+            m: 10.0,
+            a_current: 0.0,
+            gamma: 1.0,
+        };
         // k = 0 makes every gain term 0 when e_c == e_src == 0.
         let d = best_move(&ctx, &[(1u32, 0.0)], |_| 3.0);
         assert_eq!(d.target, 5);

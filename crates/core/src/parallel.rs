@@ -91,7 +91,11 @@ pub fn parallel_phase_unordered(
     }
 
     let final_modularity = iterations.last().map(|&(q, _)| q).unwrap_or(q_prev);
-    PhaseOutcome { assignment: c_prev, iterations, final_modularity }
+    PhaseOutcome {
+        assignment: c_prev,
+        iterations,
+        final_modularity,
+    }
 }
 
 /// One vertex's migration decision against snapshot state.
@@ -153,8 +157,7 @@ pub fn parallel_phase_colored(
     // class is being swept no thread writes an entry another thread reads;
     // atomics make that reasoning explicit and safe. Community degrees take
     // genuine concurrent updates from same-class movers (§5.5's atomics).
-    let assignment: Vec<AtomicU32> =
-        (0..n as Community).map(AtomicU32::new).collect();
+    let assignment: Vec<AtomicU32> = (0..n as Community).map(AtomicU32::new).collect();
     let a: Vec<AtomicF64> = (0..n)
         .map(|v| AtomicF64::new(g.weighted_degree(v as VertexId)))
         .collect();
@@ -162,7 +165,10 @@ pub fn parallel_phase_colored(
 
     let mut iterations: Vec<(f64, usize)> = Vec::new();
     let snapshot = |assignment: &[AtomicU32]| -> Vec<Community> {
-        assignment.iter().map(|x| x.load(Ordering::Relaxed)).collect()
+        assignment
+            .iter()
+            .map(|x| x.load(Ordering::Relaxed))
+            .collect()
     };
     let mut q_prev = modularity_with_resolution(g, &snapshot(&assignment), resolution);
 
@@ -294,11 +300,7 @@ mod tests {
         // Fig. 2 case 2: a 4-clique starting as singletons. The generalized
         // ML heuristic sends every vertex toward the smallest-label maximal-
         // gain community instead of splitting into {i4,i6},{i5,i7}.
-        let g = from_unweighted_edges(
-            4,
-            [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
-        )
-        .unwrap();
+        let g = from_unweighted_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).unwrap();
         let out = parallel_phase_unordered(&g, 1e-9, 100, 1.0);
         let c = out.assignment[0];
         assert!(
@@ -379,12 +381,12 @@ mod tests {
             ..Default::default()
         });
         let out = parallel_phase_unordered(&g, 1e-9, 100, 1.0);
-        assert!(out.iterations[0].1 > 0, "first iteration must move vertices");
-        // Iterations should be recorded in order with the final Q last.
-        assert_eq!(
-            out.final_modularity,
-            out.iterations.last().unwrap().0
+        assert!(
+            out.iterations[0].1 > 0,
+            "first iteration must move vertices"
         );
+        // Iterations should be recorded in order with the final Q last.
+        assert_eq!(out.final_modularity, out.iterations.last().unwrap().0);
     }
 
     #[test]

@@ -68,8 +68,9 @@ pub fn renumber_communities(
         }
         RenumberStrategy::ParallelPrefix => {
             // Parallel mark.
-            let present: Vec<std::sync::atomic::AtomicBool> =
-                (0..n).map(|_| std::sync::atomic::AtomicBool::new(false)).collect();
+            let present: Vec<std::sync::atomic::AtomicBool> = (0..n)
+                .map(|_| std::sync::atomic::AtomicBool::new(false))
+                .collect();
             assignment.par_iter().for_each(|&c| {
                 present[c as usize].store(true, std::sync::atomic::Ordering::Relaxed);
             });
@@ -121,15 +122,15 @@ pub fn rebuild(
     let (renumber, num_communities) = renumber_communities(assignment, renumber_strategy);
 
     let graph = match strategy {
-        RebuildStrategy::StampAggregate => {
-            rebuild_stamp(g, assignment, &renumber, num_communities)
-        }
-        RebuildStrategy::SortAggregate => {
-            rebuild_sort(g, assignment, &renumber, num_communities)
-        }
+        RebuildStrategy::StampAggregate => rebuild_stamp(g, assignment, &renumber, num_communities),
+        RebuildStrategy::SortAggregate => rebuild_sort(g, assignment, &renumber, num_communities),
         RebuildStrategy::LockMap => rebuild_lockmap(g, assignment, &renumber, num_communities),
     };
-    RebuildResult { graph, renumber, num_communities }
+    RebuildResult {
+        graph,
+        renumber,
+        num_communities,
+    }
 }
 
 /// Groups vertices `0..n` by output row: returns `(offsets, members)` with
@@ -262,9 +263,7 @@ fn rebuild_sort(
         .collect();
     // Weight in the key ⇒ per-(cu,cv) runs merge in a fixed order; mirrored
     // runs share the same multiset of weights and thus the same float sum.
-    entries.par_sort_unstable_by(|a, b| {
-        (a.0, a.1).cmp(&(b.0, b.1)).then(a.2.total_cmp(&b.2))
-    });
+    entries.par_sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)).then(a.2.total_cmp(&b.2)));
 
     let mut offsets = vec![0usize; num_communities + 1];
     let mut targets: Vec<VertexId> = Vec::new();
@@ -295,28 +294,31 @@ fn rebuild_lockmap(
     renumber: &[Community],
     num_communities: usize,
 ) -> CsrGraph {
-    let maps: Vec<Mutex<FxHashMap<Community, f64>>> =
-        (0..num_communities).map(|_| Mutex::new(FxHashMap::default())).collect();
+    let maps: Vec<Mutex<FxHashMap<Community, f64>>> = (0..num_communities)
+        .map(|_| Mutex::new(FxHashMap::default()))
+        .collect();
 
     // Traverse each undirected edge once (self-loops once).
-    (0..g.num_vertices() as VertexId).into_par_iter().for_each(|u| {
-        let cu = renumber[assignment[u as usize] as usize];
-        for (v, w) in g.neighbors(u) {
-            if v < u {
-                continue; // visit each undirected edge at its low endpoint
+    (0..g.num_vertices() as VertexId)
+        .into_par_iter()
+        .for_each(|u| {
+            let cu = renumber[assignment[u as usize] as usize];
+            for (v, w) in g.neighbors(u) {
+                if v < u {
+                    continue; // visit each undirected edge at its low endpoint
+                }
+                let cv = renumber[assignment[v as usize] as usize];
+                if cu == cv {
+                    // Intra-community: one lock. Non-loop contributes doubled.
+                    let add = if u == v { w } else { 2.0 * w };
+                    *maps[cu as usize].lock().entry(cu).or_insert(0.0) += add;
+                } else {
+                    // Inter-community: two locks.
+                    *maps[cu as usize].lock().entry(cv).or_insert(0.0) += w;
+                    *maps[cv as usize].lock().entry(cu).or_insert(0.0) += w;
+                }
             }
-            let cv = renumber[assignment[v as usize] as usize];
-            if cu == cv {
-                // Intra-community: one lock. Non-loop contributes doubled.
-                let add = if u == v { w } else { 2.0 * w };
-                *maps[cu as usize].lock().entry(cu).or_insert(0.0) += add;
-            } else {
-                // Inter-community: two locks.
-                *maps[cu as usize].lock().entry(cv).or_insert(0.0) += w;
-                *maps[cv as usize].lock().entry(cu).or_insert(0.0) += w;
-            }
-        }
-    });
+        });
 
     // Drain maps into sorted CSR rows. The two directions of an
     // inter-community pair accumulate the same multiset of weights but in
@@ -344,9 +346,15 @@ mod tests {
     fn strategies() -> [(RebuildStrategy, RenumberStrategy); 6] {
         [
             (RebuildStrategy::StampAggregate, RenumberStrategy::Serial),
-            (RebuildStrategy::StampAggregate, RenumberStrategy::ParallelPrefix),
+            (
+                RebuildStrategy::StampAggregate,
+                RenumberStrategy::ParallelPrefix,
+            ),
             (RebuildStrategy::SortAggregate, RenumberStrategy::Serial),
-            (RebuildStrategy::SortAggregate, RenumberStrategy::ParallelPrefix),
+            (
+                RebuildStrategy::SortAggregate,
+                RenumberStrategy::ParallelPrefix,
+            ),
             (RebuildStrategy::LockMap, RenumberStrategy::Serial),
             (RebuildStrategy::LockMap, RenumberStrategy::ParallelPrefix),
         ]
@@ -354,11 +362,8 @@ mod tests {
 
     #[test]
     fn two_triangles_condense() {
-        let g = from_unweighted_edges(
-            6,
-            [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
-        .unwrap();
+        let g = from_unweighted_edges(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+            .unwrap();
         let assignment = vec![0, 0, 0, 5, 5, 5]; // labels need not be dense
         for (s, r) in strategies() {
             let res = rebuild(&g, &assignment, s, r);

@@ -115,7 +115,11 @@ pub fn parallel_phase_unordered_sortbased(
     }
 
     let final_modularity = iterations.last().map(|&(q, _)| q).unwrap_or(q_prev);
-    PhaseOutcome { assignment: c_prev, iterations, final_modularity }
+    PhaseOutcome {
+        assignment: c_prev,
+        iterations,
+        final_modularity,
+    }
 }
 
 #[cfg(test)]

@@ -13,8 +13,7 @@
 //! meaningless.
 
 use crate::modularity::{
-    best_move, Community, ModularityTracker, MoveContext, NeighborScratch,
-    TRACKER_DRIFT_TOLERANCE,
+    best_move, Community, ModularityTracker, MoveContext, NeighborScratch, TRACKER_DRIFT_TOLERANCE,
 };
 use crate::phase::{should_stop, PhaseOutcome};
 use grappolo_graph::{CsrGraph, VertexId};
@@ -96,7 +95,11 @@ pub fn serial_phase(
     }
 
     let final_modularity = iterations.last().map(|&(q, _)| q).unwrap_or(q_prev);
-    PhaseOutcome { assignment, iterations, final_modularity }
+    PhaseOutcome {
+        assignment,
+        iterations,
+        final_modularity,
+    }
 }
 
 /// Single-threaded modularity (Eq. 3) — same math as

@@ -159,8 +159,15 @@ fn vf_round(g: &CsrGraph, allow_single_neighbor: bool) -> VfResult {
     let row_of = |u: usize| mapping[u];
     let (offsets, members) = group_by_row(n, survivors, row_of);
     let graph = condense_stamped(g, survivors, &offsets, &members, row_of);
-    debug_assert!(graph.validate().is_ok(), "VF rebuild produced an invalid CSR");
-    VfResult { graph, mapping, merged }
+    debug_assert!(
+        graph.validate().is_ok(),
+        "VF rebuild produced an invalid CSR"
+    );
+    VfResult {
+        graph,
+        mapping,
+        merged,
+    }
 }
 
 /// Applies VF repeatedly (at most `max_rounds`): the first round is the
@@ -242,7 +249,9 @@ mod tests {
         let r = vf_preprocess(&g);
         // Partition compacted hubs into two halves.
         let nc = r.graph.num_vertices();
-        let compact: Vec<u32> = (0..nc as u32).map(|v| if v < nc as u32 / 2 { 0 } else { 1 }).collect();
+        let compact: Vec<u32> = (0..nc as u32)
+            .map(|v| if v < nc as u32 / 2 { 0 } else { 1 })
+            .collect();
         let original = r.project_assignment(&compact);
         let q_compact = modularity(&r.graph, &compact);
         let q_original = modularity(&g, &original);

@@ -2,9 +2,16 @@
 //!
 //! The builder symmetrizes, sorts, and merges duplicate edges in parallel
 //! (rayon), since input preparation is itself a scalability concern for the
-//! billion-edge graphs the paper targets. Multi-edges are not allowed in the
-//! paper's model (§2); the builder resolves duplicates according to a
-//! [`MergePolicy`].
+//! billion-edge graphs the paper targets — Staudt & Meyerhenke treat graph
+//! construction as a first-class parallel phase, and this builder follows
+//! suit. Multi-edges are not allowed in the paper's model (§2); the builder
+//! resolves duplicates according to a [`MergePolicy`].
+//!
+//! [`GraphBuilder::build`] runs a chunked parallel pipeline (per-chunk degree
+//! histograms → prefix-sum offsets → parallel scatter → per-vertex sort +
+//! duplicate merge) that produces a CSR **bitwise identical** to the retained
+//! sort-based reference path [`GraphBuilder::build_serial`]; the equivalence
+//! is property-tested across thread counts.
 
 use crate::csr::{CsrGraph, VertexId, DEFAULT_WEIGHT};
 use rayon::prelude::*;
@@ -152,20 +159,35 @@ impl GraphBuilder {
     }
 
     /// Validates, symmetrizes, merges duplicates, and builds the CSR graph.
+    ///
+    /// Large inputs take the chunked parallel path (per-chunk degree
+    /// histograms, prefix-sum offsets, parallel scatter, per-vertex sort +
+    /// merge); small inputs or single-thread budgets fall back to
+    /// [`GraphBuilder::build_serial`]. Both paths produce bitwise-identical
+    /// CSR arrays, independent of the thread count.
     pub fn build(self) -> Result<CsrGraph, BuildError> {
-        let n = self.num_vertices;
-        for &(u, v, w) in &self.edges {
-            if u as usize >= n || v as usize >= n {
-                return Err(BuildError::VertexOutOfRange { edge: (u, v), n });
-            }
-            if !w.is_finite() || w <= 0.0 {
-                return Err(BuildError::InvalidWeight { edge: (u, v), weight: w });
-            }
+        // The parallel path keeps one dense n-sized histogram per chunk, so
+        // it only pays off when the edge count dominates the vertex count;
+        // extremely sparse id spaces (n ≫ m) stay serial.
+        if self.edges.len() < PARALLEL_EDGE_CUTOFF
+            || self.num_vertices > self.edges.len().saturating_mul(4)
+            || rayon::current_num_threads() <= 1
+        {
+            self.build_serial()
+        } else {
+            self.build_parallel()
         }
+    }
+
+    /// Sequential reference path: global sort of the symmetrized entries,
+    /// then a single merge scan. Retained as the cross-check oracle for the
+    /// parallel path (the two must agree bitwise; see the tests).
+    pub fn build_serial(self) -> Result<CsrGraph, BuildError> {
+        let n = self.num_vertices;
+        validate_edges(&self.edges, n)?;
 
         // Expand to directed entries: {u,v} u≠v → (u,v) and (v,u); loop once.
-        let mut entries: Vec<(VertexId, VertexId, f64)> =
-            Vec::with_capacity(self.edges.len() * 2);
+        let mut entries: Vec<(VertexId, VertexId, f64)> = Vec::with_capacity(self.edges.len() * 2);
         for &(u, v, w) in &self.edges {
             entries.push((u, v, w));
             if u != v {
@@ -175,9 +197,7 @@ impl GraphBuilder {
         // Sorting by weight too makes duplicate runs merge in the same order
         // for both directions of an edge, so float summation stays exactly
         // symmetric (CsrGraph::validate checks mirror weights bit-for-bit).
-        entries.par_sort_unstable_by(|a, b| {
-            (a.0, a.1).cmp(&(b.0, b.1)).then(a.2.total_cmp(&b.2))
-        });
+        entries.sort_unstable_by(entry_order);
 
         // Merge duplicate (u, v) runs according to policy. Duplicates of the
         // same undirected edge appear as identical consecutive directed pairs,
@@ -185,13 +205,10 @@ impl GraphBuilder {
         let mut merged: Vec<(VertexId, VertexId, f64)> = Vec::with_capacity(entries.len());
         for e in entries {
             match merged.last_mut() {
-                Some(last) if last.0 == e.0 && last.1 == e.1 => match self.merge_policy {
-                    MergePolicy::Sum => last.2 += e.2,
-                    MergePolicy::Max => last.2 = last.2.max(e.2),
-                    MergePolicy::Reject => {
-                        return Err(BuildError::DuplicateEdge { edge: (e.0, e.1) })
-                    }
-                },
+                Some(last) if last.0 == e.0 && last.1 == e.1 => {
+                    merge_weight(&mut last.2, e.2, self.merge_policy)
+                        .map_err(|()| BuildError::DuplicateEdge { edge: (e.0, e.1) })?
+                }
                 _ => merged.push(e),
             }
         }
@@ -212,6 +229,301 @@ impl GraphBuilder {
         }
 
         Ok(CsrGraph::from_sorted_adjacency(offsets, targets, weights))
+    }
+
+    /// Chunked parallel construction. Stages (edge chunks are contiguous
+    /// input ranges of size `⌈m / threads⌉` — the layout therefore **varies
+    /// with the thread count**; see the determinism note below for why the
+    /// output does not):
+    ///
+    /// 1. chunked validation (first input-order error, matching serial);
+    /// 2. per-chunk degree histograms of the symmetrized directed entries;
+    /// 3. a column pass turning the histograms into per-chunk write cursors
+    ///    plus the pre-merge CSR offsets (prefix sum);
+    /// 4. parallel scatter of every directed entry into its vertex's slot
+    ///    range (chunks own disjoint sub-ranges, so writes never race);
+    /// 5. per-vertex sort by `(target, weight-bits)` + duplicate merge in
+    ///    place, yielding merged degrees;
+    /// 6. prefix sum of merged degrees + parallel compaction into the final
+    ///    arrays.
+    ///
+    /// Determinism: scatter order *within* a vertex's range depends on the
+    /// thread-count-dependent chunk layout, so cross-thread-count
+    /// reproducibility rests **entirely** on stage 5 sorting each range by
+    /// the full `(target, total_cmp(weight))` key: entries comparing equal
+    /// under that key are bitwise identical, so every thread count yields
+    /// the same sorted sequence, the same merge order, and therefore
+    /// bitwise-identical output (equal to [`GraphBuilder::build_serial`],
+    /// which sorts by the same key globally). Do not weaken that sort key —
+    /// dropping the weight component would break the §5.4-style determinism
+    /// contract that CI's determinism job and `tests/ingest.rs` enforce.
+    fn build_parallel(self) -> Result<CsrGraph, BuildError> {
+        let n = self.num_vertices;
+        let edges = &self.edges[..];
+        let m = edges.len();
+        let threads = rayon::current_num_threads().max(1);
+        let chunk = m.div_ceil(threads).max(1);
+
+        // 1. Validation, first error in input order (chunks are in input
+        // order and each chunk reports its first offender).
+        let errors: Vec<Option<BuildError>> = edges
+            .par_chunks(chunk)
+            .map(|c| validate_edges(c, n).err())
+            .collect();
+        if let Some(e) = errors.into_iter().flatten().next() {
+            return Err(e);
+        }
+
+        // 2. Per-chunk histograms of directed-entry counts per source vertex.
+        let mut hists: Vec<Vec<u32>> = edges
+            .par_chunks(chunk)
+            .map(|c| {
+                let mut h = vec![0u32; n];
+                for &(u, v, _) in c {
+                    h[u as usize] += 1;
+                    if u != v {
+                        h[v as usize] += 1;
+                    }
+                }
+                h
+            })
+            .collect();
+
+        // 3. Column pass: rewrite hists[c][v] into the exclusive prefix of
+        // counts over chunks (the chunk's first write slot, relative to the
+        // vertex start) and collect total pre-merge degrees.
+        let rows: Vec<SharedSlice<u32>> = hists.iter_mut().map(|h| SharedSlice::new(h)).collect();
+        let degrees: Vec<u32> = (0..n)
+            .into_par_iter()
+            .map(|v| {
+                let mut running = 0u32;
+                for row in &rows {
+                    // SAFETY: each column v is touched by exactly one closure
+                    // invocation; rows outlive the loop.
+                    let count = unsafe { row.read(v) };
+                    unsafe { row.write(v, running) };
+                    running += count;
+                }
+                running
+            })
+            .collect();
+        let mut offsets = vec![0usize; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + degrees[v] as usize;
+        }
+        let total = offsets[n];
+
+        // 4. Scatter each chunk's directed entries into its reserved slots.
+        let mut scratch_targets = vec![0 as VertexId; total];
+        let mut scratch_weights = vec![0f64; total];
+        {
+            let st = SharedSlice::new(&mut scratch_targets);
+            let sw = SharedSlice::new(&mut scratch_weights);
+            let offsets = &offsets[..];
+            hists
+                .into_par_iter()
+                .enumerate()
+                .with_min_len(1)
+                .for_each(|(ci, mut cursor)| {
+                    let lo = ci * chunk;
+                    let hi = (lo + chunk).min(m);
+                    let mut put = |x: VertexId, y: VertexId, w: f64| {
+                        let slot = offsets[x as usize] + cursor[x as usize] as usize;
+                        cursor[x as usize] += 1;
+                        // SAFETY: slot lies in the sub-range of vertex x's
+                        // slots reserved for chunk ci by the column pass;
+                        // ranges of distinct chunks are disjoint.
+                        unsafe {
+                            st.write(slot, y);
+                            sw.write(slot, w);
+                        }
+                    };
+                    for &(u, v, w) in &edges[lo..hi] {
+                        put(u, v, w);
+                        if u != v {
+                            put(v, u, w);
+                        }
+                    }
+                });
+        }
+
+        // 5. Per-vertex sort + duplicate merge, in place in the scratch
+        // arrays; collect merged degrees. Duplicate handling under
+        // `MergePolicy::Reject` is deferred to a shrinkage scan below so the
+        // hot loop stays branch-light.
+        let merged_degrees: Vec<u32> = {
+            let st = SharedSlice::new(&mut scratch_targets);
+            let sw = SharedSlice::new(&mut scratch_weights);
+            let offsets = &offsets[..];
+            let policy = self.merge_policy;
+            (0..n)
+                .into_par_iter()
+                .map_init(Vec::new, move |buf: &mut Vec<(VertexId, u64)>, v| {
+                    let (start, end) = (offsets[v], offsets[v + 1]);
+                    buf.clear();
+                    for slot in start..end {
+                        // SAFETY: vertex ranges are disjoint across closure
+                        // invocations; the scatter stage has finished.
+                        unsafe { buf.push((st.read(slot), sw.read(slot).to_bits())) };
+                    }
+                    // Same key as the serial global sort restricted to this
+                    // vertex: (target, weight by total order). total_cmp
+                    // agrees with the lexicographic order of sign-flipped
+                    // bits, but all builder weights are validated > 0, so
+                    // plain bit order suffices.
+                    buf.sort_unstable();
+                    let mut out = start;
+                    for &(t, wbits) in buf.iter() {
+                        let w = f64::from_bits(wbits);
+                        // SAFETY: in-place rewrite of this vertex's range;
+                        // `out` never overtakes the read position.
+                        unsafe {
+                            if out > start && st.read(out - 1) == t {
+                                let mut acc = sw.read(out - 1);
+                                // Reject is resolved later via shrinkage.
+                                let _ = merge_weight(&mut acc, w, policy);
+                                sw.write(out - 1, acc);
+                            } else {
+                                st.write(out, t);
+                                sw.write(out, w);
+                                out += 1;
+                            }
+                        }
+                    }
+                    (out - start) as u32
+                })
+                .collect()
+        };
+
+        // Reject policy: a vertex whose list shrank saw a duplicate. The
+        // smallest such vertex `u` is the first duplicate run's source in the
+        // serial path's global sort (the mirror of any duplicate with a
+        // smaller endpoint would have shrunk that endpoint instead), so a
+        // recount of u's incident edges recovers the exact serial error.
+        if self.merge_policy == MergePolicy::Reject {
+            if let Some(u) =
+                (0..n).find(|&v| (merged_degrees[v] as usize) < offsets[v + 1] - offsets[v])
+            {
+                let mut counts = std::collections::BTreeMap::new();
+                for &(a, b, _) in edges {
+                    if a as usize == u || b as usize == u {
+                        *counts.entry((a.min(b), a.max(b))).or_insert(0u32) += 1;
+                    }
+                }
+                // Every duplicate partner t satisfies t >= u (u is minimal),
+                // so BTreeMap order yields the smallest t first.
+                let t = counts
+                    .iter()
+                    .find(|&(_, &c)| c > 1)
+                    .map(|(&(x, y), _)| if x as usize == u { y } else { x })
+                    .expect("shrunk vertex must have a duplicate incident edge");
+                return Err(BuildError::DuplicateEdge {
+                    edge: (u as VertexId, t),
+                });
+            }
+        }
+
+        // 6. Final offsets + parallel compaction.
+        let mut final_offsets = vec![0usize; n + 1];
+        for v in 0..n {
+            final_offsets[v + 1] = final_offsets[v] + merged_degrees[v] as usize;
+        }
+        let final_total = final_offsets[n];
+        let mut targets = vec![0 as VertexId; final_total];
+        let mut weights = vec![0f64; final_total];
+        {
+            let ft = SharedSlice::new(&mut targets);
+            let fw = SharedSlice::new(&mut weights);
+            let scratch_targets = &scratch_targets[..];
+            let scratch_weights = &scratch_weights[..];
+            let offsets = &offsets[..];
+            let final_offsets = &final_offsets[..];
+            (0..n).into_par_iter().for_each(|v| {
+                let deg = final_offsets[v + 1] - final_offsets[v];
+                let (src, dst) = (offsets[v], final_offsets[v]);
+                for i in 0..deg {
+                    // SAFETY: destination ranges are disjoint per vertex.
+                    unsafe {
+                        ft.write(dst + i, scratch_targets[src + i]);
+                        fw.write(dst + i, scratch_weights[src + i]);
+                    }
+                }
+            });
+        }
+
+        Ok(CsrGraph::from_sorted_adjacency(
+            final_offsets,
+            targets,
+            weights,
+        ))
+    }
+}
+
+/// Edge count below which [`GraphBuilder::build`] stays on the serial path:
+/// the parallel pipeline's histogram/scatter setup only pays for itself on
+/// inputs big enough to amortize it.
+const PARALLEL_EDGE_CUTOFF: usize = 1 << 14;
+
+/// The serial path's global entry order: `(source, target)` then the weight
+/// under IEEE total order, so duplicate runs merge identically for both
+/// directions of an edge.
+fn entry_order(a: &(VertexId, VertexId, f64), b: &(VertexId, VertexId, f64)) -> std::cmp::Ordering {
+    (a.0, a.1).cmp(&(b.0, b.1)).then(a.2.total_cmp(&b.2))
+}
+
+/// Shared validation: first offending edge in input order.
+fn validate_edges(edges: &[(VertexId, VertexId, f64)], n: usize) -> Result<(), BuildError> {
+    for &(u, v, w) in edges {
+        if u as usize >= n || v as usize >= n {
+            return Err(BuildError::VertexOutOfRange { edge: (u, v), n });
+        }
+        if !w.is_finite() || w <= 0.0 {
+            return Err(BuildError::InvalidWeight {
+                edge: (u, v),
+                weight: w,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Applies the duplicate policy to an accumulator; `Err(())` means the
+/// policy rejects duplicates.
+fn merge_weight(acc: &mut f64, w: f64, policy: MergePolicy) -> Result<(), ()> {
+    match policy {
+        MergePolicy::Sum => *acc += w,
+        MergePolicy::Max => *acc = acc.max(w),
+        MergePolicy::Reject => return Err(()),
+    }
+    Ok(())
+}
+
+/// Raw view of a slice written at provably disjoint indices by parallel
+/// workers. Every use site states its disjointness argument.
+struct SharedSlice<T> {
+    ptr: *mut T,
+}
+
+unsafe impl<T: Send> Send for SharedSlice<T> {}
+unsafe impl<T: Send> Sync for SharedSlice<T> {}
+
+impl<T: Copy> SharedSlice<T> {
+    fn new(slice: &mut [T]) -> Self {
+        Self {
+            ptr: slice.as_mut_ptr(),
+        }
+    }
+
+    /// # Safety
+    /// `i` must be in bounds and not concurrently written.
+    unsafe fn read(&self, i: usize) -> T {
+        *self.ptr.add(i)
+    }
+
+    /// # Safety
+    /// `i` must be in bounds and not concurrently read or written.
+    unsafe fn write(&self, i: usize, value: T) {
+        *self.ptr.add(i) = value;
     }
 }
 
@@ -326,7 +638,9 @@ mod tests {
         let mut edges = Vec::new();
         let mut state = 12345u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         for _ in 0..20_000 {
@@ -336,5 +650,154 @@ mod tests {
         }
         let g = from_weighted_edges(n as usize, edges).unwrap();
         assert!(g.validate().is_ok());
+    }
+
+    /// Deterministic multigraph big enough to engage the parallel path
+    /// (≥ `PARALLEL_EDGE_CUTOFF` edges), with duplicate edges, self-loops,
+    /// and repeated identical weights.
+    fn dense_multigraph_edges(n: u32, m: usize, seed: u64) -> Vec<(VertexId, VertexId, f64)> {
+        let mut state = seed;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        (0..m)
+            .map(|_| {
+                let u = next() % n;
+                // Bias towards collisions so duplicate runs are common.
+                let v = if next() % 8 == 0 {
+                    u
+                } else {
+                    next() % (n / 4).max(1)
+                };
+                (u, v, 0.25 + (next() % 7) as f64 * 0.5)
+            })
+            .collect()
+    }
+
+    fn assert_bitwise_equal(a: &CsrGraph, b: &CsrGraph) {
+        assert_eq!(a.adjacency_offsets(), b.adjacency_offsets());
+        assert_eq!(a.adjacency_targets(), b.adjacency_targets());
+        assert!(a.bitwise_eq(b), "weight bit patterns differ");
+    }
+
+    #[test]
+    fn parallel_build_bitwise_matches_serial_across_thread_counts() {
+        let n = 1_500u32;
+        let edges = dense_multigraph_edges(n, 50_000, 42);
+        let reference = GraphBuilder::new(n as usize)
+            .extend_edges(edges.iter().copied())
+            .build_serial()
+            .unwrap();
+        assert!(reference.validate().is_ok());
+        for threads in [1usize, 2, 4, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let parallel = pool.install(|| {
+                GraphBuilder::new(n as usize)
+                    .extend_edges(edges.iter().copied())
+                    .build()
+                    .unwrap()
+            });
+            assert_bitwise_equal(&reference, &parallel);
+        }
+    }
+
+    #[test]
+    fn parallel_build_max_policy_matches_serial() {
+        let n = 800u32;
+        let edges = dense_multigraph_edges(n, 30_000, 7);
+        let serial = GraphBuilder::new(n as usize)
+            .merge_policy(MergePolicy::Max)
+            .extend_edges(edges.iter().copied())
+            .build_serial()
+            .unwrap();
+        let parallel = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap()
+            .install(|| {
+                GraphBuilder::new(n as usize)
+                    .merge_policy(MergePolicy::Max)
+                    .extend_edges(edges.iter().copied())
+                    .build()
+                    .unwrap()
+            });
+        assert_bitwise_equal(&serial, &parallel);
+    }
+
+    #[test]
+    fn parallel_build_reject_reports_first_sorted_duplicate() {
+        // 20k distinct edges plus one planted duplicate: both paths must
+        // reject with the same edge.
+        let n = 40_000u32;
+        let mut edges: Vec<(VertexId, VertexId, f64)> = (0..20_000)
+            .map(|i| (i as u32, i as u32 + n / 2, 1.0))
+            .collect();
+        edges.push((137, 137 + n / 2, 2.0));
+        let serial_err = GraphBuilder::new(n as usize)
+            .merge_policy(MergePolicy::Reject)
+            .extend_edges(edges.iter().copied())
+            .build_serial()
+            .unwrap_err();
+        let parallel_err = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap()
+            .install(|| {
+                GraphBuilder::new(n as usize)
+                    .merge_policy(MergePolicy::Reject)
+                    .extend_edges(edges.iter().copied())
+                    .build()
+                    .unwrap_err()
+            });
+        assert_eq!(serial_err, parallel_err);
+        assert!(matches!(
+            serial_err,
+            BuildError::DuplicateEdge { edge: (137, _) }
+        ));
+    }
+
+    #[test]
+    fn parallel_build_validation_errors_match_serial() {
+        let n = 30_000usize;
+        let mut edges: Vec<(VertexId, VertexId, f64)> = (0..20_000u32)
+            .map(|i| (i, (i + 1) % n as u32, 1.0))
+            .collect();
+        edges[17_000] = (5, n as u32, 1.0); // out of range
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let par_err = pool.install(|| {
+            GraphBuilder::new(n)
+                .extend_edges(edges.iter().copied())
+                .build()
+                .unwrap_err()
+        });
+        let ser_err = GraphBuilder::new(n)
+            .extend_edges(edges.iter().copied())
+            .build_serial()
+            .unwrap_err();
+        assert_eq!(par_err, ser_err);
+
+        let mut edges2: Vec<(VertexId, VertexId, f64)> = (0..20_000u32)
+            .map(|i| (i, (i + 1) % n as u32, 1.0))
+            .collect();
+        edges2[100] = (1, 2, f64::NAN);
+        let par_err2 = pool.install(|| {
+            GraphBuilder::new(n)
+                .extend_edges(edges2.iter().copied())
+                .build()
+                .unwrap_err()
+        });
+        assert!(matches!(
+            par_err2,
+            BuildError::InvalidWeight { edge: (1, 2), .. }
+        ));
     }
 }

@@ -62,7 +62,42 @@ impl CsrGraph {
             "offsets must end at targets.len()"
         );
         assert_eq!(targets.len(), weights.len());
+        let g = Self::new_unchecked(offsets, targets, weights);
+        debug_assert!(g.validate().is_ok(), "{:?}", g.validate());
+        g
+    }
 
+    /// Fallible variant of [`CsrGraph::from_sorted_adjacency`] for untrusted
+    /// input (e.g. binary files): every invariant violation — including the
+    /// ones the infallible constructor asserts — comes back as `Err` instead
+    /// of a panic, in release and debug builds alike.
+    pub fn try_from_sorted_adjacency(
+        offsets: Vec<usize>,
+        targets: Vec<VertexId>,
+        weights: Vec<f64>,
+    ) -> Result<Self, String> {
+        if offsets.is_empty() {
+            return Err("offsets must contain at least [0]".into());
+        }
+        if *offsets.first().unwrap() != 0 {
+            return Err("offsets must start at 0".into());
+        }
+        if *offsets.last().unwrap() != targets.len() {
+            return Err("offsets must end at targets.len()".into());
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("offsets must be non-decreasing".into());
+        }
+        if targets.len() != weights.len() {
+            return Err("targets and weights must have equal length".into());
+        }
+        let g = Self::new_unchecked(offsets, targets, weights);
+        g.validate()?;
+        Ok(g)
+    }
+
+    /// Computes the cached degree/weight fields without checking invariants.
+    fn new_unchecked(offsets: Vec<usize>, targets: Vec<VertexId>, weights: Vec<f64>) -> Self {
         let n = offsets.len() - 1;
         let mut weighted_degrees = vec![0.0; n];
         let mut num_self_loops = 0usize;
@@ -79,16 +114,14 @@ impl CsrGraph {
         let total_weight = 0.5 * weighted_degrees.iter().sum::<f64>();
         let num_edges = (targets.len() - num_self_loops) / 2 + num_self_loops;
 
-        let g = Self {
+        Self {
             offsets,
             targets,
             weights,
             weighted_degrees,
             total_weight,
             num_edges,
-        };
-        debug_assert!(g.validate().is_ok(), "{:?}", g.validate());
-        g
+        }
     }
 
     /// An empty graph with `n` isolated vertices.
@@ -169,6 +202,43 @@ impl CsrGraph {
         &self.weights[self.neighbor_range(v)]
     }
 
+    /// The raw CSR offset array (`n + 1` entries, starting at 0). Together
+    /// with [`CsrGraph::adjacency_targets`] and
+    /// [`CsrGraph::adjacency_weights`] this exposes the exact storage for
+    /// bitwise comparisons and binary serialization.
+    #[inline]
+    pub fn adjacency_offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The raw neighbor-id array, grouped per source vertex.
+    #[inline]
+    pub fn adjacency_targets(&self) -> &[VertexId] {
+        &self.targets
+    }
+
+    /// The raw weight array, parallel to [`CsrGraph::adjacency_targets`].
+    #[inline]
+    pub fn adjacency_weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// True when the raw CSR storage of `self` and `other` is bitwise
+    /// identical: equal offsets, equal neighbor ids, and weights equal *as
+    /// bit patterns* (so `-0.0 != 0.0` and NaNs compare by payload). This is
+    /// the equivalence the parallel builder and the `.grb` round-trip
+    /// guarantee against their serial references.
+    pub fn bitwise_eq(&self, other: &CsrGraph) -> bool {
+        self.offsets == other.offsets
+            && self.targets == other.targets
+            && self.weights.len() == other.weights.len()
+            && self
+                .weights
+                .iter()
+                .zip(&other.weights)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+
     /// Weight of the self-loop at `v`, or 0.0 if none.
     pub fn self_loop_weight(&self, v: VertexId) -> f64 {
         match self.neighbor_ids(v).binary_search(&v) {
@@ -246,9 +316,7 @@ impl CsrGraph {
                     match self.edge_weight(u, v) {
                         Some(w2) if w2 == w => {}
                         Some(w2) => {
-                            return Err(format!(
-                                "asymmetric weight on ({v},{u}): {w} vs {w2}"
-                            ))
+                            return Err(format!("asymmetric weight on ({v},{u}): {w} vs {w2}"))
                         }
                         None => return Err(format!("missing mirror of ({v},{u})")),
                     }

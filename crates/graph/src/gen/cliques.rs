@@ -126,7 +126,11 @@ mod tests {
 
     #[test]
     fn ring_of_cliques_structure() {
-        let cfg = CliqueRingConfig { num_cliques: 4, clique_size: 5, ..Default::default() };
+        let cfg = CliqueRingConfig {
+            num_cliques: 4,
+            clique_size: 5,
+            ..Default::default()
+        };
         let (g, truth) = ring_of_cliques(&cfg);
         assert_eq!(g.num_vertices(), 20);
         // 4 cliques × C(5,2) + 4 bridges
@@ -138,7 +142,11 @@ mod tests {
 
     #[test]
     fn two_cliques_single_bridge() {
-        let cfg = CliqueRingConfig { num_cliques: 2, clique_size: 3, ..Default::default() };
+        let cfg = CliqueRingConfig {
+            num_cliques: 2,
+            clique_size: 3,
+            ..Default::default()
+        };
         let (g, _) = ring_of_cliques(&cfg);
         assert_eq!(g.num_edges(), 2 * 3 + 1);
         assert_eq!(connected_components(&g), 1);
@@ -146,14 +154,22 @@ mod tests {
 
     #[test]
     fn single_clique_no_bridge() {
-        let cfg = CliqueRingConfig { num_cliques: 1, clique_size: 4, ..Default::default() };
+        let cfg = CliqueRingConfig {
+            num_cliques: 1,
+            clique_size: 4,
+            ..Default::default()
+        };
         let (g, _) = ring_of_cliques(&cfg);
         assert_eq!(g.num_edges(), 6);
     }
 
     #[test]
     fn clique_members_fully_connected() {
-        let cfg = CliqueRingConfig { num_cliques: 3, clique_size: 4, ..Default::default() };
+        let cfg = CliqueRingConfig {
+            num_cliques: 3,
+            clique_size: 4,
+            ..Default::default()
+        };
         let (g, truth) = ring_of_cliques(&cfg);
         for u in 0..12u32 {
             for v in 0..12u32 {
@@ -166,7 +182,11 @@ mod tests {
 
     #[test]
     fn hub_spoke_structure() {
-        let cfg = HubSpokeConfig { num_hubs: 3, spokes_per_hub: 2, ..Default::default() };
+        let cfg = HubSpokeConfig {
+            num_hubs: 3,
+            spokes_per_hub: 2,
+            ..Default::default()
+        };
         let (g, owner) = hub_spoke(&cfg);
         assert_eq!(g.num_vertices(), 9);
         assert_eq!(g.num_edges(), 2 + 6); // 2 chain + 6 spokes
@@ -190,7 +210,11 @@ mod tests {
 
     #[test]
     fn hub_degrees() {
-        let cfg = HubSpokeConfig { num_hubs: 4, spokes_per_hub: 3, ..Default::default() };
+        let cfg = HubSpokeConfig {
+            num_hubs: 4,
+            spokes_per_hub: 3,
+            ..Default::default()
+        };
         let (g, _) = hub_spoke(&cfg);
         assert_eq!(g.degree(0), 1 + 3); // end hub: 1 chain + 3 spokes
         assert_eq!(g.degree(1), 2 + 3); // middle hub

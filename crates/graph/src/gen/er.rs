@@ -23,7 +23,11 @@ pub struct ErConfig {
 
 impl Default for ErConfig {
     fn default() -> Self {
-        Self { num_vertices: 1_000, num_edges: 5_000, seed: 1 }
+        Self {
+            num_vertices: 1_000,
+            num_edges: 5_000,
+            seed: 1,
+        }
     }
 }
 
@@ -56,10 +60,7 @@ mod tests {
     #[test]
     fn deterministic_for_seed() {
         let cfg = ErConfig::default();
-        assert_eq!(
-            erdos_renyi(&cfg).num_edges(),
-            erdos_renyi(&cfg).num_edges()
-        );
+        assert_eq!(erdos_renyi(&cfg).num_edges(), erdos_renyi(&cfg).num_edges());
     }
 
     #[test]
@@ -72,7 +73,11 @@ mod tests {
 
     #[test]
     fn edge_count_close_to_target() {
-        let cfg = ErConfig { num_vertices: 10_000, num_edges: 30_000, seed: 2 };
+        let cfg = ErConfig {
+            num_vertices: 10_000,
+            num_edges: 30_000,
+            seed: 2,
+        };
         let g = erdos_renyi(&cfg);
         // Few duplicate samples at this density.
         assert!(g.num_edges() > 29_000 && g.num_edges() <= 30_000);
@@ -80,7 +85,11 @@ mod tests {
 
     #[test]
     fn poisson_like_degrees() {
-        let cfg = ErConfig { num_vertices: 10_000, num_edges: 50_000, seed: 3 };
+        let cfg = ErConfig {
+            num_vertices: 10_000,
+            num_edges: 50_000,
+            seed: 3,
+        };
         let s = GraphStats::compute(&erdos_renyi(&cfg));
         // Poisson(10): RSD ≈ 1/sqrt(10) ≈ 0.32.
         assert!((s.avg_degree - 10.0).abs() < 0.5);

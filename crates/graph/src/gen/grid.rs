@@ -28,7 +28,12 @@ pub struct GridConfig {
 
 impl Default for GridConfig {
     fn default() -> Self {
-        Self { side: 32, periodic: false, noise_fraction: 0.0, seed: 1 }
+        Self {
+            side: 32,
+            periodic: false,
+            noise_fraction: 0.0,
+            seed: 1,
+        }
     }
 }
 
@@ -115,7 +120,10 @@ mod tests {
 
     #[test]
     fn grid2d_counts() {
-        let g = grid2d(&GridConfig { side: 4, ..Default::default() });
+        let g = grid2d(&GridConfig {
+            side: 4,
+            ..Default::default()
+        });
         assert_eq!(g.num_vertices(), 16);
         assert_eq!(g.num_edges(), 2 * 4 * 3); // 2 directions × side × (side-1)
         assert_eq!(connected_components(&g), 1);
@@ -123,7 +131,10 @@ mod tests {
 
     #[test]
     fn grid3d_counts() {
-        let g = grid3d(&GridConfig { side: 3, ..Default::default() });
+        let g = grid3d(&GridConfig {
+            side: 3,
+            ..Default::default()
+        });
         assert_eq!(g.num_vertices(), 27);
         assert_eq!(g.num_edges(), 3 * 9 * 2);
         assert_eq!(connected_components(&g), 1);
@@ -131,7 +142,11 @@ mod tests {
 
     #[test]
     fn periodic_grid_has_uniform_degree() {
-        let g = grid2d(&GridConfig { side: 5, periodic: true, ..Default::default() });
+        let g = grid2d(&GridConfig {
+            side: 5,
+            periodic: true,
+            ..Default::default()
+        });
         let s = GraphStats::compute(&g);
         assert_eq!(s.max_degree, 4);
         assert_eq!(s.degree_rsd, 0.0);
@@ -139,7 +154,11 @@ mod tests {
 
     #[test]
     fn periodic_3d_uniform_degree_six() {
-        let g = grid3d(&GridConfig { side: 4, periodic: true, ..Default::default() });
+        let g = grid3d(&GridConfig {
+            side: 4,
+            periodic: true,
+            ..Default::default()
+        });
         let s = GraphStats::compute(&g);
         assert_eq!(s.max_degree, 6);
         assert_eq!(s.degree_rsd, 0.0);
@@ -147,15 +166,25 @@ mod tests {
 
     #[test]
     fn corner_degree_nonperiodic() {
-        let g = grid2d(&GridConfig { side: 3, ..Default::default() });
+        let g = grid2d(&GridConfig {
+            side: 3,
+            ..Default::default()
+        });
         assert_eq!(g.degree(0), 2); // corner
         assert_eq!(g.degree(4), 4); // center
     }
 
     #[test]
     fn noise_rewires_but_preserves_count_roughly() {
-        let clean = grid3d(&GridConfig { side: 6, ..Default::default() });
-        let noisy = grid3d(&GridConfig { side: 6, noise_fraction: 0.3, ..Default::default() });
+        let clean = grid3d(&GridConfig {
+            side: 6,
+            ..Default::default()
+        });
+        let noisy = grid3d(&GridConfig {
+            side: 6,
+            noise_fraction: 0.3,
+            ..Default::default()
+        });
         // Merges of coincidental duplicates may shave a few edges.
         assert!(noisy.num_edges() <= clean.num_edges());
         assert!(noisy.num_edges() > clean.num_edges() * 9 / 10);
@@ -168,7 +197,12 @@ mod tests {
 
     #[test]
     fn noise_is_deterministic() {
-        let cfg = GridConfig { side: 5, noise_fraction: 0.2, seed: 9, ..Default::default() };
+        let cfg = GridConfig {
+            side: 5,
+            noise_fraction: 0.2,
+            seed: 9,
+            ..Default::default()
+        };
         let a = grid2d(&cfg);
         let b = grid2d(&cfg);
         assert_eq!(

@@ -248,7 +248,10 @@ impl PaperInput {
     /// graph was generated (paper §6.1: Channel, MG1, MG2), making baseline
     /// and baseline+VF equivalent.
     pub fn vf_prepruned(&self) -> bool {
-        matches!(self, PaperInput::Channel | PaperInput::Mg1 | PaperInput::Mg2)
+        matches!(
+            self,
+            PaperInput::Channel | PaperInput::Mg1 | PaperInput::Mg2
+        )
     }
 
     /// Generates the synthetic proxy at size multiplier `scale`
@@ -286,7 +289,12 @@ impl PaperInput {
             // Uniform-degree 3-D mesh, weak communities.
             PaperInput::Channel => {
                 let side = ((sz(32_768) as f64).cbrt().round() as usize).max(4);
-                grid3d(&GridConfig { side, periodic: true, noise_fraction: 0.0, seed })
+                grid3d(&GridConfig {
+                    side,
+                    periodic: true,
+                    noise_fraction: 0.0,
+                    seed,
+                })
             }
             // Road network: chains, spurs, avg degree ≈ 2.1.
             PaperInput::EuropeOsm => road_network(&RoadConfig {
@@ -344,7 +352,12 @@ impl PaperInput {
             // KKT mesh with noise: poorest community structure in the suite.
             PaperInput::Nlpkkt240 => {
                 let side = ((sz(65_536) as f64).cbrt().round() as usize).max(4);
-                grid3d(&GridConfig { side, periodic: true, noise_fraction: 0.10, seed })
+                grid3d(&GridConfig {
+                    side,
+                    periodic: true,
+                    noise_fraction: 0.10,
+                    seed,
+                })
             }
             // Bigger weighted homology graph, Q ≈ 0.998.
             PaperInput::Mg2 => {
@@ -410,8 +423,14 @@ mod tests {
             assert!(r.avg_degree > 0.0);
         }
         // serial crashed exactly on Europe-osm and friendster (paper Table 2)
-        assert!(PaperInput::EuropeOsm.reference().serial_modularity.is_none());
-        assert!(PaperInput::Friendster.reference().serial_modularity.is_none());
+        assert!(PaperInput::EuropeOsm
+            .reference()
+            .serial_modularity
+            .is_none());
+        assert!(PaperInput::Friendster
+            .reference()
+            .serial_modularity
+            .is_none());
         assert_eq!(PaperInput::WITH_SERIAL.len(), 9);
     }
 

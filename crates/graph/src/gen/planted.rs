@@ -160,7 +160,10 @@ fn power_law_sizes(n: usize, k: usize, exponent: f64, rng: &mut SmallRng) -> Vec
     for w in &mut raw {
         *w /= total;
     }
-    let mut sizes: Vec<usize> = raw.iter().map(|w| ((w * n as f64) as usize).max(1)).collect();
+    let mut sizes: Vec<usize> = raw
+        .iter()
+        .map(|w| ((w * n as f64) as usize).max(1))
+        .collect();
     // Fix rounding drift to make the sizes sum exactly to n.
     let mut diff = n as i64 - sizes.iter().sum::<usize>() as i64;
     let mut idx = 0usize;
@@ -196,7 +199,11 @@ mod tests {
 
     #[test]
     fn deterministic_for_seed() {
-        let cfg = PlantedConfig { num_vertices: 500, num_communities: 10, ..Default::default() };
+        let cfg = PlantedConfig {
+            num_vertices: 500,
+            num_communities: 10,
+            ..Default::default()
+        };
         let (g1, t1) = planted_partition(&cfg);
         let (g2, t2) = planted_partition(&cfg);
         assert_eq!(t1, t2);
@@ -209,8 +216,15 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let cfg1 = PlantedConfig { num_vertices: 500, num_communities: 10, ..Default::default() };
-        let cfg2 = PlantedConfig { seed: 99, ..cfg1.clone() };
+        let cfg1 = PlantedConfig {
+            num_vertices: 500,
+            num_communities: 10,
+            ..Default::default()
+        };
+        let cfg2 = PlantedConfig {
+            seed: 99,
+            ..cfg1.clone()
+        };
         let (g1, _) = planted_partition(&cfg1);
         let (g2, _) = planted_partition(&cfg2);
         assert_ne!(
@@ -221,7 +235,11 @@ mod tests {
 
     #[test]
     fn ground_truth_covers_all_communities() {
-        let cfg = PlantedConfig { num_vertices: 300, num_communities: 6, ..Default::default() };
+        let cfg = PlantedConfig {
+            num_vertices: 300,
+            num_communities: 6,
+            ..Default::default()
+        };
         let (g, truth) = planted_partition(&cfg);
         assert_eq!(truth.len(), g.num_vertices());
         let max = *truth.iter().max().unwrap() as usize;
@@ -291,7 +309,10 @@ mod tests {
 
     #[test]
     fn stats_are_sane() {
-        let cfg = PlantedConfig { num_vertices: 5000, ..Default::default() };
+        let cfg = PlantedConfig {
+            num_vertices: 5000,
+            ..Default::default()
+        };
         let (g, _) = planted_partition(&cfg);
         let s = GraphStats::compute(&g);
         assert!(s.avg_degree > 5.0 && s.avg_degree < 40.0, "{s:?}");

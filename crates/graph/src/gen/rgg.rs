@@ -28,7 +28,11 @@ pub struct RggConfig {
 
 impl Default for RggConfig {
     fn default() -> Self {
-        Self { num_vertices: 10_000, radius: 0.0, seed: 1 }
+        Self {
+            num_vertices: 10_000,
+            radius: 0.0,
+            seed: 1,
+        }
     }
 }
 
@@ -87,7 +91,10 @@ pub fn random_geometric(cfg: &RggConfig) -> CsrGraph {
                 let nx = cx + dx;
                 let ny = cy + dy;
                 let mut out = Vec::new();
-                if nx < 0 || ny < 0 || nx >= cells_per_side as isize || ny >= cells_per_side as isize
+                if nx < 0
+                    || ny < 0
+                    || nx >= cells_per_side as isize
+                    || ny >= cells_per_side as isize
                 {
                     return out.into_iter();
                 }
@@ -137,7 +144,10 @@ mod tests {
 
     #[test]
     fn deterministic_for_seed() {
-        let cfg = RggConfig { num_vertices: 2000, ..Default::default() };
+        let cfg = RggConfig {
+            num_vertices: 2000,
+            ..Default::default()
+        };
         let g1 = random_geometric(&cfg);
         let g2 = random_geometric(&cfg);
         assert_eq!(g1.num_edges(), g2.num_edges());
@@ -145,7 +155,10 @@ mod tests {
 
     #[test]
     fn avg_degree_near_target() {
-        let cfg = RggConfig { num_vertices: 20_000, ..Default::default() };
+        let cfg = RggConfig {
+            num_vertices: 20_000,
+            ..Default::default()
+        };
         let g = random_geometric(&cfg);
         let s = GraphStats::compute(&g);
         assert!(
@@ -158,16 +171,27 @@ mod tests {
     #[test]
     fn degree_rsd_is_low() {
         // The rgg family is near-uniform in degree (paper Table 1: RSD .251).
-        let cfg = RggConfig { num_vertices: 20_000, ..Default::default() };
+        let cfg = RggConfig {
+            num_vertices: 20_000,
+            ..Default::default()
+        };
         let g = random_geometric(&cfg);
         let s = GraphStats::compute(&g);
-        assert!(s.degree_rsd < 0.5, "rgg degree RSD {} should be low", s.degree_rsd);
+        assert!(
+            s.degree_rsd < 0.5,
+            "rgg degree RSD {} should be low",
+            s.degree_rsd
+        );
     }
 
     #[test]
     fn grid_index_matches_brute_force() {
         // Exactness of the spatial index: compare against all-pairs.
-        let cfg = RggConfig { num_vertices: 300, radius: 0.08, seed: 5 };
+        let cfg = RggConfig {
+            num_vertices: 300,
+            radius: 0.08,
+            seed: 5,
+        };
         let g = random_geometric(&cfg);
         let mut rng = SmallRng::seed_from_u64(5);
         let pts: Vec<(f64, f64)> = (0..300).map(|_| (rng.gen(), rng.gen())).collect();
@@ -191,7 +215,10 @@ mod tests {
 
     #[test]
     fn no_self_loops() {
-        let cfg = RggConfig { num_vertices: 1000, ..Default::default() };
+        let cfg = RggConfig {
+            num_vertices: 1000,
+            ..Default::default()
+        };
         let g = random_geometric(&cfg);
         for v in 0..g.num_vertices() as VertexId {
             assert!(!g.has_edge(v, v));

@@ -115,7 +115,11 @@ mod tests {
 
     #[test]
     fn deterministic_for_seed() {
-        let cfg = RmatConfig { scale: 10, num_edges: 5_000, ..Default::default() };
+        let cfg = RmatConfig {
+            scale: 10,
+            num_edges: 5_000,
+            ..Default::default()
+        };
         let g1 = rmat(&cfg);
         let g2 = rmat(&cfg);
         assert_eq!(g1.num_edges(), g2.num_edges());
@@ -127,14 +131,22 @@ mod tests {
 
     #[test]
     fn vertex_count_is_power_of_two() {
-        let cfg = RmatConfig { scale: 8, num_edges: 1000, ..Default::default() };
+        let cfg = RmatConfig {
+            scale: 8,
+            num_edges: 1000,
+            ..Default::default()
+        };
         let g = rmat(&cfg);
         assert_eq!(g.num_vertices(), 256);
     }
 
     #[test]
     fn skewed_parameters_give_high_rsd() {
-        let skewed = RmatConfig { scale: 12, num_edges: 40_000, ..Default::default() };
+        let skewed = RmatConfig {
+            scale: 12,
+            num_edges: 40_000,
+            ..Default::default()
+        };
         let uniform = RmatConfig {
             a: 0.25,
             b: 0.25,
@@ -151,7 +163,11 @@ mod tests {
 
     #[test]
     fn no_self_loops() {
-        let cfg = RmatConfig { scale: 9, num_edges: 3000, ..Default::default() };
+        let cfg = RmatConfig {
+            scale: 9,
+            num_edges: 3000,
+            ..Default::default()
+        };
         let g = rmat(&cfg);
         for v in 0..g.num_vertices() as VertexId {
             assert_eq!(g.self_loop_weight(v), 0.0);
@@ -160,8 +176,15 @@ mod tests {
 
     #[test]
     fn hub_boost_creates_monster_vertex() {
-        let base = RmatConfig { scale: 11, num_edges: 10_000, ..Default::default() };
-        let boosted = RmatConfig { hub_boost: 1.0, ..base.clone() };
+        let base = RmatConfig {
+            scale: 11,
+            num_edges: 10_000,
+            ..Default::default()
+        };
+        let boosted = RmatConfig {
+            hub_boost: 1.0,
+            ..base.clone()
+        };
         let g0 = rmat(&base);
         let g1 = rmat(&boosted);
         assert!(g1.degree(0) > 2 * g0.degree(0));
@@ -171,7 +194,11 @@ mod tests {
     #[test]
     fn duplicate_samples_merge_into_weights() {
         // Tiny id space + many samples forces duplicates; builder sums them.
-        let cfg = RmatConfig { scale: 3, num_edges: 2_000, ..Default::default() };
+        let cfg = RmatConfig {
+            scale: 3,
+            num_edges: 2_000,
+            ..Default::default()
+        };
         let g = rmat(&cfg);
         assert!(g.num_edges() <= 8 * 7 / 2);
         let heaviest = g

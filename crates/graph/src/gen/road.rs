@@ -128,7 +128,10 @@ mod tests {
 
     #[test]
     fn deterministic_for_seed() {
-        let cfg = RoadConfig { num_vertices: 3000, ..Default::default() };
+        let cfg = RoadConfig {
+            num_vertices: 3000,
+            ..Default::default()
+        };
         let g1 = road_network(&cfg);
         let g2 = road_network(&cfg);
         assert_eq!(g1.num_edges(), g2.num_edges());
@@ -140,13 +143,19 @@ mod tests {
 
     #[test]
     fn connected() {
-        let g = road_network(&RoadConfig { num_vertices: 5000, ..Default::default() });
+        let g = road_network(&RoadConfig {
+            num_vertices: 5000,
+            ..Default::default()
+        });
         assert_eq!(connected_components(&g), 1);
     }
 
     #[test]
     fn average_degree_is_road_like() {
-        let g = road_network(&RoadConfig { num_vertices: 20_000, ..Default::default() });
+        let g = road_network(&RoadConfig {
+            num_vertices: 20_000,
+            ..Default::default()
+        });
         let s = GraphStats::compute(&g);
         assert!(
             s.avg_degree > 1.8 && s.avg_degree < 2.8,
@@ -157,7 +166,10 @@ mod tests {
 
     #[test]
     fn has_many_single_degree_vertices() {
-        let g = road_network(&RoadConfig { num_vertices: 20_000, ..Default::default() });
+        let g = road_network(&RoadConfig {
+            num_vertices: 20_000,
+            ..Default::default()
+        });
         let s = GraphStats::compute(&g);
         // Spur fraction 0.15 plus natural tree leaves.
         assert!(
@@ -169,9 +181,16 @@ mod tests {
 
     #[test]
     fn degree_rsd_is_low() {
-        let g = road_network(&RoadConfig { num_vertices: 20_000, ..Default::default() });
+        let g = road_network(&RoadConfig {
+            num_vertices: 20_000,
+            ..Default::default()
+        });
         let s = GraphStats::compute(&g);
-        assert!(s.degree_rsd < 1.0, "road RSD {} should be low", s.degree_rsd);
+        assert!(
+            s.degree_rsd < 1.0,
+            "road RSD {} should be low",
+            s.degree_rsd
+        );
     }
 
     #[test]

@@ -92,7 +92,11 @@ mod tests {
 
     #[test]
     fn deterministic_for_seed() {
-        let cfg = WebConfig { num_vertices: 3_000, num_communities: 30, ..Default::default() };
+        let cfg = WebConfig {
+            num_vertices: 3_000,
+            num_communities: 30,
+            ..Default::default()
+        };
         let (g1, t1) = web_graph(&cfg);
         let (g2, t2) = web_graph(&cfg);
         assert_eq!(g1.num_edges(), g2.num_edges());
@@ -101,16 +105,33 @@ mod tests {
 
     #[test]
     fn has_hubs_and_high_rsd() {
-        let cfg = WebConfig { num_vertices: 20_000, num_communities: 200, ..Default::default() };
+        let cfg = WebConfig {
+            num_vertices: 20_000,
+            num_communities: 200,
+            ..Default::default()
+        };
         let (g, _) = web_graph(&cfg);
         let s = GraphStats::compute(&g);
-        assert!(s.degree_rsd > 1.0, "web RSD {} should be skewed", s.degree_rsd);
-        assert!(s.max_degree > 50 * s.avg_degree as usize, "max {} avg {}", s.max_degree, s.avg_degree);
+        assert!(
+            s.degree_rsd > 1.0,
+            "web RSD {} should be skewed",
+            s.degree_rsd
+        );
+        assert!(
+            s.max_degree > 50 * s.avg_degree as usize,
+            "max {} avg {}",
+            s.max_degree,
+            s.avg_degree
+        );
     }
 
     #[test]
     fn keeps_community_structure() {
-        let cfg = WebConfig { num_vertices: 10_000, num_communities: 100, ..Default::default() };
+        let cfg = WebConfig {
+            num_vertices: 10_000,
+            num_communities: 100,
+            ..Default::default()
+        };
         let (g, truth) = web_graph(&cfg);
         let mut intra = 0.0;
         let mut inter = 0.0;
@@ -135,7 +156,10 @@ mod tests {
             hub_bias: 1.0,
             ..Default::default()
         };
-        let spiky = WebConfig { hub_bias: 8.0, ..flat.clone() };
+        let spiky = WebConfig {
+            hub_bias: 8.0,
+            ..flat.clone()
+        };
         let rsd_flat = GraphStats::compute(&web_graph(&flat).0).degree_rsd;
         let rsd_spiky = GraphStats::compute(&web_graph(&spiky).0).degree_rsd;
         assert!(

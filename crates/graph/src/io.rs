@@ -1,5 +1,10 @@
 //! Graph serialization: whitespace edge-list text, METIS (the DIMACS10
-//! distribution format of the paper's inputs), and a compact binary format.
+//! distribution format of the paper's inputs), the versioned `.grb` binary
+//! graph format, and a legacy compact binary format (`.bin`).
+//!
+//! `.grb` ([`write_grb`]/[`read_grb`], [`save_binary`]/[`load_binary`])
+//! serializes the CSR arrays directly, so big benchmark graphs load in
+//! O(read) instead of re-parsing and re-sorting an edge list.
 //!
 //! All readers produce graphs satisfying [`crate::csr::CsrGraph::validate`];
 //! all writers round-trip exactly with their readers (under test).
@@ -51,7 +56,10 @@ impl std::fmt::Display for IoError {
 impl std::error::Error for IoError {}
 
 fn parse_err(line: usize, message: impl Into<String>) -> IoError {
-    IoError::Parse { line, message: message.into() }
+    IoError::Parse {
+        line,
+        message: message.into(),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -95,7 +103,11 @@ pub fn read_edge_list<R: Read>(reader: R, n: Option<usize>) -> Result<CsrGraph, 
         max_id = max_id.max(u).max(v);
         edges.push((u as VertexId, v as VertexId, w));
     }
-    let inferred = if edges.is_empty() { 0 } else { max_id as usize + 1 };
+    let inferred = if edges.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    };
     let n = n.unwrap_or(inferred).max(inferred);
     Ok(GraphBuilder::with_capacity(n, edges.len())
         .extend_edges(edges)
@@ -105,7 +117,12 @@ pub fn read_edge_list<R: Read>(reader: R, n: Option<usize>) -> Result<CsrGraph, 
 /// Writes the graph as an edge list (`u v w` per undirected edge, once).
 pub fn write_edge_list<W: Write>(g: &CsrGraph, writer: W) -> Result<(), IoError> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# grappolo edge list: n={} m={}", g.num_vertices(), g.num_edges())?;
+    writeln!(
+        w,
+        "# grappolo edge list: n={} m={}",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     for (u, v, wt) in g.undirected_edges() {
         writeln!(w, "{u} {v} {wt}")?;
     }
@@ -184,7 +201,10 @@ pub fn read_metis<R: Read>(reader: R) -> Result<CsrGraph, IoError> {
                 .parse()
                 .map_err(|e| parse_err(idx + 1, format!("bad neighbor id: {e}")))?;
             if v == 0 || v > n {
-                return Err(parse_err(idx + 1, format!("neighbor id {v} out of 1..={n}")));
+                return Err(parse_err(
+                    idx + 1,
+                    format!("neighbor id {v} out of 1..={n}"),
+                ));
             }
             let w = if has_edge_weights {
                 let wt = toks
@@ -205,7 +225,10 @@ pub fn read_metis<R: Read>(reader: R) -> Result<CsrGraph, IoError> {
         }
     }
     if vertex != n {
-        return Err(parse_err(0, format!("expected {n} vertex lines, found {vertex}")));
+        return Err(parse_err(
+            0,
+            format!("expected {n} vertex lines, found {vertex}"),
+        ));
     }
     Ok(GraphBuilder::with_capacity(n, edges.len())
         .extend_edges(edges)
@@ -234,7 +257,133 @@ pub fn write_metis<W: Write>(g: &CsrGraph, writer: W) -> Result<(), IoError> {
 }
 
 // ---------------------------------------------------------------------------
-// Binary format
+// .grb — versioned binary graph format
+// ---------------------------------------------------------------------------
+
+/// Magic prefix of a `.grb` file.
+pub const GRB_MAGIC: &[u8; 8] = b"GRPLGRB\0";
+/// Current `.grb` format version.
+pub const GRB_VERSION: u16 = 1;
+/// Fixed header size: magic (8) + version (2) + flags (2) + n (8) +
+/// entries (8).
+const GRB_HEADER_LEN: usize = 28;
+
+/// Serializes the CSR arrays into the versioned `.grb` layout — all
+/// little-endian:
+///
+/// | bytes          | field                          |
+/// |----------------|--------------------------------|
+/// | 0..8           | magic `"GRPLGRB\0"`            |
+/// | 8..10          | version (`u16`, currently 1)   |
+/// | 10..12         | flags (`u16`, reserved, 0)     |
+/// | 12..20         | vertex count `n` (`u64`)       |
+/// | 20..28         | adjacency entry count (`u64`)  |
+/// | …              | offsets: `(n+1) × u64`         |
+/// | …              | neighbor ids: `entries × u32`  |
+/// | …              | weights: `entries × f64`       |
+///
+/// Loading is O(read): the arrays deserialize straight back into CSR form
+/// with no re-parsing, re-sorting, or duplicate merging.
+pub fn write_grb<W: Write>(g: &CsrGraph, writer: W) -> Result<(), IoError> {
+    let n = g.num_vertices();
+    let entries = g.num_adjacency_entries();
+    let mut out = Vec::with_capacity(GRB_HEADER_LEN + (n + 1) * 8 + entries * 12);
+    out.extend_from_slice(GRB_MAGIC);
+    out.extend_from_slice(&GRB_VERSION.to_le_bytes());
+    out.extend_from_slice(&0u16.to_le_bytes());
+    out.extend_from_slice(&(n as u64).to_le_bytes());
+    out.extend_from_slice(&(entries as u64).to_le_bytes());
+    for &off in g.adjacency_offsets() {
+        out.extend_from_slice(&(off as u64).to_le_bytes());
+    }
+    for &t in g.adjacency_targets() {
+        out.extend_from_slice(&t.to_le_bytes());
+    }
+    for &w in g.adjacency_weights() {
+        out.extend_from_slice(&w.to_bits().to_le_bytes());
+    }
+    let mut w = BufWriter::new(writer);
+    w.write_all(&out)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Deserializes a `.grb` buffer produced by [`write_grb`]; the resulting
+/// graph is bitwise identical to the one serialized (offsets, neighbor ids
+/// and weight bits round-trip exactly, under test).
+pub fn read_grb<R: Read>(reader: R) -> Result<CsrGraph, IoError> {
+    let mut data = Vec::new();
+    BufReader::new(reader).read_to_end(&mut data)?;
+    parse_grb(&data)
+}
+
+fn parse_grb(data: &[u8]) -> Result<CsrGraph, IoError> {
+    if data.len() < GRB_HEADER_LEN {
+        return Err(parse_err(0, ".grb truncated: incomplete header"));
+    }
+    if &data[0..8] != GRB_MAGIC {
+        return Err(parse_err(0, "bad magic; not a .grb graph file"));
+    }
+    let version = u16::from_le_bytes(data[8..10].try_into().unwrap());
+    if version != GRB_VERSION {
+        return Err(parse_err(
+            0,
+            format!(".grb version {version} unsupported (expected {GRB_VERSION})"),
+        ));
+    }
+    let n = u64::from_le_bytes(data[12..20].try_into().unwrap()) as usize;
+    let entries = u64::from_le_bytes(data[20..28].try_into().unwrap()) as usize;
+    // Fully checked size arithmetic: a crafted header (e.g. n = u64::MAX)
+    // must come back as an error, never an overflow panic.
+    let need = n
+        .checked_add(1)
+        .and_then(|o| o.checked_mul(8))
+        .and_then(|o| entries.checked_mul(12).and_then(|e| o.checked_add(e)))
+        .and_then(|body| body.checked_add(GRB_HEADER_LEN))
+        .ok_or_else(|| parse_err(0, ".grb header sizes overflow"))?;
+    if data.len() != need {
+        return Err(parse_err(
+            0,
+            format!(
+                ".grb truncated or oversized: have {} bytes, need {need}",
+                data.len()
+            ),
+        ));
+    }
+    let mut at = GRB_HEADER_LEN;
+    let offsets: Vec<usize> = data[at..at + (n + 1) * 8]
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()) as usize)
+        .collect();
+    at += (n + 1) * 8;
+    let targets: Vec<VertexId> = data[at..at + entries * 4]
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    at += entries * 4;
+    let weights: Vec<f64> = data[at..at + entries * 8]
+        .chunks_exact(8)
+        .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().unwrap())))
+        .collect();
+    // The fallible constructor turns every invariant violation (corrupt
+    // offsets, unsorted or asymmetric adjacency, non-positive weights) into
+    // an error instead of a panic.
+    CsrGraph::try_from_sorted_adjacency(offsets, targets, weights)
+        .map_err(|m| parse_err(0, format!(".grb payload invalid: {m}")))
+}
+
+/// Saves `g` to `path` in the `.grb` binary format (see [`write_grb`]).
+pub fn save_binary(g: &CsrGraph, path: impl AsRef<Path>) -> Result<(), IoError> {
+    write_grb(g, std::fs::File::create(path)?)
+}
+
+/// Loads a `.grb` file written by [`save_binary`] in O(read) time.
+pub fn load_binary(path: impl AsRef<Path>) -> Result<CsrGraph, IoError> {
+    read_grb(std::fs::File::open(path)?)
+}
+
+// ---------------------------------------------------------------------------
+// Legacy binary format (.bin)
 // ---------------------------------------------------------------------------
 
 const BINARY_MAGIC: &[u8; 8] = b"GRPPOLO1";
@@ -249,7 +398,11 @@ pub fn to_binary(g: &CsrGraph) -> Vec<u8> {
     buf.put_u64_le(n as u64);
     buf.put_u64_le(entries as u64);
     for v in 0..=n {
-        let off = if v == 0 { 0 } else { g.neighbor_range((v - 1) as VertexId).end };
+        let off = if v == 0 {
+            0
+        } else {
+            g.neighbor_range((v - 1) as VertexId).end
+        };
         buf.put_u64_le(off as u64);
     }
     for v in 0..n as VertexId {
@@ -282,7 +435,10 @@ pub fn from_binary(data: &[u8]) -> Result<CsrGraph, IoError> {
     if buf.remaining() != need {
         return Err(parse_err(
             0,
-            format!("binary graph size mismatch: have {}, need {need}", buf.remaining()),
+            format!(
+                "binary graph size mismatch: have {}, need {need}",
+                buf.remaining()
+            ),
         ));
     }
     let mut offsets = Vec::with_capacity(n + 1);
@@ -310,12 +466,13 @@ pub fn from_binary(data: &[u8]) -> Result<CsrGraph, IoError> {
 // ---------------------------------------------------------------------------
 
 /// Loads a graph, dispatching on extension: `.txt`/`.edges` edge list,
-/// `.graph`/`.metis` METIS, `.bin` binary.
+/// `.graph`/`.metis` METIS, `.grb` versioned binary, `.bin` legacy binary.
 pub fn load_path(path: impl AsRef<Path>) -> Result<CsrGraph, IoError> {
     let path = path.as_ref();
     let f = std::fs::File::open(path)?;
     match path.extension().and_then(|e| e.to_str()) {
         Some("graph") | Some("metis") => read_metis(f),
+        Some("grb") => read_grb(f),
         Some("bin") => {
             let mut data = Vec::new();
             BufReader::new(f).read_to_end(&mut data)?;
@@ -331,6 +488,7 @@ pub fn save_path(g: &CsrGraph, path: impl AsRef<Path>) -> Result<(), IoError> {
     let f = std::fs::File::create(path)?;
     match path.extension().and_then(|e| e.to_str()) {
         Some("graph") | Some("metis") => write_metis(g, f),
+        Some("grb") => write_grb(g, f),
         Some("bin") => {
             let mut w = BufWriter::new(f);
             w.write_all(&to_binary(g))?;
@@ -470,12 +628,128 @@ mod tests {
         let dir = std::env::temp_dir().join("grappolo_io_test");
         std::fs::create_dir_all(&dir).unwrap();
         let g = sample();
-        for name in ["g.edges", "g.graph", "g.bin"] {
+        for name in ["g.edges", "g.graph", "g.bin", "g.grb"] {
             let p = dir.join(name);
             save_path(&g, &p).unwrap();
             let g2 = load_path(&p).unwrap();
             assert_eq!(g2.num_edges(), g.num_edges(), "format {name}");
             assert!((g2.total_weight() - g.total_weight()).abs() < 1e-12);
         }
+    }
+
+    fn assert_grb_bitwise_equal(a: &CsrGraph, b: &CsrGraph) {
+        assert!(a.bitwise_eq(b), "CSR storage not bitwise equal");
+    }
+
+    #[test]
+    fn grb_round_trip_is_bitwise_exact() {
+        // Edge list → CSR → .grb → CSR with awkward weights (subnormal-ish
+        // fractions, repeated values) and a self-loop.
+        let g = from_weighted_edges(
+            5,
+            [
+                (0, 1, 0.1),
+                (1, 2, 1.0 / 3.0),
+                (2, 3, 2.5e-13),
+                (3, 4, 7.0),
+                (4, 0, 0.1),
+                (2, 2, 1.5),
+            ],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_grb(&g, &mut buf).unwrap();
+        let g2 = read_grb(&buf[..]).unwrap();
+        assert_grb_bitwise_equal(&g, &g2);
+        assert_eq!(g2.num_edges(), g.num_edges());
+        assert_eq!(g2.total_weight().to_bits(), g.total_weight().to_bits());
+    }
+
+    #[test]
+    fn grb_save_load_binary_path_helpers() {
+        let dir = std::env::temp_dir().join("grappolo_io_test_grb");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("sample.grb");
+        let g = sample();
+        save_binary(&g, &p).unwrap();
+        let g2 = load_binary(&p).unwrap();
+        assert_grb_bitwise_equal(&g, &g2);
+    }
+
+    #[test]
+    fn grb_empty_graph_round_trip() {
+        let g = CsrGraph::empty(3);
+        let mut buf = Vec::new();
+        write_grb(&g, &mut buf).unwrap();
+        let g2 = read_grb(&buf[..]).unwrap();
+        assert_eq!(g2.num_vertices(), 3);
+        assert_eq!(g2.num_edges(), 0);
+    }
+
+    #[test]
+    fn grb_rejects_bad_magic() {
+        let mut buf = Vec::new();
+        write_grb(&sample(), &mut buf).unwrap();
+        buf[3] ^= 0xFF;
+        let err = read_grb(&buf[..]).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn grb_rejects_unsupported_version() {
+        let mut buf = Vec::new();
+        write_grb(&sample(), &mut buf).unwrap();
+        buf[8] = 0xEE; // version LSB
+        let err = read_grb(&buf[..]).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn grb_rejects_truncation_at_every_section() {
+        let mut buf = Vec::new();
+        write_grb(&sample(), &mut buf).unwrap();
+        // Header, offsets, targets and weights truncations all fail cleanly.
+        for keep in [0, 10, 27, 40, buf.len() - 1] {
+            assert!(read_grb(&buf[..keep]).is_err(), "keep={keep}");
+        }
+        // Trailing garbage is also rejected (exact-size format).
+        let mut padded = buf.clone();
+        padded.extend_from_slice(&[0u8; 3]);
+        assert!(read_grb(&padded[..]).is_err());
+    }
+
+    #[test]
+    fn grb_rejects_overflowing_header_sizes() {
+        // Valid magic/version but n = u64::MAX: size arithmetic must error,
+        // not overflow-panic (debug builds) or allocate absurdly.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(GRB_MAGIC);
+        buf.extend_from_slice(&GRB_VERSION.to_le_bytes());
+        buf.extend_from_slice(&0u16.to_le_bytes());
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        let err = read_grb(&buf[..]).unwrap_err();
+        assert!(err.to_string().contains("overflow"), "{err}");
+    }
+
+    #[test]
+    fn grb_rejects_corrupt_offsets() {
+        let mut buf = Vec::new();
+        write_grb(&sample(), &mut buf).unwrap();
+        // First offset must be 0; make it huge.
+        buf[GRB_HEADER_LEN..GRB_HEADER_LEN + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(read_grb(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn grb_rejects_asymmetric_payload() {
+        // Valid framing, structurally broken graph: validate() must catch it.
+        let g = sample();
+        let mut buf = Vec::new();
+        write_grb(&g, &mut buf).unwrap();
+        // Flip one neighbor id inside the targets section to break symmetry.
+        let targets_at = GRB_HEADER_LEN + (g.num_vertices() + 1) * 8;
+        buf[targets_at] ^= 0x01;
+        assert!(read_grb(&buf[..]).is_err());
     }
 }

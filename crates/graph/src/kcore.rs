@@ -51,7 +51,8 @@ pub fn core_numbers(g: &CsrGraph) -> Vec<u32> {
         let v = order[i] as usize;
         core[v] = degree[v] as u32;
         for j in g.neighbor_range(v as VertexId) {
-            let u = g.neighbor_ids(v as VertexId)[j - g.neighbor_range(v as VertexId).start] as usize;
+            let u =
+                g.neighbor_ids(v as VertexId)[j - g.neighbor_range(v as VertexId).start] as usize;
             if u == v || degree[u] <= degree[v] {
                 continue;
             }
@@ -137,7 +138,10 @@ mod tests {
         let mut b = crate::builder::GraphBuilder::new(n + 3);
         b = b.extend_edges(g.undirected_edges());
         let t = n as VertexId;
-        b = b.add_edge(t, t + 1, 1.0).add_edge(t + 1, t + 2, 1.0).add_edge(t, t + 2, 1.0);
+        b = b
+            .add_edge(t, t + 1, 1.0)
+            .add_edge(t + 1, t + 2, 1.0)
+            .add_edge(t, t + 2, 1.0);
         b = b.add_edge(0, t, 1.0);
         let g2 = b.build().unwrap();
         let members = k_core_members(&g2, 2);

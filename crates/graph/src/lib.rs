@@ -28,6 +28,8 @@ pub mod kcore;
 pub mod perm;
 pub mod stats;
 
-pub use builder::{from_unweighted_edges, from_weighted_edges, BuildError, GraphBuilder, MergePolicy};
+pub use builder::{
+    from_unweighted_edges, from_weighted_edges, BuildError, GraphBuilder, MergePolicy,
+};
 pub use csr::{CsrGraph, VertexId, DEFAULT_WEIGHT};
 pub use stats::GraphStats;

@@ -14,7 +14,11 @@ use rustc_hash::FxHashMap;
 /// they are identical up to renaming → 1.0; if exactly one has zero entropy,
 /// → 0.0.
 pub fn normalized_mutual_information(a: &[u32], b: &[u32]) -> f64 {
-    assert_eq!(a.len(), b.len(), "partitions must cover the same vertex set");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "partitions must cover the same vertex set"
+    );
     let n = a.len();
     if n == 0 {
         return 1.0;

@@ -36,12 +36,18 @@ impl PairwiseMetrics {
     /// Specificity `TP / (TP + FP)`; 1.0 when the candidate proposes no
     /// pairs at all (vacuously specific).
     pub fn specificity(&self) -> f64 {
-        ratio(self.true_positives, self.true_positives + self.false_positives)
+        ratio(
+            self.true_positives,
+            self.true_positives + self.false_positives,
+        )
     }
 
     /// Sensitivity `TP / (TP + FN)`; 1.0 when the benchmark has no pairs.
     pub fn sensitivity(&self) -> f64 {
-        ratio(self.true_positives, self.true_positives + self.false_negatives)
+        ratio(
+            self.true_positives,
+            self.true_positives + self.false_negatives,
+        )
     }
 
     /// Overlap quality `TP / (TP + FP + FN)`.

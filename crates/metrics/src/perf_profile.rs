@@ -93,7 +93,10 @@ impl PerfProfile {
                 })
                 .collect();
             ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
-            curves.push(ProfileCurve { name: name.to_string(), ratios });
+            curves.push(ProfileCurve {
+                name: name.to_string(),
+                ratios,
+            });
         }
         Self { curves }
     }

@@ -60,5 +60,8 @@ fn main() {
         println!("  level {lvl}: {size:>6} communities, Q = {q:.5}");
     }
 
-    assert!(result.modularity >= 0.9 * q_truth, "should recover most of Q");
+    assert!(
+        result.modularity >= 0.9 * q_truth,
+        "should recover most of Q"
+    );
 }

@@ -23,11 +23,7 @@ fn main() {
     let stats = GraphStats::compute(&graph);
     println!(
         "graph: n={} M={} max_deg={} avg_deg={:.2} degree_RSD={:.2}\n",
-        stats.num_vertices,
-        stats.num_edges,
-        stats.max_degree,
-        stats.avg_degree,
-        stats.degree_rsd
+        stats.num_vertices, stats.num_edges, stats.max_degree, stats.avg_degree, stats.degree_rsd
     );
 
     println!(

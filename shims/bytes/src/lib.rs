@@ -13,7 +13,9 @@ impl BytesMut {
     }
 
     pub fn with_capacity(cap: usize) -> Self {
-        Self { buf: Vec::with_capacity(cap) }
+        Self {
+            buf: Vec::with_capacity(cap),
+        }
     }
 
     pub fn len(&self) -> usize {

@@ -33,7 +33,9 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new(function_id: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
-        Self { id: format!("{}/{parameter}", function_id.into()) }
+        Self {
+            id: format!("{}/{parameter}", function_id.into()),
+        }
     }
 }
 
@@ -150,16 +152,14 @@ impl Bencher {
     }
 }
 
-fn run_bench<F>(
-    group: &str,
-    id: &str,
-    sample_size: usize,
-    throughput: Option<Throughput>,
-    mut f: F,
-) where
+fn run_bench<F>(group: &str, id: &str, sample_size: usize, throughput: Option<Throughput>, mut f: F)
+where
     F: FnMut(&mut Bencher),
 {
-    let mut b = Bencher { samples: Vec::new(), sample_size };
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
     f(&mut b);
     if b.samples.is_empty() {
         return; // closure never called iter()
@@ -189,7 +189,10 @@ fn run_bench<F>(
         format_ns(record.mean_ns),
         record.samples,
     );
-    RESULTS.lock().unwrap_or_else(|e| e.into_inner()).push(record);
+    RESULTS
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(record);
 }
 
 fn format_ns(ns: f64) -> String {
@@ -236,7 +239,8 @@ pub fn write_summary() {
             r.mean_ns,
             r.median_ns,
             r.min_ns,
-            r.throughput_elems.map_or("null".to_string(), |n| n.to_string()),
+            r.throughput_elems
+                .map_or("null".to_string(), |n| n.to_string()),
         ));
     }
     out.push_str("\n]\n");

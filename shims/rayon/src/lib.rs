@@ -10,13 +10,17 @@
 //!
 //! Supported surface: `into_par_iter` on integer ranges and `Vec<T>`,
 //! `par_iter` on slices, the adapters `map` / `map_init` / `filter` /
-//! `flat_map_iter` / `copied` / `zip` / `fold`, the terminals `collect` /
-//! `count` / `sum` / `reduce` / `for_each`, plus `par_sort_unstable{,_by}`,
-//! `par_chunks_mut` and `ThreadPoolBuilder`/`ThreadPool::install`.
+//! `flat_map_iter` / `copied` / `zip` / `enumerate` / `fold` /
+//! `with_min_len`, the terminals `collect` / `count` / `sum` / `reduce` /
+//! `for_each`, plus `join`, a real parallel merge sort behind
+//! `par_sort_unstable{,_by,_by_key}`, `par_chunks`, `par_chunks_mut` and
+//! `ThreadPoolBuilder`/`ThreadPool::install`. Like the real rayon, the
+//! worker count honours the `RAYON_NUM_THREADS` environment variable when no
+//! pool is installed.
 
 use std::cell::Cell;
 use std::cmp::Ordering as CmpOrdering;
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 thread_local! {
     /// 0 = "no pool installed": fall back to the machine's parallelism.
@@ -25,11 +29,23 @@ thread_local! {
 
 /// Below this many items a terminal operation runs inline: spawning threads
 /// for tiny inputs costs more than it saves and the result is identical
-/// either way (ordered combines).
+/// either way (ordered combines). Iterators whose items are coarse units of
+/// work override this via [`ParallelIterator::with_min_len`].
 const SEQ_CUTOFF: usize = 1024;
 
 fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
 }
 
 /// Number of workers terminal operations on this thread will use.
@@ -108,6 +124,33 @@ impl ThreadPool {
     }
 }
 
+/// Runs both closures, potentially in parallel, and returns both results
+/// (mirrors `rayon::join`). The second closure runs on a scoped worker
+/// thread while the first runs on the caller; with a single-thread budget
+/// both run inline. Results are returned in argument order either way.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = oper_a();
+        let rb = oper_b();
+        return (ra, rb);
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(oper_b);
+        let ra = oper_a();
+        let rb = match hb.join() {
+            Ok(rb) => rb,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (ra, rb)
+    })
+}
+
 // ---------------------------------------------------------------------------
 // Core trait
 // ---------------------------------------------------------------------------
@@ -123,7 +166,25 @@ pub trait ParallelIterator: Sized + Send + Sync {
     /// Produces the items of indices `lo..hi`, in order, into `sink`.
     fn pi_chunk<S: FnMut(Self::Item)>(&self, lo: usize, hi: usize, sink: &mut S);
 
+    /// Index-space length at or below which terminal operations run inline.
+    /// Adapters forward the innermost source's value; [`MinLen`] overrides it
+    /// so coarse-grained items (e.g. whole slice chunks) still parallelize.
+    fn pi_seq_threshold(&self) -> usize {
+        SEQ_CUTOFF
+    }
+
     // ---- adapters -------------------------------------------------------
+
+    /// Treats runs of up to `min` items as the smallest unit worth running
+    /// inline (mirrors rayon's `with_min_len`): terminal operations fall back
+    /// to sequential execution only when the whole index space fits in `min`
+    /// items. Use for iterators whose items are coarse units of work.
+    fn with_min_len(self, min: usize) -> MinLen<Self> {
+        MinLen {
+            base: self,
+            min: min.max(1),
+        }
+    }
 
     fn map<R, F>(self, f: F) -> Map<Self, F>
     where
@@ -139,7 +200,11 @@ pub trait ParallelIterator: Sized + Send + Sync {
         INIT: Fn() -> T + Sync + Send,
         F: Fn(&mut T, Self::Item) -> R + Sync + Send,
     {
-        MapInit { base: self, init, f }
+        MapInit {
+            base: self,
+            init,
+            f,
+        }
     }
 
     fn filter<F>(self, f: F) -> Filter<Self, F>
@@ -176,7 +241,11 @@ pub trait ParallelIterator: Sized + Send + Sync {
         ID: Fn() -> A + Sync + Send,
         F: Fn(A, Self::Item) -> A + Sync + Send,
     {
-        FoldPartials { base: self, identity, fold_op }
+        FoldPartials {
+            base: self,
+            identity,
+            fold_op,
+        }
     }
 
     // ---- terminals ------------------------------------------------------
@@ -219,10 +288,7 @@ pub trait ParallelIterator: Sized + Send + Sync {
                 *acc = Some(op(prev, item));
             },
         );
-        partials
-            .into_iter()
-            .flatten()
-            .fold(identity(), &op)
+        partials.into_iter().flatten().fold(identity(), &op)
     }
 }
 
@@ -241,7 +307,7 @@ where
 {
     let n = p.pi_len();
     let threads = current_num_threads().max(1);
-    if threads == 1 || n <= SEQ_CUTOFF {
+    if threads == 1 || n <= p.pi_seq_threshold() {
         let mut acc = seed();
         p.pi_chunk(0, n, &mut |item| consume(&mut acc, item));
         return vec![acc];
@@ -293,6 +359,32 @@ where
     fn pi_chunk<S: FnMut(R)>(&self, lo: usize, hi: usize, sink: &mut S) {
         self.base.pi_chunk(lo, hi, &mut |item| sink((self.f)(item)));
     }
+
+    fn pi_seq_threshold(&self) -> usize {
+        self.base.pi_seq_threshold()
+    }
+}
+
+/// See [`ParallelIterator::with_min_len`].
+pub struct MinLen<P> {
+    base: P,
+    min: usize,
+}
+
+impl<P: ParallelIterator> ParallelIterator for MinLen<P> {
+    type Item = P::Item;
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn pi_chunk<S: FnMut(P::Item)>(&self, lo: usize, hi: usize, sink: &mut S) {
+        self.base.pi_chunk(lo, hi, sink);
+    }
+
+    fn pi_seq_threshold(&self) -> usize {
+        self.min
+    }
 }
 
 pub struct MapInit<P, INIT, F> {
@@ -321,6 +413,10 @@ where
         self.base
             .pi_chunk(lo, hi, &mut |item| sink((self.f)(&mut state, item)));
     }
+
+    fn pi_seq_threshold(&self) -> usize {
+        self.base.pi_seq_threshold()
+    }
 }
 
 pub struct Filter<P, F> {
@@ -345,6 +441,10 @@ where
                 sink(item);
             }
         });
+    }
+
+    fn pi_seq_threshold(&self) -> usize {
+        self.base.pi_seq_threshold()
     }
 }
 
@@ -373,6 +473,10 @@ where
             }
         });
     }
+
+    fn pi_seq_threshold(&self) -> usize {
+        self.base.pi_seq_threshold()
+    }
 }
 
 pub struct Copied<P> {
@@ -392,6 +496,10 @@ where
 
     fn pi_chunk<S: FnMut(T)>(&self, lo: usize, hi: usize, sink: &mut S) {
         self.base.pi_chunk(lo, hi, &mut |item| sink(*item));
+    }
+
+    fn pi_seq_threshold(&self) -> usize {
+        self.base.pi_seq_threshold()
     }
 }
 
@@ -420,6 +528,10 @@ where
             sink(pair);
         }
     }
+
+    fn pi_seq_threshold(&self) -> usize {
+        self.a.pi_seq_threshold().min(self.b.pi_seq_threshold())
+    }
 }
 
 pub struct Enumerate<P> {
@@ -439,6 +551,10 @@ impl<P: ParallelIterator> ParallelIterator for Enumerate<P> {
             sink((idx, item));
             idx += 1;
         });
+    }
+
+    fn pi_seq_threshold(&self) -> usize {
+        self.base.pi_seq_threshold()
     }
 }
 
@@ -470,10 +586,7 @@ where
                 *acc = Some((self.fold_op)(prev, item));
             },
         );
-        partials
-            .into_iter()
-            .flatten()
-            .fold(reduce_identity(), &op)
+        partials.into_iter().flatten().fold(reduce_identity(), &op)
     }
 }
 
@@ -565,6 +678,51 @@ impl<'a, T: Sync + Send> IntoParallelIterator for &'a Vec<T> {
     }
 }
 
+/// Immutable chunked view of a slice (mirrors rayon's `ParallelSlice`):
+/// `par_chunks(size)` yields `&[T]` windows of `size` elements (last one may
+/// be shorter) with a caller-controlled, thread-count-independent layout —
+/// chunk `i` always covers `i*size ..`. Chunks are coarse units of work, so
+/// the sequential-fallback threshold is 1.
+pub trait ParallelSlice<T: Sync> {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync + Send> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ParChunks {
+            slice: self,
+            size: chunk_size,
+        }
+    }
+}
+
+/// See [`ParallelSlice::par_chunks`].
+pub struct ParChunks<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ParChunks<'a, T> {
+    type Item = &'a [T];
+
+    fn pi_len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    fn pi_chunk<S: FnMut(&'a [T])>(&self, lo: usize, hi: usize, sink: &mut S) {
+        for ci in lo..hi {
+            let start = ci * self.size;
+            let end = (start + self.size).min(self.slice.len());
+            sink(&self.slice[start..end]);
+        }
+    }
+
+    fn pi_seq_threshold(&self) -> usize {
+        1
+    }
+}
+
 /// `par_iter()` on slices / Vecs (receiver auto-derefs to `[T]`).
 pub trait IntoParallelRefIterator<'a> {
     type Iter: ParallelIterator<Item = Self::Item>;
@@ -642,15 +800,20 @@ impl<T: Send> FromParallelIterator<T> for Vec<T> {
 // ---------------------------------------------------------------------------
 
 pub trait ParallelSliceMut<T: Send> {
-    /// Sorts the slice (sequentially; the workspace's sorts feed ordered
-    /// merges, so a parallel sort would have to be stable in the same way).
+    /// Parallel unstable sort (recursive-`join` merge sort; see
+    /// [`par_merge_sort_by`] for the determinism argument).
     fn par_sort_unstable(&mut self)
     where
         T: Ord;
 
     fn par_sort_unstable_by<F>(&mut self, cmp: F)
     where
-        F: Fn(&T, &T) -> CmpOrdering;
+        F: Fn(&T, &T) -> CmpOrdering + Sync + Send;
+
+    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync + Send;
 
     fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
 }
@@ -660,14 +823,22 @@ impl<T: Send> ParallelSliceMut<T> for [T] {
     where
         T: Ord,
     {
-        self.sort_unstable();
+        par_merge_sort_by(self, &|a, b| a.cmp(b));
     }
 
     fn par_sort_unstable_by<F>(&mut self, cmp: F)
     where
-        F: Fn(&T, &T) -> CmpOrdering,
+        F: Fn(&T, &T) -> CmpOrdering + Sync + Send,
     {
-        self.sort_unstable_by(cmp);
+        par_merge_sort_by(self, &cmp);
+    }
+
+    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync + Send,
+    {
+        par_merge_sort_by(self, &|a, b| key(a).cmp(&key(b)));
     }
 
     fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
@@ -675,6 +846,132 @@ impl<T: Send> ParallelSliceMut<T> for [T] {
             chunks: self.chunks_mut(chunk_size).collect(),
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel merge sort
+// ---------------------------------------------------------------------------
+
+/// Below this length a (sub)slice is sorted inline with the standard
+/// library's pdqsort; above it the slice is split at its midpoint. Splitting
+/// always recurses down to this cutoff regardless of the thread budget, so
+/// the leaf layout — and therefore the exact output permutation — is
+/// **independent of the worker count**: only whether the two halves run
+/// concurrently varies. Combined with a left-biased merge this makes
+/// `par_sort_unstable*` bitwise deterministic across `RAYON_NUM_THREADS`,
+/// which is the property the ingest pipeline's determinism argument needs.
+const SORT_LEAF: usize = 4096;
+
+/// Raw pointer that may cross a `join` boundary. The sort hands each
+/// recursive call a disjoint scratch region, so sharing is sound.
+struct SendPtr<T>(*mut T);
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+/// Aborts the process if dropped during unwinding: the merge moves elements
+/// through raw scratch memory, so a panicking comparator mid-merge would
+/// otherwise leave duplicated elements behind and double-drop them.
+struct AbortOnUnwind;
+
+impl Drop for AbortOnUnwind {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            std::process::abort();
+        }
+    }
+}
+
+/// Parallel merge sort: recursive `join` down to a fixed [`SORT_LEAF`]
+/// layout, pdqsort at the leaves, left-biased merges on the way up.
+fn par_merge_sort_by<T, F>(v: &mut [T], cmp: &F)
+where
+    T: Send,
+    F: Fn(&T, &T) -> CmpOrdering + Sync,
+{
+    let len = v.len();
+    if len <= SORT_LEAF {
+        v.sort_unstable_by(cmp);
+        return;
+    }
+    // Spawn budget: one extra level past the worker count for load balance.
+    // The budget gates only *concurrency*, never the split layout.
+    let threads = current_num_threads().max(1);
+    let spawn_depth = threads.next_power_of_two().trailing_zeros() as usize + 1;
+    let mut buf: Vec<T> = Vec::with_capacity(len);
+    let guard = AbortOnUnwind;
+    // SAFETY: `buf` has capacity for `len` elements and is handed to exactly
+    // one recursive call per disjoint subrange; its length stays 0, elements
+    // only move *through* its storage during merges.
+    unsafe { sort_rec(v, SendPtr(buf.as_mut_ptr()), cmp, spawn_depth) };
+    std::mem::forget(guard);
+}
+
+/// # Safety
+/// `buf` must point to uninitialized scratch of capacity `v.len()` not
+/// aliased by any concurrent call.
+unsafe fn sort_rec<T, F>(v: &mut [T], buf: SendPtr<T>, cmp: &F, spawn_depth: usize)
+where
+    T: Send,
+    F: Fn(&T, &T) -> CmpOrdering + Sync,
+{
+    let len = v.len();
+    if len <= SORT_LEAF {
+        v.sort_unstable_by(cmp);
+        return;
+    }
+    let mid = len / 2;
+    let (lo, hi) = v.split_at_mut(mid);
+    let buf_hi = SendPtr(buf.0.add(mid));
+    if spawn_depth > 0 {
+        join(
+            move || sort_rec(lo, buf, cmp, spawn_depth - 1),
+            move || sort_rec(hi, buf_hi, cmp, spawn_depth - 1),
+        );
+    } else {
+        sort_rec(lo, buf, cmp, 0);
+        sort_rec(hi, buf_hi, cmp, 0);
+    }
+    merge_halves(v, mid, buf, cmp);
+}
+
+/// Merges the sorted halves `v[..mid]` / `v[mid..]` in place using `buf` as
+/// scratch for the left run. Ties take the left element, so the merge is
+/// stable with respect to the (fixed) split layout.
+///
+/// # Safety
+/// `buf` must have capacity `mid`; both halves must be sorted under `cmp`.
+unsafe fn merge_halves<T, F>(v: &mut [T], mid: usize, buf: SendPtr<T>, cmp: &F)
+where
+    F: Fn(&T, &T) -> CmpOrdering,
+{
+    let len = v.len();
+    let p = v.as_mut_ptr();
+    let b = buf.0;
+    std::ptr::copy_nonoverlapping(p, b, mid);
+    let (mut i, mut j, mut k) = (0usize, mid, 0usize);
+    while i < mid && j < len {
+        // Write cursor `k = i + (j - mid)` trails the right-run read cursor
+        // `j` strictly while `i < mid`, so no unread element is overwritten.
+        if cmp(&*b.add(i), &*p.add(j)) != CmpOrdering::Greater {
+            std::ptr::copy_nonoverlapping(b.add(i), p.add(k), 1);
+            i += 1;
+        } else {
+            std::ptr::copy_nonoverlapping(p.add(j), p.add(k), 1);
+            j += 1;
+        }
+        k += 1;
+    }
+    if i < mid {
+        std::ptr::copy_nonoverlapping(b.add(i), p.add(k), mid - i);
+    }
+    // Any leftover right-run suffix is already in its final position.
 }
 
 pub struct ParChunksMut<'a, T> {
@@ -743,7 +1040,7 @@ impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
 pub mod prelude {
     pub use crate::{
         FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
-        ParallelSliceMut,
+        ParallelSlice, ParallelSliceMut,
     };
 }
 
@@ -773,7 +1070,10 @@ mod tests {
     #[test]
     fn collect_deterministic_across_pool_sizes() {
         let run = |threads| {
-            let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
             pool.install(|| {
                 (0u32..100_000)
                     .into_par_iter()
@@ -814,6 +1114,99 @@ mod tests {
             .fold(|| 0u64, |acc, x| acc + x)
             .reduce(|| 0u64, |a, b| a + b);
         assert_eq!(total, 99_999 * 100_000 / 2);
+    }
+
+    /// Deterministic pseudo-random u64 stream for sort tests.
+    fn splitmix(seed: u64, n: usize) -> Vec<u64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_add(0x9e3779b97f4a7c15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^ (z >> 31)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn par_sort_matches_std_sort() {
+        let mut a = splitmix(7, 200_000);
+        let mut b = a.clone();
+        a.par_sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn par_sort_by_and_by_key() {
+        let base: Vec<(u64, u64)> = splitmix(11, 50_000).into_iter().map(|x| (x, !x)).collect();
+        let mut by = base.clone();
+        by.par_sort_unstable_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
+        assert!(by.windows(2).all(|w| (w[1].1, w[0].0) <= (w[0].1, w[1].0)));
+        let mut by_key = base.clone();
+        by_key.par_sort_unstable_by_key(|&(_, snd)| snd);
+        assert!(by_key.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn par_sort_deterministic_across_pool_sizes_with_ties() {
+        // Many duplicate keys: the fixed split layout + left-biased merges
+        // must give the same permutation for every thread budget.
+        let base: Vec<(u64, usize)> = splitmix(3, 100_000)
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| (x % 64, i))
+            .collect();
+        let run = |threads: usize| {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let mut v = base.clone();
+            pool.install(|| v.par_sort_unstable_by(|a, b| a.0.cmp(&b.0)));
+            v
+        };
+        let one = run(1);
+        assert_eq!(one, run(2));
+        assert_eq!(one, run(8));
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "ok".to_string());
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn par_chunks_fixed_layout() {
+        let data: Vec<u32> = (0..10_000).collect();
+        // 7 coarse chunks: well under SEQ_CUTOFF items, must still map in
+        // chunk order thanks to the threshold override.
+        let sums: Vec<(usize, u32)> = data
+            .par_chunks(1536)
+            .enumerate()
+            .map(|(i, c)| (i, c.iter().sum()))
+            .collect();
+        assert_eq!(sums.len(), 7);
+        assert!(sums.iter().enumerate().all(|(i, &(ci, _))| i == ci));
+        let total: u32 = sums.iter().map(|&(_, s)| s).sum();
+        assert_eq!(total, data.iter().sum());
+    }
+
+    #[test]
+    fn with_min_len_parallelizes_short_heavy_iterators() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let out: Vec<usize> = pool.install(|| {
+            (0usize..8)
+                .into_par_iter()
+                .with_min_len(1)
+                .map(|i| i * i)
+                .collect()
+        });
+        assert_eq!(out, vec![0, 1, 4, 9, 16, 25, 36, 49]);
     }
 
     #[test]

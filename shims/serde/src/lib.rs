@@ -47,15 +47,17 @@ impl Json {
             Json::Arr(items) => write_seq(out, pretty, indent, '[', ']', items.len(), |out, i| {
                 items[i].write(out, pretty, indent + 1);
             }),
-            Json::Obj(fields) => write_seq(out, pretty, indent, '{', '}', fields.len(), |out, i| {
-                let (k, v) = &fields[i];
-                write_escaped(out, k);
-                out.push(':');
-                if pretty {
-                    out.push(' ');
-                }
-                v.write(out, pretty, indent + 1);
-            }),
+            Json::Obj(fields) => {
+                write_seq(out, pretty, indent, '{', '}', fields.len(), |out, i| {
+                    let (k, v) = &fields[i];
+                    write_escaped(out, k);
+                    out.push(':');
+                    if pretty {
+                        out.push(' ');
+                    }
+                    v.write(out, pretty, indent + 1);
+                })
+            }
         }
     }
 
@@ -295,7 +297,10 @@ mod tests {
     #[test]
     fn render_shapes() {
         let v = Json::Obj(vec![
-            ("a".to_string(), Json::Arr(vec![Json::Num(1.0), Json::Num(2.5)])),
+            (
+                "a".to_string(),
+                Json::Arr(vec![Json::Num(1.0), Json::Num(2.5)]),
+            ),
             ("b".to_string(), Json::Str("x\"y".to_string())),
         ]);
         assert_eq!(v.to_json_string(), r#"{"a":[1,2.5],"b":"x\"y"}"#);

@@ -69,8 +69,14 @@ fn parse(input: TokenStream) -> Shape {
     let body: Vec<TokenTree> = body.into_iter().collect();
 
     match kind.as_str() {
-        "struct" => Shape::Struct { name, fields: parse_named_fields(&body) },
-        "enum" => Shape::Enum { name, variants: parse_unit_variants(&body) },
+        "struct" => Shape::Struct {
+            name,
+            fields: parse_named_fields(&body),
+        },
+        "enum" => Shape::Enum {
+            name,
+            variants: parse_unit_variants(&body),
+        },
         other => panic!("serde_derive shim: cannot derive for `{other}`"),
     }
 }
@@ -82,7 +88,10 @@ fn parse_named_fields(body: &[TokenTree]) -> Vec<String> {
         i = skip_attrs(body, i);
         i = skip_vis(body, i);
         let Some(TokenTree::Ident(field)) = body.get(i) else {
-            panic!("serde_derive shim: expected field name, got {:?}", body.get(i));
+            panic!(
+                "serde_derive shim: expected field name, got {:?}",
+                body.get(i)
+            );
         };
         fields.push(field.to_string());
         i += 1;
@@ -114,7 +123,10 @@ fn parse_unit_variants(body: &[TokenTree]) -> Vec<String> {
     while i < body.len() {
         i = skip_attrs(body, i);
         let Some(TokenTree::Ident(variant)) = body.get(i) else {
-            panic!("serde_derive shim: expected variant name, got {:?}", body.get(i));
+            panic!(
+                "serde_derive shim: expected variant name, got {:?}",
+                body.get(i)
+            );
         };
         variants.push(variant.to_string());
         i += 1;
@@ -169,7 +181,9 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             )
         }
     };
-    generated.parse().expect("serde_derive shim: generated Serialize impl must parse")
+    generated
+        .parse()
+        .expect("serde_derive shim: generated Serialize impl must parse")
 }
 
 #[proc_macro_derive(Deserialize)]
@@ -178,11 +192,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         Shape::Struct { name, fields } => {
             let inits: String = fields
                 .iter()
-                .map(|f| {
-                    format!(
-                        "{f}: serde::Deserialize::from_json(v.get_field({f:?})?)?,\n"
-                    )
-                })
+                .map(|f| format!("{f}: serde::Deserialize::from_json(v.get_field({f:?})?)?,\n"))
                 .collect();
             format!(
                 "impl serde::Deserialize for {name} {{\n\
@@ -214,5 +224,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             )
         }
     };
-    generated.parse().expect("serde_derive shim: generated Deserialize impl must parse")
+    generated
+        .parse()
+        .expect("serde_derive shim: generated Deserialize impl must parse")
 }

@@ -25,7 +25,11 @@ pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
 }
 
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
-    let value = Parser { bytes: s.as_bytes(), pos: 0 }.parse_document()?;
+    let value = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    }
+    .parse_document()?;
     T::from_json(&value).map_err(Error)
 }
 
@@ -229,11 +233,10 @@ mod tests {
         let back = v.to_json_string();
         let v2: Value = from_str(&back).unwrap();
         assert_eq!(v, v2);
-        assert_eq!(v.get_field("a").unwrap(), &Json::Arr(vec![
-            Json::Num(1.0),
-            Json::Num(2.5),
-            Json::Num(-300.0),
-        ]));
+        assert_eq!(
+            v.get_field("a").unwrap(),
+            &Json::Arr(vec![Json::Num(1.0), Json::Num(2.5), Json::Num(-300.0),])
+        );
     }
 
     #[test]

@@ -36,7 +36,11 @@ fn pipeline_planted_recovery_all_schemes() {
 /// the color classes partition the vertex set.
 #[test]
 fn coloring_feeds_solver_correctly() {
-    let g = rmat(&RmatConfig { scale: 12, num_edges: 30_000, ..Default::default() });
+    let g = rmat(&RmatConfig {
+        scale: 12,
+        num_edges: 30_000,
+        ..Default::default()
+    });
     let coloring = color_parallel(&g, &ParallelColoringConfig::default());
     assert!(is_valid_distance1(&g, &coloring));
     let classes = color_classes(&coloring);
@@ -98,7 +102,8 @@ fn lemma3_holds_for_plain_louvain() {
             if grappolo::graph::stats::is_single_degree(&g, v) {
                 let hub = g.neighbor_ids(v)[0];
                 assert_eq!(
-                    result.assignment[v as usize], result.assignment[hub as usize],
+                    result.assignment[v as usize],
+                    result.assignment[hub as usize],
                     "{}: single-degree {v} split from its neighbor {hub}",
                     scheme.name()
                 );
@@ -149,7 +154,11 @@ fn relabeling_preserves_quality_band() {
 /// The paper-suite proxies flow through the full stack at smoke scale.
 #[test]
 fn paper_suite_end_to_end_smoke() {
-    for input in [PaperInput::Cnr, PaperInput::EuropeOsm, PaperInput::Nlpkkt240] {
+    for input in [
+        PaperInput::Cnr,
+        PaperInput::EuropeOsm,
+        PaperInput::Nlpkkt240,
+    ] {
         let g = input.generate(0.03, 7);
         let mut cfg = Scheme::BaselineVfColor.config();
         cfg.coloring_vertex_cutoff = 256;

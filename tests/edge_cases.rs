@@ -27,8 +27,7 @@ fn complete_graph_is_one_community() {
 fn disconnected_components_stay_separate() {
     // Two triangles with NO bridge: two communities, never merged (merging
     // them has negative gain).
-    let g = from_unweighted_edges(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
-        .unwrap();
+    let g = from_unweighted_edges(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]).unwrap();
     for scheme in Scheme::ALL {
         let r = detect_with_scheme(&g, scheme);
         assert_eq!(r.num_communities, 2, "{}", scheme.name());
@@ -60,16 +59,8 @@ fn two_vertex_worlds() {
 
 #[test]
 fn extreme_weights_do_not_break_math() {
-    let g = from_weighted_edges(
-        4,
-        [
-            (0, 1, 1e-12),
-            (1, 2, 1e12),
-            (2, 3, 1.0),
-            (3, 0, 1e-12),
-        ],
-    )
-    .unwrap();
+    let g =
+        from_weighted_edges(4, [(0, 1, 1e-12), (1, 2, 1e12), (2, 3, 1.0), (3, 0, 1e-12)]).unwrap();
     let r = detect_with_scheme(&g, Scheme::Baseline);
     assert!(r.modularity.is_finite());
     // The overwhelming edge forces 1 and 2 together.
@@ -99,7 +90,10 @@ fn heavy_multi_edge_merging() {
 #[should_panic(expected = "invalid LouvainConfig")]
 fn invalid_config_panics() {
     let g = from_unweighted_edges(2, [(0, 1)]).unwrap();
-    let cfg = LouvainConfig { final_threshold: -1.0, ..Default::default() };
+    let cfg = LouvainConfig {
+        final_threshold: -1.0,
+        ..Default::default()
+    };
     detect_communities(&g, &cfg);
 }
 
@@ -110,7 +104,10 @@ fn max_phases_one_still_terminates() {
         num_communities: 5,
         ..Default::default()
     });
-    let cfg = LouvainConfig { max_phases: 1, ..Scheme::Baseline.config() };
+    let cfg = LouvainConfig {
+        max_phases: 1,
+        ..Scheme::Baseline.config()
+    };
     let r = detect_communities(&g, &cfg);
     assert_eq!(r.trace.num_phases(), 1);
     assert!(r.modularity > 0.0);
@@ -142,7 +139,10 @@ fn huge_label_space_metrics() {
 #[test]
 fn zero_threads_clamps_to_one() {
     let g = from_unweighted_edges(4, [(0, 1), (2, 3)]).unwrap();
-    let cfg = LouvainConfig { num_threads: Some(0), ..Scheme::Baseline.config() };
+    let cfg = LouvainConfig {
+        num_threads: Some(0),
+        ..Scheme::Baseline.config()
+    };
     let r = detect_communities(&g, &cfg);
     assert_eq!(r.num_communities, 2);
 }
@@ -154,7 +154,10 @@ fn oversubscribed_threads_work() {
         num_communities: 4,
         ..Default::default()
     });
-    let cfg = LouvainConfig { num_threads: Some(64), ..Scheme::Baseline.config() };
+    let cfg = LouvainConfig {
+        num_threads: Some(64),
+        ..Scheme::Baseline.config()
+    };
     let r = detect_communities(&g, &cfg);
     assert!(r.modularity > 0.3);
 }
@@ -183,6 +186,10 @@ fn dense_labels_after_every_scheme() {
         for &c in &r.assignment {
             seen[c as usize] = true;
         }
-        assert!(seen.iter().all(|&s| s), "{}: holes in label space", scheme.name());
+        assert!(
+            seen.iter().all(|&s| s),
+            "{}: holes in label space",
+            scheme.name()
+        );
     }
 }

@@ -18,11 +18,7 @@ fn lemma1_negative_gain_scenario_is_real() {
     // degrees elsewhere make the null-model term dominate: add pendant
     // weight via self-loops on 0 and 1 (they raise k_i without adding
     // options).
-    let g = from_weighted_edges(
-        3,
-        [(0, 2, 1.0), (1, 2, 1.0), (0, 0, 3.0), (1, 1, 3.0)],
-    )
-    .unwrap();
+    let g = from_weighted_edges(3, [(0, 2, 1.0), (1, 2, 1.0), (0, 0, 3.0), (1, 1, 3.0)]).unwrap();
     let assignment: Vec<u32> = vec![0, 1, 2];
     let a = community_degrees(&g, &assignment);
     let m = g.total_weight();
@@ -50,8 +46,7 @@ fn lemma1_negative_gain_scenario_is_real() {
     let q_after = modularity(&g, &after);
     let joint = q_after - q_before;
     // Eq. 7: joint gain < sum of individual gains (by 2·k_i·k_j/(2m)²).
-    let predicted_deficit = 2.0 * g.weighted_degree(0) * g.weighted_degree(1)
-        / (2.0 * m * 2.0 * m);
+    let predicted_deficit = 2.0 * g.weighted_degree(0) * g.weighted_degree(1) / (2.0 * m * 2.0 * m);
     assert!(
         (gains[0] + gains[1] - joint - predicted_deficit).abs() < 1e-12,
         "Eq. 6/7 accounting: sum {} joint {joint} deficit {predicted_deficit}",
@@ -69,7 +64,11 @@ fn fig2_case1_swap_prevented() {
     let out = parallel_phase_unordered(&g, 1e-9, 50, 1.0);
     assert_eq!(out.assignment, vec![0, 0]);
     // Convergence should be immediate-ish, not a long swap fight.
-    assert!(out.num_iterations() <= 3, "took {} iterations", out.num_iterations());
+    assert!(
+        out.num_iterations() <= 3,
+        "took {} iterations",
+        out.num_iterations()
+    );
 }
 
 /// §5.1 Fig. 2 case 2: a 4-clique of singletons must not settle on the
@@ -77,8 +76,7 @@ fn fig2_case1_swap_prevented() {
 /// everyone toward the minimum label.
 #[test]
 fn fig2_case2_local_maximum_avoided() {
-    let g = from_unweighted_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
-        .unwrap();
+    let g = from_unweighted_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).unwrap();
     let out = parallel_phase_unordered(&g, 1e-9, 50, 1.0);
     assert!(
         out.assignment.iter().all(|&c| c == out.assignment[0]),
@@ -183,7 +181,12 @@ fn vf_noop_on_prepruned_inputs() {
     for input in [PaperInput::Channel, PaperInput::Mg1] {
         let g = input.generate(0.04, 2);
         let s = GraphStats::compute(&g);
-        assert_eq!(s.num_single_degree, 0, "{} proxy should be pre-pruned", input.id());
+        assert_eq!(
+            s.num_single_degree,
+            0,
+            "{} proxy should be pre-pruned",
+            input.id()
+        );
         let base = detect_with_scheme(&g, Scheme::Baseline);
         let vf = detect_with_scheme(&g, Scheme::BaselineVf);
         assert_eq!(base.assignment, vf.assignment, "{}", input.id());

@@ -60,7 +60,10 @@ fn modularity_is_bounded() {
         let g = random_graph(&mut rng);
         let a = random_assignment(&mut rng, &g);
         let q = modularity(&g, &a);
-        assert!((-1.0 - 1e-12..1.0 + 1e-12).contains(&q), "seed {seed}: Q = {q}");
+        assert!(
+            (-1.0 - 1e-12..1.0 + 1e-12).contains(&q),
+            "seed {seed}: Q = {q}"
+        );
     }
 }
 
@@ -74,7 +77,10 @@ fn serial_and_parallel_modularity_agree() {
         let a = random_assignment(&mut rng, &g);
         let qp = modularity(&g, &a);
         let qs = serial_modularity(&g, &a, 1.0);
-        assert!((qp - qs).abs() < 1e-9, "seed {seed}: parallel {qp} vs serial {qs}");
+        assert!(
+            (qp - qs).abs() < 1e-9,
+            "seed {seed}: parallel {qp} vs serial {qs}"
+        );
     }
 }
 
@@ -127,7 +133,10 @@ fn unordered_phase_matches_sort_based_reference() {
         let g = random_graph(&mut rng);
         let fast = parallel_phase_unordered(&g, 1e-9, 64, 1.0);
         let slow = parallel_phase_unordered_sortbased(&g, 1e-9, 64, 1.0);
-        assert_eq!(fast.assignment, slow.assignment, "seed {seed}: assignments differ");
+        assert_eq!(
+            fast.assignment, slow.assignment,
+            "seed {seed}: assignments differ"
+        );
         let fast_moves: Vec<usize> = fast.iterations.iter().map(|&(_, m)| m).collect();
         let slow_moves: Vec<usize> = slow.iterations.iter().map(|&(_, m)| m).collect();
         assert_eq!(fast_moves, slow_moves, "seed {seed}: move sequences differ");
@@ -215,8 +224,15 @@ fn vf_preserves_weight_and_projected_q() {
         let mut rng = SmallRng::seed_from_u64(seed);
         let g = random_graph(&mut rng);
         let r = vf_preprocess(&g);
-        assert!((r.graph.total_weight() - g.total_weight()).abs() < 1e-9, "seed {seed}");
-        assert_eq!(r.graph.num_vertices() + r.merged, g.num_vertices(), "seed {seed}");
+        assert!(
+            (r.graph.total_weight() - g.total_weight()).abs() < 1e-9,
+            "seed {seed}"
+        );
+        assert_eq!(
+            r.graph.num_vertices() + r.merged,
+            g.num_vertices(),
+            "seed {seed}"
+        );
         let nc = r.graph.num_vertices();
         if nc > 0 {
             let compact: Vec<Community> = (0..nc as Community).map(|v| v % 3).collect();
@@ -239,7 +255,10 @@ fn colorings_are_valid() {
         let g = random_graph(&mut rng);
         let serial = color_greedy_serial(&g);
         assert!(is_valid_distance1(&g, &serial), "seed {seed} serial");
-        let cfg = ParallelColoringConfig { serial_cutoff: 0, ..Default::default() };
+        let cfg = ParallelColoringConfig {
+            serial_cutoff: 0,
+            ..Default::default()
+        };
         let parallel = color_parallel(&g, &cfg);
         assert!(is_valid_distance1(&g, &parallel), "seed {seed} parallel");
     }
