@@ -1,7 +1,7 @@
 //! Hand-rolled argument parsing (keeps the dependency set to the
 //! offline-sanctioned crates).
 
-use grappolo_core::Scheme;
+use grappolo_core::{ColoredAccounting, Scheme};
 use std::path::PathBuf;
 
 /// Usage text printed on parse errors and `--help`.
@@ -15,6 +15,10 @@ USAGE:
   grappolo stats <graph-file>
   grappolo detect <graph-file> [--scheme serial|baseline|vf|color]
                   [--threads N] [--gamma F] [--assignments FILE] [--trace FILE]
+                  [--accounting incremental|rescan]
+      --accounting: colored-sweep modularity accounting — `incremental`
+      (default; O(#moves) deltas at each color-batch barrier) or `rescan`
+      (the historical full-recompute baseline, for differential runs)
   grappolo color <graph-file> [--balanced]
   grappolo compare <assignments-a> <assignments-b>
   grappolo convert <in-file> <out-file>
@@ -57,6 +61,8 @@ pub enum Command {
         assignments: Option<PathBuf>,
         /// Where to write the JSON trace.
         trace: Option<PathBuf>,
+        /// Colored-sweep modularity accounting mode.
+        accounting: ColoredAccounting,
     },
     /// Color a graph and report class statistics.
     Color {
@@ -184,6 +190,11 @@ fn parse_detect(rest: &[&str]) -> Result<Command, String> {
         .unwrap_or(1.0);
     let assignments = flag_value(rest, "--assignments")?.map(PathBuf::from);
     let trace = flag_value(rest, "--trace")?.map(PathBuf::from);
+    let accounting = match flag_value(rest, "--accounting")?.unwrap_or("incremental") {
+        "incremental" => ColoredAccounting::Incremental,
+        "rescan" => ColoredAccounting::Rescan,
+        other => return Err(format!("unknown --accounting `{other}`")),
+    };
     Ok(Command::Detect {
         path: path.into(),
         scheme,
@@ -191,6 +202,7 @@ fn parse_detect(rest: &[&str]) -> Result<Command, String> {
         gamma,
         assignments,
         trace,
+        accounting,
     })
 }
 
@@ -246,6 +258,7 @@ mod tests {
                 gamma,
                 assignments,
                 trace,
+                accounting,
                 ..
             } => {
                 assert_eq!(scheme, Scheme::BaselineVf);
@@ -253,6 +266,7 @@ mod tests {
                 assert_eq!(gamma, 2.0);
                 assert_eq!(assignments, Some("out.txt".into()));
                 assert_eq!(trace, None);
+                assert_eq!(accounting, ColoredAccounting::Incremental);
             }
             _ => panic!(),
         }
@@ -267,8 +281,26 @@ mod tests {
     }
 
     #[test]
+    fn detect_accounting_modes() {
+        match parse(&args("detect g.bin --accounting rescan")).unwrap() {
+            Command::Detect { accounting, .. } => {
+                assert_eq!(accounting, ColoredAccounting::Rescan)
+            }
+            _ => panic!(),
+        }
+        match parse(&args("detect g.bin --accounting incremental")).unwrap() {
+            Command::Detect { accounting, .. } => {
+                assert_eq!(accounting, ColoredAccounting::Incremental)
+            }
+            _ => panic!(),
+        }
+        assert!(parse(&args("detect g.bin --accounting atomic")).is_err());
+    }
+
+    #[test]
     fn rejects_unknown_scheme_and_subcommand() {
         assert!(parse(&args("detect g.bin --scheme turbo")).is_err());
+        assert!(parse(&args("detect g.bin --accounting")).is_err());
         assert!(parse(&args("frobnicate")).is_err());
         assert!(parse(&[]).is_err());
     }

@@ -2,7 +2,7 @@
 
 use crate::args::{Command, USAGE};
 use grappolo_coloring::{balance_colors, color_parallel, ColoringStats, ParallelColoringConfig};
-use grappolo_core::{detect_communities, LouvainConfig, Scheme};
+use grappolo_core::{detect_communities, ColoredAccounting, LouvainConfig, Scheme};
 use grappolo_graph::gen::paper_suite::PaperInput;
 use grappolo_graph::{io, CsrGraph, GraphStats};
 use grappolo_metrics::{normalized_mutual_information, pairwise_comparison};
@@ -30,6 +30,7 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             gamma,
             assignments,
             trace,
+            accounting,
         } => detect(
             &path,
             scheme,
@@ -37,6 +38,7 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             gamma,
             assignments.as_deref(),
             trace.as_deref(),
+            accounting,
         ),
         Command::Color { path, balanced } => color(&path, balanced),
         Command::Compare { a, b } => compare(&a, &b),
@@ -84,6 +86,7 @@ fn stats(path: &Path) -> Result<(), String> {
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn detect(
     path: &Path,
     scheme: Scheme,
@@ -91,10 +94,12 @@ fn detect(
     gamma: f64,
     assignments: Option<&Path>,
     trace: Option<&Path>,
+    accounting: ColoredAccounting,
 ) -> Result<(), String> {
     let g = load(path)?;
     let mut config: LouvainConfig = scheme.config();
     config.resolution = gamma;
+    config.colored_accounting = accounting;
     if let Some(t) = threads {
         config.num_threads = Some(t);
     }
@@ -267,6 +272,7 @@ mod tests {
             gamma: 1.0,
             assignments: Some(assign_path.clone()),
             trace: Some(tmp("trace.json")),
+            accounting: ColoredAccounting::Incremental,
         })
         .unwrap();
 
@@ -275,6 +281,43 @@ mod tests {
         // Trace is valid JSON.
         let text = std::fs::read_to_string(tmp("trace.json")).unwrap();
         assert!(serde_json::from_str::<serde_json::Value>(&text).is_ok());
+    }
+
+    #[test]
+    fn detect_accounting_modes_agree() {
+        // Differential at CLI level: incremental vs rescan colored
+        // accounting produce identical assignments on an exact-weight
+        // (unweighted) input.
+        let graph_path = tmp("acct.grb");
+        execute(Command::Generate {
+            input: "rgg".into(),
+            scale: 0.03,
+            seed: 4,
+            output: graph_path.clone(),
+        })
+        .unwrap();
+        let out_inc = tmp("acct_inc.txt");
+        let out_res = tmp("acct_res.txt");
+        for (out, accounting) in [
+            (&out_inc, ColoredAccounting::Incremental),
+            (&out_res, ColoredAccounting::Rescan),
+        ] {
+            execute(Command::Detect {
+                path: graph_path.clone(),
+                scheme: Scheme::BaselineVfColor,
+                threads: Some(2),
+                gamma: 1.0,
+                assignments: Some(out.clone()),
+                trace: None,
+                accounting,
+            })
+            .unwrap();
+        }
+        assert_eq!(
+            read_assignments(&out_inc).unwrap(),
+            read_assignments(&out_res).unwrap(),
+            "accounting modes diverged"
+        );
     }
 
     #[test]

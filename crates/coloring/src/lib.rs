@@ -19,12 +19,14 @@
 #![warn(missing_docs)]
 
 pub mod balanced;
+pub mod batches;
 pub mod distance2;
 pub mod greedy;
 pub mod parallel;
 pub mod stats;
 
 pub use balanced::balance_colors;
+pub use batches::ColorBatches;
 pub use distance2::color_distance2;
 pub use greedy::color_greedy_serial;
 pub use parallel::{color_parallel, ParallelColoringConfig};

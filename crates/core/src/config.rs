@@ -84,6 +84,20 @@ pub enum ColoringSchedule {
     MultiPhase,
 }
 
+/// How the colored sweep accounts per-iteration modularity (PR 3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ColoredAccounting {
+    /// Carry `Σ e_in` / `Σ a_C²` incrementally across color-batch barriers
+    /// (O(#moves) per iteration, bitwise deterministic; default). The O(m)
+    /// rescan survives as a `debug_assert` cross-check.
+    Incremental,
+    /// Recompute modularity by full O(m) rescan every iteration — the
+    /// historical scheme, retained as the differential baseline
+    /// (`grappolo_core::reference::parallel_phase_colored_rescan`).
+    /// Decision-identical to `Incremental` on exact-weight graphs.
+    Rescan,
+}
+
 /// How the inter-phase graph rebuild aggregates community edges (§5.5 step
 /// (iii) and the DESIGN.md ablation).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -132,6 +146,8 @@ pub struct LouvainConfig {
     pub coloring_phase_gain_cutoff: f64,
     /// Apply the balanced-coloring post-pass (§6.2 extension).
     pub balanced_coloring: bool,
+    /// How colored phases account per-iteration modularity.
+    pub colored_accounting: ColoredAccounting,
     /// Net modularity gain threshold θ within colored phases (paper: 1e-2;
     /// Table 5 sweeps this).
     pub colored_threshold: f64,
@@ -163,6 +179,7 @@ impl Default for LouvainConfig {
             coloring_vertex_cutoff: 100_000,
             coloring_phase_gain_cutoff: 1e-2,
             balanced_coloring: false,
+            colored_accounting: ColoredAccounting::Incremental,
             colored_threshold: 1e-2,
             final_threshold: 1e-6,
             max_phases: 64,
@@ -223,6 +240,7 @@ mod tests {
     #[test]
     fn default_thresholds_match_paper() {
         let c = LouvainConfig::default();
+        assert_eq!(c.colored_accounting, ColoredAccounting::Incremental);
         assert_eq!(c.colored_threshold, 1e-2);
         assert_eq!(c.final_threshold, 1e-6);
         assert_eq!(c.coloring_vertex_cutoff, 100_000);

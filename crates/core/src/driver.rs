@@ -2,17 +2,18 @@
 //! unordered or serial) → graph rebuild, repeated until the modularity
 //! converges.
 
-use crate::config::{ColoringSchedule, LouvainConfig, Scheme};
+use crate::config::{ColoredAccounting, ColoringSchedule, LouvainConfig, Scheme};
 use crate::dendrogram::{Dendrogram, DendrogramLevel};
 use crate::history::{IterationRecord, PhaseRecord, PhaseTimings, RunTrace};
 use crate::modularity::{modularity_with_resolution, Community};
 use crate::parallel::{parallel_phase_colored, parallel_phase_unordered};
 use crate::phase::PhaseOutcome;
 use crate::rebuild::{rebuild, renumber_communities};
+use crate::reference::parallel_phase_colored_rescan;
 use crate::serial::{serial_modularity, serial_phase};
 use crate::vf::{vf_preprocess_recursive, VfResult};
 use grappolo_coloring::{
-    balance_colors, color_classes, color_parallel, ColoringStats, ParallelColoringConfig,
+    balance_colors, color_parallel, ColorBatches, ColoringStats, ParallelColoringConfig,
 };
 use grappolo_graph::CsrGraph;
 use rayon::prelude::*;
@@ -103,15 +104,15 @@ fn run_inner(g: &CsrGraph, config: &LouvainConfig) -> CommunityResult {
 
         // Step (2): coloring preprocessing.
         let t_color = Instant::now();
-        let (classes, num_colors) = if colored {
+        let (batches, num_colors) = if colored {
             let mut coloring = color_parallel(&work, &ParallelColoringConfig::default());
             if config.balanced_coloring {
                 balance_colors(&work, &mut coloring, 0.1);
             }
             let stats = ColoringStats::compute(&coloring);
-            (color_classes(&coloring), stats.num_colors)
+            (ColorBatches::from_coloring(&coloring), stats.num_colors)
         } else {
-            (Vec::new(), 0)
+            (ColorBatches::default(), 0)
         };
         let coloring_time = t_color.elapsed();
 
@@ -137,9 +138,13 @@ fn run_inner(g: &CsrGraph, config: &LouvainConfig) -> CommunityResult {
                 config.resolution,
             )
         } else if colored {
-            parallel_phase_colored(
+            let phase_fn = match config.colored_accounting {
+                ColoredAccounting::Incremental => parallel_phase_colored,
+                ColoredAccounting::Rescan => parallel_phase_colored_rescan,
+            };
+            phase_fn(
                 &work,
-                &classes,
+                &batches,
                 threshold,
                 config.max_iterations_per_phase,
                 config.resolution,
@@ -391,6 +396,54 @@ mod tests {
         assert_eq!(r1.modularity, r2.modularity);
         assert_eq!(r1.modularity, r4.modularity);
         assert_eq!(r1.trace.total_iterations(), r4.trace.total_iterations());
+    }
+
+    #[test]
+    fn colored_scheme_stable_across_thread_counts() {
+        // PR 3: with barrier commits + incremental accounting the headline
+        // colored scheme joins the §5.4 stability guarantee end to end.
+        let (g, _) = planted();
+        let mut cfg = colored_config();
+        cfg.num_threads = Some(1);
+        let r1 = detect_communities(&g, &cfg);
+        cfg.num_threads = Some(2);
+        let r2 = detect_communities(&g, &cfg);
+        cfg.num_threads = Some(8);
+        let r8 = detect_communities(&g, &cfg);
+        assert!(r1.trace.phases[0].colored, "test must exercise coloring");
+        assert_eq!(r1.assignment, r2.assignment);
+        assert_eq!(r1.assignment, r8.assignment);
+        assert_eq!(r1.modularity.to_bits(), r2.modularity.to_bits());
+        assert_eq!(r1.modularity.to_bits(), r8.modularity.to_bits());
+        assert_eq!(r1.trace.total_iterations(), r8.trace.total_iterations());
+    }
+
+    #[test]
+    fn colored_accounting_modes_agree_end_to_end() {
+        // The differential contract at driver level: incremental accounting
+        // and the full-rescan reference walk the identical trajectory on
+        // exact-weight inputs — same assignments, same per-iteration Q.
+        let (g, _) = planted();
+        let mut cfg = colored_config();
+        let inc = detect_communities(&g, &cfg);
+        cfg.colored_accounting = crate::config::ColoredAccounting::Rescan;
+        let rescan = detect_communities(&g, &cfg);
+        assert!(inc.trace.phases[0].colored);
+        assert_eq!(inc.assignment, rescan.assignment);
+        assert_eq!(inc.modularity.to_bits(), rescan.modularity.to_bits());
+        let q_inc: Vec<u64> = inc
+            .trace
+            .iterations
+            .iter()
+            .map(|r| r.modularity.to_bits())
+            .collect();
+        let q_res: Vec<u64> = rescan
+            .trace
+            .iterations
+            .iter()
+            .map(|r| r.modularity.to_bits())
+            .collect();
+        assert_eq!(q_inc, q_res, "per-iteration modularity trajectories differ");
     }
 
     #[test]

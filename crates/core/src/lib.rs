@@ -30,7 +30,6 @@
 
 #![warn(missing_docs)]
 
-pub mod atomicf64;
 pub mod config;
 pub mod dendrogram;
 pub mod driver;
@@ -43,7 +42,9 @@ pub mod reference;
 pub mod serial;
 pub mod vf;
 
-pub use config::{ColoringSchedule, LouvainConfig, RebuildStrategy, RenumberStrategy, Scheme};
+pub use config::{
+    ColoredAccounting, ColoringSchedule, LouvainConfig, RebuildStrategy, RenumberStrategy, Scheme,
+};
 pub use dendrogram::{Dendrogram, DendrogramLevel};
 pub use driver::{detect_communities, detect_with_scheme, CommunityResult};
 pub use history::{IterationRecord, PhaseRecord, PhaseTimings, RunTrace};

@@ -231,6 +231,91 @@ impl NeighborScratch {
     pub fn gather(&mut self, g: &CsrGraph, assignment: &[Community], v: VertexId) {
         self.gather_by(g, v, |u| assignment[u]);
     }
+
+    /// The weight accumulated toward community `c` in the current gather
+    /// (0.0 if `c` was not touched) — an O(1) marks lookup, replacing the
+    /// linear candidate scan [`best_move`] would otherwise pay for
+    /// `e_{i→C(i)}`. Bitwise-identical to that scan's result: both read the
+    /// same accumulator slot.
+    #[inline]
+    pub fn weight_to(&self, c: Community) -> f64 {
+        let mark = self.marks[c as usize];
+        if (mark >> 32) as u32 == self.generation {
+            self.entries[mark as u32 as usize].1
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A checkout/return pool of [`NeighborScratch`]es shared by the short
+/// `map_init` bursts of a batched sweep.
+///
+/// `map_init` builds one state value per executed chunk and drops it when
+/// the chunk ends, so a sweep that launches many small parallel regions (one
+/// per color batch per iteration) would otherwise allocate — and fault in —
+/// a fresh `n`-sized `marks` array for every region. Checking scratches out
+/// of a pool makes the allocation amortize across the whole phase: each
+/// worker's region pops a warmed scratch (marks sized, generation valid) and
+/// its guard pushes it back on drop. Pool order has no effect on results —
+/// the generation stamp makes any scratch state equivalent — so determinism
+/// is untouched.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    pool: std::sync::Mutex<Vec<NeighborScratch>>,
+}
+
+impl ScratchPool {
+    /// An empty pool; scratches are created on first checkout.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks a scratch out (creating one if the pool is dry). The guard
+    /// returns it on drop.
+    pub fn take(&self) -> PooledScratch<'_> {
+        let scratch = self
+            .pool
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop()
+            .unwrap_or_default();
+        PooledScratch {
+            scratch,
+            pool: self,
+        }
+    }
+}
+
+/// A checked-out [`NeighborScratch`]; derefs to the scratch and returns it
+/// to its [`ScratchPool`] on drop.
+#[derive(Debug)]
+pub struct PooledScratch<'a> {
+    scratch: NeighborScratch,
+    pool: &'a ScratchPool,
+}
+
+impl std::ops::Deref for PooledScratch<'_> {
+    type Target = NeighborScratch;
+    fn deref(&self) -> &NeighborScratch {
+        &self.scratch
+    }
+}
+
+impl std::ops::DerefMut for PooledScratch<'_> {
+    fn deref_mut(&mut self) -> &mut NeighborScratch {
+        &mut self.scratch
+    }
+}
+
+impl Drop for PooledScratch<'_> {
+    fn drop(&mut self) {
+        self.pool
+            .pool
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(std::mem::take(&mut self.scratch));
+    }
 }
 
 /// Inputs to one vertex's migration decision.
@@ -280,14 +365,27 @@ pub fn best_move(
     candidates: &[(Community, f64)],
     a_of: impl Fn(Community) -> f64,
 ) -> MoveDecision {
-    let two_m = 2.0 * ctx.m;
-    let a_src_without = a_of(ctx.current) - ctx.k;
     // e_{i→C(i)∖{i}}: weight to co-members, excluding the self-loop.
     let e_src = candidates
         .iter()
         .find(|&&(c, _)| c == ctx.current)
         .map(|&(_, w)| w)
         .unwrap_or(0.0);
+    best_move_with_src(ctx, candidates, e_src, a_of)
+}
+
+/// [`best_move`] with `e_src = e_{i→C(i)∖{i}}` supplied by the caller —
+/// the sweeps read it from the gather scratch in O(1)
+/// ([`NeighborScratch::weight_to`]) instead of re-scanning the candidate
+/// list. Decision arithmetic is identical to [`best_move`].
+pub fn best_move_with_src(
+    ctx: &MoveContext,
+    candidates: &[(Community, f64)],
+    e_src: f64,
+    a_of: impl Fn(Community) -> f64,
+) -> MoveDecision {
+    let two_m = 2.0 * ctx.m;
+    let a_src_without = a_of(ctx.current) - ctx.k;
     // Hoist the two divisions out of the candidate loop (the loop body runs
     // once per adjacent community per vertex per iteration — the hottest
     // arithmetic in the codebase).
@@ -469,12 +567,60 @@ impl ModularityTracker {
         }
     }
 
+    /// Applies one color batch's moves — the colored sweep's barrier commit.
+    ///
+    /// Precondition: the movers form an **independent set** (no two movers
+    /// adjacent — guaranteed when all come from one distance-1 color class),
+    /// so each mover's `e_src`/`e_tgt`, captured from the gather that
+    /// produced its decision, is still exact at commit time: none of its
+    /// neighbors changed community within the batch. Each `(v, co-member)`
+    /// edge therefore enters/leaves `e_in` with a factor of exactly 2 and no
+    /// double counting between movers.
+    ///
+    /// Determinism: the per-move `e_in` deltas are reduced through
+    /// [`det_sum`] — parallel partials combined left-to-right in fixed chunk
+    /// order — and the `a`/`null_sum`/`sizes` updates run sequentially in
+    /// `moves` order (ascending vertex order when the caller commits a color
+    /// batch). Cost: O(#moves), replacing the colored phase's historical
+    /// O(m) full rescan.
+    pub fn apply_independent_batch(
+        &mut self,
+        moves: &[IndependentMove],
+        a: &mut [f64],
+        sizes: &mut [u32],
+    ) {
+        self.e_in += det_sum(moves.len(), |i| 2.0 * (moves[i].e_tgt - moves[i].e_src));
+        for mv in moves {
+            self.transfer_degree(mv.k, mv.from, mv.to, a);
+            sizes[mv.from as usize] -= 1;
+            sizes[mv.to as usize] += 1;
+        }
+    }
+
     /// Absolute deviation of the tracked modularity from a full O(m) + O(n)
     /// recomputation — the debug-assert cross-check that replaced the
     /// per-iteration rescan on the hot path.
     pub fn drift_from_full(&self, g: &CsrGraph, assignment: &[Community]) -> f64 {
         (self.modularity() - modularity_with_resolution(g, assignment, self.gamma)).abs()
     }
+}
+
+/// One committed move of a color batch, as consumed by
+/// [`ModularityTracker::apply_independent_batch`]: vertex of weighted degree
+/// `k` leaves `from` for `to`, with `e_src = e_{v→from∖{v}}` and
+/// `e_tgt = e_{v→to}` captured from the decision's gather.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IndependentMove {
+    /// The mover's weighted degree `k_v`.
+    pub k: f64,
+    /// Weight from the mover to its old co-members (self-loop excluded).
+    pub e_src: f64,
+    /// Weight from the mover to the target community's members.
+    pub e_tgt: f64,
+    /// Community the mover leaves.
+    pub from: Community,
+    /// Community the mover joins.
+    pub to: Community,
 }
 
 /// Tolerance for the incremental-vs-full debug cross-checks: fp drift of the
@@ -773,6 +919,67 @@ mod tests {
         );
         assert_eq!(a, community_degrees(&g, &c_curr));
         assert_eq!(sizes, community_sizes(&c_curr));
+    }
+
+    #[test]
+    fn tracker_independent_batch_bitwise_matches_rescan() {
+        // Vertices 1 and 4 are non-adjacent in the two-triangle graph, so
+        // {1, 4} is an independent set and may commit as one color batch.
+        // Integer weights make every sum exact, so the incremental state
+        // must be *bitwise* equal to a from-scratch rescan.
+        let g = two_triangles();
+        let mut assignment = vec![0u32, 1, 2, 3, 4, 5];
+        let mut a = community_degrees(&g, &assignment);
+        let mut sizes = community_sizes(&assignment);
+        let mut tracker = ModularityTracker::new(&g, &assignment, &a, 1.0);
+
+        let mut scratch = NeighborScratch::default();
+        let batch: Vec<(VertexId, Community)> = vec![(1, 0), (4, 3)];
+        let mut moves = Vec::new();
+        for &(v, to) in &batch {
+            scratch.gather(&g, &assignment, v);
+            let from = assignment[v as usize];
+            let find = |c: Community| {
+                scratch
+                    .entries
+                    .iter()
+                    .find(|&&(cc, _)| cc == c)
+                    .map_or(0.0, |&(_, w)| w)
+            };
+            moves.push(IndependentMove {
+                k: g.weighted_degree(v),
+                e_src: find(from),
+                e_tgt: find(to),
+                from,
+                to,
+            });
+        }
+        tracker.apply_independent_batch(&moves, &mut a, &mut sizes);
+        for &(v, to) in &batch {
+            assignment[v as usize] = to;
+        }
+
+        assert_eq!(a, community_degrees(&g, &assignment));
+        assert_eq!(sizes, community_sizes(&assignment));
+        let rescan = ModularityTracker::new(&g, &assignment, &a, 1.0);
+        assert_eq!(tracker.e_in.to_bits(), rescan.e_in.to_bits());
+        assert_eq!(tracker.null_sum.to_bits(), rescan.null_sum.to_bits());
+        assert_eq!(
+            tracker.modularity().to_bits(),
+            rescan.modularity().to_bits()
+        );
+    }
+
+    #[test]
+    fn tracker_empty_independent_batch_is_noop() {
+        let g = two_triangles();
+        let assignment = vec![0u32, 0, 0, 1, 1, 1];
+        let mut a = community_degrees(&g, &assignment);
+        let mut sizes = community_sizes(&assignment);
+        let mut tracker = ModularityTracker::new(&g, &assignment, &a, 1.0);
+        let before = (tracker.e_in.to_bits(), tracker.null_sum.to_bits());
+        tracker.apply_independent_batch(&[], &mut a, &mut sizes);
+        assert_eq!((tracker.e_in.to_bits(), tracker.null_sum.to_bits()), before);
     }
 
     #[test]

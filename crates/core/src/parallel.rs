@@ -7,21 +7,28 @@
 //!   color set). Deterministic for any thread count: writes go to
 //!   `C_curr[i]`, reads to `C_prev`, and all reductions are
 //!   order-deterministic (§5.4's stability property).
-//! * [`parallel_phase_colored`] — vertices are processed one color class at
-//!   a time; classes are internally parallel, moves commit immediately, and
-//!   community degrees update via lock-free f64 atomics (the Rust analogue
-//!   of the paper's `__sync_fetch_and_add`, §5.5). Later classes observe
-//!   earlier commits — the colored analogue of serial freshness.
+//! * [`parallel_phase_colored`] — vertices are processed one color batch at
+//!   a time; each batch is decided in parallel against the state frozen at
+//!   its barrier, then committed in ascending vertex order. Later batches
+//!   observe earlier commits — the colored analogue of serial freshness.
+//!   Because a batch is an independent set, the barrier commit is exact and
+//!   feeds the same incremental [`ModularityTracker`] accounting as the
+//!   unordered sweep (`Σ e_in` deltas reduced in fixed left-biased order via
+//!   `det_sum`, `a`/`Σ a_C²` updates applied in commit order), so the phase
+//!   is bitwise deterministic across thread counts — unlike the historical
+//!   atomic-commit scheme (`__sync_fetch_and_add`, §5.5), whose
+//!   schedule-dependent float commits forced an O(m) modularity rescan per
+//!   iteration (retained as
+//!   [`crate::reference::parallel_phase_colored_rescan`]).
 
-use crate::atomicf64::AtomicF64;
 use crate::modularity::{
-    best_move, modularity_with_resolution, Community, ModularityTracker, MoveContext,
-    NeighborScratch, TRACKER_DRIFT_TOLERANCE,
+    best_move_with_src, Community, IndependentMove, ModularityTracker, MoveContext, MoveDecision,
+    NeighborScratch, ScratchPool, TRACKER_DRIFT_TOLERANCE,
 };
 use crate::phase::{should_stop, singlet_veto, PhaseOutcome};
+use grappolo_coloring::ColorBatches;
 use grappolo_graph::{CsrGraph, VertexId};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Runs one **unordered** (non-colored) parallel phase to convergence.
 ///
@@ -123,101 +130,174 @@ fn decide(
         a_current: a[cur as usize],
         gamma: resolution,
     };
-    let decision = best_move(&ctx, &scratch.entries, |c| a[c as usize]);
+    let decision = best_move_with_src(&ctx, &scratch.entries, scratch.weight_to(cur), |c| {
+        a[c as usize]
+    });
     if decision.target != cur && singlet_veto(cur, decision.target, |c| sizes[c as usize]) {
         return cur;
     }
     decision.target
 }
 
+/// One color batch's migration decisions, evaluated in parallel against the
+/// state frozen at the batch barrier (`assignment`/`a`/`sizes` are not
+/// mutated while the batch is in flight). Returns one [`MoveDecision`] per
+/// batch vertex, in batch order; a vetoed or stay decision has
+/// `target == current`. Shared by the incremental colored sweep and the
+/// full-rescan reference so both make bitwise-identical decisions.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn colored_decide_batch(
+    g: &CsrGraph,
+    assignment: &[Community],
+    a: &[f64],
+    sizes: &[u32],
+    m: f64,
+    resolution: f64,
+    batch: &[VertexId],
+    scratches: &ScratchPool,
+) -> Vec<MoveDecision> {
+    batch
+        .par_iter()
+        .map_init(
+            || scratches.take(),
+            |scratch, &v| {
+                let scratch: &mut NeighborScratch = scratch;
+                let cur = assignment[v as usize];
+                // Neighbors are in other color batches (distance-1 coloring), so
+                // the barrier snapshot is also their freshest state.
+                scratch.gather(g, assignment, v);
+                if scratch.entries.is_empty() {
+                    return MoveDecision {
+                        target: cur,
+                        gain: 0.0,
+                        e_src: 0.0,
+                        e_tgt: 0.0,
+                    };
+                }
+                let ctx = MoveContext {
+                    current: cur,
+                    k: g.weighted_degree(v),
+                    m,
+                    a_current: a[cur as usize],
+                    gamma: resolution,
+                };
+                let decision =
+                    best_move_with_src(&ctx, &scratch.entries, scratch.weight_to(cur), |c| {
+                        a[c as usize]
+                    });
+                if decision.target != cur
+                    && singlet_veto(cur, decision.target, |c| sizes[c as usize])
+                {
+                    return MoveDecision {
+                        target: cur,
+                        ..decision
+                    };
+                }
+                decision
+            },
+        )
+        .collect()
+}
+
+/// Drains one batch's decisions into `moved` (ascending vertex order, since
+/// batches are stably ordered) and commits the assignment writes. The
+/// `a`/`sizes`/modularity accounting is the caller's responsibility — the
+/// only place the incremental sweep and the rescan reference differ.
+pub(crate) fn colored_collect_moves(
+    g: &CsrGraph,
+    batch: &[VertexId],
+    decisions: &[MoveDecision],
+    assignment: &mut [Community],
+    moved: &mut Vec<IndependentMove>,
+) {
+    moved.clear();
+    for (&v, d) in batch.iter().zip(decisions) {
+        let from = assignment[v as usize];
+        if d.target == from {
+            continue;
+        }
+        moved.push(IndependentMove {
+            k: g.weighted_degree(v),
+            e_src: d.e_src,
+            e_tgt: d.e_tgt,
+            from,
+            to: d.target,
+        });
+        assignment[v as usize] = d.target;
+    }
+}
+
 /// Runs one **colored** parallel phase to convergence.
 ///
-/// `color_classes[k]` lists the vertices of color `k`; classes must be
-/// mutually independent sets (distance-1 coloring). Within an iteration the
-/// classes are processed in ascending color order; each class is swept in
-/// parallel over live shared state.
+/// `batches` partitions the vertices into independent sets (distance-1 color
+/// classes) under [`ColorBatches`]' stable-ordering guarantee. Within an
+/// iteration the batches are processed in ascending color order: each
+/// batch's decisions are computed in parallel against the state frozen at
+/// its barrier, then committed in ascending vertex order, so later batches
+/// observe earlier commits (the colored analogue of serial freshness) while
+/// the whole phase stays bitwise deterministic across thread counts.
+///
+/// Per-iteration bookkeeping is incremental, as in
+/// [`parallel_phase_unordered`]: community degrees, sizes, and the
+/// `Σ e_in` / `Σ a_C²` terms are carried across batches and updated only for
+/// committed moves ([`ModularityTracker::apply_independent_batch`], exact
+/// precisely because a batch's movers form an independent set), replacing
+/// the historical per-iteration O(m) modularity rescan with O(#moves)
+/// accounting. The rescan survives as a `debug_assert` cross-check here and
+/// as the retained [`crate::reference::parallel_phase_colored_rescan`]
+/// differential baseline.
 pub fn parallel_phase_colored(
     g: &CsrGraph,
-    color_classes: &[Vec<VertexId>],
+    batches: &ColorBatches,
     threshold: f64,
     max_iterations: usize,
     resolution: f64,
 ) -> PhaseOutcome {
     let n = g.num_vertices();
     let m = g.total_weight();
+    let mut assignment: Vec<Community> = (0..n as Community).collect();
     if n == 0 || m <= 0.0 {
         return PhaseOutcome {
-            assignment: (0..n as Community).collect(),
+            assignment,
             iterations: Vec::new(),
             final_modularity: 0.0,
         };
     }
+    debug_assert!(batches.is_stably_ordered(), "unstable color batches");
 
-    // Live shared state. Same-color vertices are never adjacent, so while a
-    // class is being swept no thread writes an entry another thread reads;
-    // atomics make that reasoning explicit and safe. Community degrees take
-    // genuine concurrent updates from same-class movers (§5.5's atomics).
-    let assignment: Vec<AtomicU32> = (0..n as Community).map(AtomicU32::new).collect();
-    let a: Vec<AtomicF64> = (0..n)
-        .map(|v| AtomicF64::new(g.weighted_degree(v as VertexId)))
-        .collect();
-    let sizes: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(1)).collect();
+    let mut a: Vec<f64> = (0..n).map(|v| g.weighted_degree(v as VertexId)).collect();
+    let mut sizes: Vec<u32> = vec![1; n];
+    let mut tracker = ModularityTracker::new(g, &assignment, &a, resolution);
 
     let mut iterations: Vec<(f64, usize)> = Vec::new();
-    let snapshot = |assignment: &[AtomicU32]| -> Vec<Community> {
-        assignment
-            .iter()
-            .map(|x| x.load(Ordering::Relaxed))
-            .collect()
-    };
-    let mut q_prev = modularity_with_resolution(g, &snapshot(&assignment), resolution);
+    let mut q_prev = tracker.modularity();
+    let mut moved: Vec<IndependentMove> = Vec::new();
+    // One pool for the whole phase: scratch allocations amortize across all
+    // color batches and iterations instead of recurring per parallel region.
+    let scratches = ScratchPool::new();
 
     for _iter in 0..max_iterations {
         let mut moves = 0usize;
-        for class in color_classes {
-            moves += class
-                .par_iter()
-                .map_init(NeighborScratch::default, |scratch, &v| {
-                    let cur = assignment[v as usize].load(Ordering::Relaxed);
-                    // Gather against live assignments through the shared
-                    // flat-scratch kernel: neighbors are in other color
-                    // classes and not being mutated during this class.
-                    scratch.gather_by(g, v, |u| assignment[u].load(Ordering::Relaxed));
-                    if scratch.entries.is_empty() {
-                        return 0usize;
-                    }
-
-                    let k = g.weighted_degree(v);
-                    let ctx = MoveContext {
-                        current: cur,
-                        k,
-                        m,
-                        a_current: a[cur as usize].load(Ordering::Relaxed),
-                        gamma: resolution,
-                    };
-                    let decision = best_move(&ctx, &scratch.entries, |c| {
-                        a[c as usize].load(Ordering::Relaxed)
-                    });
-                    if decision.target == cur
-                        || singlet_veto(cur, decision.target, |c| {
-                            sizes[c as usize].load(Ordering::Relaxed)
-                        })
-                    {
-                        return 0usize;
-                    }
-                    // Commit immediately (paper §5.5: atomic add/sub).
-                    assignment[v as usize].store(decision.target, Ordering::Relaxed);
-                    a[cur as usize].fetch_sub(k, Ordering::Relaxed);
-                    a[decision.target as usize].fetch_add(k, Ordering::Relaxed);
-                    sizes[cur as usize].fetch_sub(1, Ordering::Relaxed);
-                    sizes[decision.target as usize].fetch_add(1, Ordering::Relaxed);
-                    1usize
-                })
-                .sum::<usize>();
+        for batch in batches.iter() {
+            if batch.is_empty() {
+                continue;
+            }
+            let decisions =
+                colored_decide_batch(g, &assignment, &a, &sizes, m, resolution, batch, &scratches);
+            colored_collect_moves(g, batch, &decisions, &mut assignment, &mut moved);
+            // Barrier commit: per-move e_in deltas reduced in a fixed
+            // left-biased order (det_sum), a/null_sum/sizes updates applied
+            // in ascending vertex order — O(#moves), schedule-independent.
+            tracker.apply_independent_batch(&moved, &mut a, &mut sizes);
+            moves += moved.len();
         }
 
-        let snap = snapshot(&assignment);
-        let q_curr = modularity_with_resolution(g, &snap, resolution);
+        let q_curr = tracker.modularity();
+        debug_assert!(
+            tracker.drift_from_full(g, &assignment) < TRACKER_DRIFT_TOLERANCE,
+            "incremental colored modularity drifted: {} vs full recompute",
+            tracker.drift_from_full(g, &assignment),
+        );
         iterations.push((q_curr, moves));
         if should_stop(q_prev, q_curr, moves, threshold) {
             break;
@@ -225,10 +305,9 @@ pub fn parallel_phase_colored(
         q_prev = q_curr;
     }
 
-    let final_assignment = snapshot(&assignment);
     let final_modularity = iterations.last().map(|&(q, _)| q).unwrap_or(q_prev);
     PhaseOutcome {
-        assignment: final_assignment,
+        assignment,
         iterations,
         final_modularity,
     }
@@ -237,15 +316,15 @@ pub fn parallel_phase_colored(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use grappolo_coloring::{color_classes, color_parallel, ParallelColoringConfig};
+    use grappolo_coloring::{color_parallel, ParallelColoringConfig};
     use grappolo_graph::from_unweighted_edges;
     use grappolo_graph::gen::{
         planted_partition, ring_of_cliques, CliqueRingConfig, PlantedConfig,
     };
 
-    fn classes_of(g: &CsrGraph) -> Vec<Vec<VertexId>> {
+    fn classes_of(g: &CsrGraph) -> ColorBatches {
         let coloring = color_parallel(g, &ParallelColoringConfig::default());
-        color_classes(&coloring)
+        ColorBatches::from_coloring(&coloring)
     }
 
     #[test]
@@ -361,8 +440,40 @@ mod tests {
         let g = CsrGraph::empty(0);
         let out = parallel_phase_unordered(&g, 1e-6, 10, 1.0);
         assert!(out.assignment.is_empty());
-        let out2 = parallel_phase_colored(&g, &[], 1e-6, 10, 1.0);
+        let out2 = parallel_phase_colored(&g, &ColorBatches::default(), 1e-6, 10, 1.0);
         assert!(out2.assignment.is_empty());
+    }
+
+    #[test]
+    fn colored_deterministic_across_thread_counts() {
+        // The tentpole guarantee: with barrier commits and incremental
+        // accounting, the colored phase inherits the §5.4 stability claim —
+        // bitwise-identical assignments, iterations, and modularity at any
+        // pool size.
+        let (g, _) = planted_partition(&PlantedConfig {
+            num_vertices: 3_000,
+            num_communities: 30,
+            ..Default::default()
+        });
+        let batches = classes_of(&g);
+        let run = |threads: usize| {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            pool.install(|| parallel_phase_colored(&g, &batches, 1e-6, 1000, 1.0))
+        };
+        let out1 = run(1);
+        for threads in [2usize, 4, 8] {
+            let out = run(threads);
+            assert_eq!(out1.assignment, out.assignment, "{threads} threads");
+            assert_eq!(out1.iterations, out.iterations, "{threads} threads");
+            assert_eq!(
+                out1.final_modularity.to_bits(),
+                out.final_modularity.to_bits(),
+                "{threads} threads"
+            );
+        }
     }
 
     #[test]

@@ -5,16 +5,22 @@
 //! aggregation — O(deg·log deg) per vertex — and
 //! [`parallel_phase_unordered_sortbased`] is the historical phase loop that
 //! rebuilds `community_degrees` (O(n)) and recomputes full-graph modularity
-//! (O(m)) every iteration. On integer-weight graphs both implementations
-//! make bitwise-identical decisions to the optimized path (all sums are
-//! exact), which is what the equivalence tests in `tests/properties.rs`
-//! assert; the optimized path's advantage is purely time.
+//! (O(m)) every iteration. [`parallel_phase_colored_rescan`] is the colored
+//! analogue retained by PR 3: the same deterministic batch sweep as the
+//! production path, but with the historical per-iteration O(m) modularity
+//! rescan instead of incremental accounting. On integer-weight graphs these
+//! implementations make bitwise-identical decisions to the optimized paths
+//! (all sums are exact), which is what the equivalence tests in
+//! `tests/properties.rs` assert; the optimized paths' advantage is purely
+//! time.
 
 use crate::modularity::{
     best_move, community_degrees, community_sizes, modularity_with_resolution, Community,
-    MoveContext,
+    IndependentMove, ModularityTracker, MoveContext, ScratchPool,
 };
+use crate::parallel::{colored_collect_moves, colored_decide_batch};
 use crate::phase::{should_stop, singlet_veto, PhaseOutcome};
+use grappolo_coloring::ColorBatches;
 use grappolo_graph::{CsrGraph, VertexId};
 use rayon::prelude::*;
 
@@ -122,6 +128,88 @@ pub fn parallel_phase_unordered_sortbased(
     }
 }
 
+/// The historical **recompute** variant of the colored phase: identical
+/// decisions and barrier commits to
+/// [`crate::parallel::parallel_phase_colored`] (same shared kernels, same
+/// ascending commit order), but the per-iteration modularity comes from a
+/// full O(m) + O(n) rescan — a fresh [`ModularityTracker::new`] every
+/// iteration — instead of the carried incremental state. This is the
+/// differential baseline: on exact-weight graphs its assignments, move
+/// counts, and per-iteration modularities are bitwise identical to the
+/// incremental path (both evaluate `e_in/2m − γ·Σa²/(2m)²` over exactly
+/// representable sums), so any divergence indicts the incremental
+/// accounting. The benches measure the rescan's per-iteration overhead —
+/// the cost PR 3 removed from the hot path.
+pub fn parallel_phase_colored_rescan(
+    g: &CsrGraph,
+    batches: &ColorBatches,
+    threshold: f64,
+    max_iterations: usize,
+    resolution: f64,
+) -> PhaseOutcome {
+    let n = g.num_vertices();
+    let m = g.total_weight();
+    let mut assignment: Vec<Community> = (0..n as Community).collect();
+    if n == 0 || m <= 0.0 {
+        return PhaseOutcome {
+            assignment,
+            iterations: Vec::new(),
+            final_modularity: 0.0,
+        };
+    }
+
+    let mut a: Vec<f64> = (0..n).map(|v| g.weighted_degree(v as VertexId)).collect();
+    let mut sizes: Vec<u32> = vec![1; n];
+
+    let mut iterations: Vec<(f64, usize)> = Vec::new();
+    let mut q_prev = ModularityTracker::new(g, &assignment, &a, resolution).modularity();
+    let mut moved: Vec<IndependentMove> = Vec::new();
+    let scratches = ScratchPool::new();
+
+    for _iter in 0..max_iterations {
+        let mut moves = 0usize;
+        for batch in batches.iter() {
+            if batch.is_empty() {
+                continue;
+            }
+            let decisions =
+                colored_decide_batch(g, &assignment, &a, &sizes, m, resolution, batch, &scratches);
+            colored_collect_moves(g, batch, &decisions, &mut assignment, &mut moved);
+            // Same arithmetic, same order as ModularityTracker's commit, so
+            // the maintained `a` evolves bitwise identically — only the
+            // e_in/null_sum bookkeeping is (deliberately) absent here.
+            for mv in &moved {
+                a[mv.from as usize] -= mv.k;
+                a[mv.to as usize] += mv.k;
+                sizes[mv.from as usize] -= 1;
+                sizes[mv.to as usize] += 1;
+            }
+            moves += moved.len();
+        }
+
+        // The full rescan the incremental path eliminated: O(n) community-
+        // degree scatter (the historical recompute went through
+        // `modularity_with_resolution`, which rebuilds it), O(m) intra-weight
+        // scan, and O(n) Σ a² reduction — every iteration. On exact-weight
+        // graphs `a_rescan` is bitwise equal to the maintained `a`, so the
+        // reported modularity is bitwise comparable to the tracker's.
+        let a_rescan = community_degrees(g, &assignment);
+        let q_curr = ModularityTracker::new(g, &assignment, &a_rescan, resolution).modularity();
+        iterations.push((q_curr, moves));
+        if should_stop(q_prev, q_curr, moves, threshold) {
+            break;
+        }
+        q_prev = q_curr;
+    }
+
+    let final_modularity = iterations.last().map(|&(q, _)| q).unwrap_or(q_prev);
+    PhaseOutcome {
+        assignment,
+        iterations,
+        final_modularity,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,6 +238,22 @@ mod tests {
             ..Default::default()
         });
         let out = parallel_phase_unordered_sortbased(&g, 1e-6, 1000, 1.0);
+        assert!(out.final_modularity > 0.7);
+    }
+
+    #[test]
+    fn colored_rescan_recovers_cliques() {
+        let (g, _) = ring_of_cliques(&CliqueRingConfig {
+            num_cliques: 6,
+            clique_size: 5,
+            ..Default::default()
+        });
+        let coloring = grappolo_coloring::color_parallel(
+            &g,
+            &grappolo_coloring::ParallelColoringConfig::default(),
+        );
+        let batches = ColorBatches::from_coloring(&coloring);
+        let out = parallel_phase_colored_rescan(&g, &batches, 1e-6, 1000, 1.0);
         assert!(out.final_modularity > 0.7);
     }
 }

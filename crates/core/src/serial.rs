@@ -13,7 +13,8 @@
 //! meaningless.
 
 use crate::modularity::{
-    best_move, Community, ModularityTracker, MoveContext, NeighborScratch, TRACKER_DRIFT_TOLERANCE,
+    best_move_with_src, Community, ModularityTracker, MoveContext, NeighborScratch,
+    TRACKER_DRIFT_TOLERANCE,
 };
 use crate::phase::{should_stop, PhaseOutcome};
 use grappolo_graph::{CsrGraph, VertexId};
@@ -65,7 +66,10 @@ pub fn serial_phase(
                 a_current: a[cur as usize],
                 gamma: resolution,
             };
-            let decision = best_move(&ctx, &scratch.entries, |c| a[c as usize]);
+            let decision =
+                best_move_with_src(&ctx, &scratch.entries, scratch.weight_to(cur), |c| {
+                    a[c as usize]
+                });
             if decision.target != cur {
                 tracker.apply_move(
                     ctx.k,

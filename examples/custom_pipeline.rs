@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --release --example custom_pipeline`
 
-use grappolo::coloring::{color_classes, is_valid_distance1};
+use grappolo::coloring::is_valid_distance1;
 use grappolo::core::parallel::parallel_phase_colored;
 use grappolo::prelude::*;
 
@@ -26,8 +26,8 @@ fn main() {
     );
 
     // --- 2. Drive a single colored phase directly. ------------------------
-    let classes = color_classes(&coloring);
-    let phase = parallel_phase_colored(&graph, &classes, 1e-2, 100, 1.0);
+    let batches = ColorBatches::from_coloring(&coloring);
+    let phase = parallel_phase_colored(&graph, &batches, 1e-2, 100, 1.0);
     println!(
         "one colored phase: Q = {:.4} after {} iterations",
         phase.final_modularity,

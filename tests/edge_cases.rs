@@ -1,7 +1,13 @@
 //! Edge cases and failure injection across the public API: degenerate
 //! graphs, malformed inputs, extreme configurations, and panic contracts.
 
+use grappolo::coloring::color_parallel;
 use grappolo::core::config::LouvainConfig;
+use grappolo::core::modularity::{
+    community_degrees, community_sizes, IndependentMove, ModularityTracker, NeighborScratch,
+};
+use grappolo::core::parallel::parallel_phase_colored;
+use grappolo::core::reference::parallel_phase_colored_rescan;
 use grappolo::graph::io;
 use grappolo::prelude::*;
 
@@ -125,6 +131,120 @@ fn io_malformed_inputs_error_not_panic() {
 fn io_negative_weight_rejected_at_build() {
     let err = io::read_edge_list("0 1 -3.0\n".as_bytes(), None).unwrap_err();
     assert!(matches!(err, io::IoError::Build(_)), "{err}");
+}
+
+/// Empty color batches (a coloring whose color ids have gaps) are legal
+/// input to the colored sweep and change nothing.
+#[test]
+fn colored_phase_tolerates_empty_batches() {
+    let (g, _) = ring_of_cliques(&CliqueRingConfig {
+        num_cliques: 6,
+        clique_size: 5,
+        ..Default::default()
+    });
+    let coloring = color_parallel(&g, &ParallelColoringConfig::default());
+    let dense = ColorBatches::from_coloring(&coloring);
+    let mut classes: Vec<Vec<u32>> = dense.as_classes().to_vec();
+    classes.insert(1, Vec::new());
+    classes.push(Vec::new());
+    let gappy = ColorBatches::try_from_classes(classes).unwrap();
+    assert_eq!(gappy.num_vertices(), g.num_vertices());
+
+    let a = parallel_phase_colored(&g, &dense, 1e-9, 100, 1.0);
+    let b = parallel_phase_colored(&g, &gappy, 1e-9, 100, 1.0);
+    assert_eq!(a.assignment, b.assignment);
+    assert_eq!(a.iterations, b.iterations);
+}
+
+/// A graph whose only edges are self-loops: every community stays a
+/// singleton, no batch commits a move, and the incremental accounting agrees
+/// with the rescan reference without drifting.
+#[test]
+fn colored_phase_singleton_communities_and_self_loops() {
+    let g = from_weighted_edges(4, [(0, 0, 2.0), (1, 1, 1.0), (3, 3, 4.0)]).unwrap();
+    let coloring = color_parallel(&g, &ParallelColoringConfig::default());
+    let batches = ColorBatches::from_coloring(&coloring);
+    let inc = parallel_phase_colored(&g, &batches, 1e-9, 50, 1.0);
+    let ref_ = parallel_phase_colored_rescan(&g, &batches, 1e-9, 50, 1.0);
+    assert_eq!(inc.assignment, vec![0, 1, 2, 3]);
+    assert_eq!(inc.assignment, ref_.assignment);
+    assert_eq!(inc.iterations.len(), 1);
+    assert_eq!(inc.iterations[0].1, 0, "self-loops must not induce moves");
+    assert_eq!(
+        inc.final_modularity.to_bits(),
+        ref_.final_modularity.to_bits()
+    );
+}
+
+/// A vertex that moves out of its community and back again inside one
+/// iteration (two consecutive batches) must restore the tracker's `e_in`
+/// and `Σ a_C²` *bitwise* — the round trip cancels exactly in the
+/// incremental accounting.
+#[test]
+fn tracker_move_away_and_back_restores_state_bitwise() {
+    let g =
+        from_unweighted_edges(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]).unwrap();
+    let mut assignment = vec![0u32, 0, 0, 1, 1, 1];
+    let mut a = community_degrees(&g, &assignment);
+    let mut sizes = community_sizes(&assignment);
+    let mut tracker = ModularityTracker::new(&g, &assignment, &a, 1.0);
+    let e_in_0 = tracker.e_in.to_bits();
+    let null_0 = tracker.null_sum.to_bits();
+
+    let mut scratch = NeighborScratch::default();
+    let weight_to = |scratch: &NeighborScratch, c: u32| {
+        scratch
+            .entries
+            .iter()
+            .find(|&&(cc, _)| cc == c)
+            .map_or(0.0, |&(_, w)| w)
+    };
+    // Batch 1: bridge vertex 2 defects to community 1; batch 2: back home.
+    for (from, to) in [(0u32, 1u32), (1, 0)] {
+        scratch.gather(&g, &assignment, 2);
+        let moves = [IndependentMove {
+            k: g.weighted_degree(2),
+            e_src: weight_to(&scratch, from),
+            e_tgt: weight_to(&scratch, to),
+            from,
+            to,
+        }];
+        tracker.apply_independent_batch(&moves, &mut a, &mut sizes);
+        assignment[2] = to;
+    }
+
+    assert_eq!(assignment, vec![0, 0, 0, 1, 1, 1]);
+    assert_eq!(tracker.e_in.to_bits(), e_in_0, "e_in round trip not exact");
+    assert_eq!(
+        tracker.null_sum.to_bits(),
+        null_0,
+        "null_sum round trip not exact"
+    );
+    assert_eq!(a, community_degrees(&g, &assignment));
+    assert_eq!(sizes, community_sizes(&assignment));
+}
+
+/// Zero-weight edges are rejected at graph construction (§2 requires
+/// positive weights), so the incremental accounting never has to reason
+/// about them; self-loop-only adjacency plus an isolated vertex is the
+/// closest legal degenerate input and flows through both accounting modes.
+#[test]
+fn colored_accounting_zero_weight_and_self_loop_contract() {
+    assert!(GraphBuilder::new(2).add_edge(0, 1, 0.0).build().is_err());
+    assert!(io::read_edge_list("0 1 0.0\n".as_bytes(), None).is_err());
+
+    // Mixed self-loops + a real edge + an isolated vertex, exact weights.
+    let g = from_weighted_edges(4, [(0, 0, 2.5), (0, 1, 1.5), (2, 2, 3.0)]).unwrap();
+    let coloring = color_parallel(&g, &ParallelColoringConfig::default());
+    let batches = ColorBatches::from_coloring(&coloring);
+    let inc = parallel_phase_colored(&g, &batches, 1e-9, 50, 1.0);
+    let ref_ = parallel_phase_colored_rescan(&g, &batches, 1e-9, 50, 1.0);
+    assert_eq!(inc.assignment, ref_.assignment);
+    assert_eq!(inc.assignment[3], 3, "isolated vertex must stay singleton");
+    assert_eq!(
+        inc.final_modularity.to_bits(),
+        ref_.final_modularity.to_bits()
+    );
 }
 
 #[test]

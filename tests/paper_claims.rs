@@ -1,7 +1,7 @@
 //! The paper's qualitative claims, as executable tests. Each test names the
 //! section it reproduces.
 
-use grappolo::coloring::{color_classes, color_parallel, ParallelColoringConfig};
+use grappolo::coloring::{color_parallel, ParallelColoringConfig};
 use grappolo::core::modularity::{
     best_move, community_degrees, modularity, MoveContext, NeighborScratch,
 };
@@ -123,8 +123,8 @@ fn coloring_accelerates_convergence() {
     });
     let unordered = parallel_phase_unordered(&g, 1e-6, 500, 1.0);
     let coloring = color_parallel(&g, &ParallelColoringConfig::default());
-    let classes = color_classes(&coloring);
-    let colored = parallel_phase_colored(&g, &classes, 1e-6, 500, 1.0);
+    let batches = ColorBatches::from_coloring(&coloring);
+    let colored = parallel_phase_colored(&g, &batches, 1e-6, 500, 1.0);
     assert!(
         colored.num_iterations() <= unordered.num_iterations(),
         "colored {} vs unordered {}",
@@ -132,6 +132,50 @@ fn coloring_accelerates_convergence() {
         unordered.num_iterations()
     );
     assert!(colored.final_modularity >= 0.95 * unordered.final_modularity);
+}
+
+/// PR 3 differential quality claim: the colored pipeline (deterministic
+/// barrier commits + incremental accounting) reaches the same final
+/// modularity and NMI-vs-ground-truth bars as the unordered sweep on the
+/// planted-partition suite, at every thread count — i.e. the accounting
+/// rewrite traded none of the paper's §6.2 quality for determinism/speed.
+#[test]
+fn colored_quality_matches_unordered_across_thread_counts() {
+    for (n, k, seed) in [(2_000usize, 20usize, 5u64), (4_000, 40, 6)] {
+        let (g, truth) = planted_partition(&PlantedConfig {
+            num_vertices: n,
+            num_communities: k,
+            seed,
+            ..Default::default()
+        });
+        let unordered = detect_communities(&g, &Scheme::Baseline.config());
+        let nmi_unordered = normalized_mutual_information(&truth, &unordered.assignment);
+        assert!(nmi_unordered > 0.85, "n={n}: unordered NMI {nmi_unordered}");
+
+        let mut reference: Option<Vec<u32>> = None;
+        for threads in [1usize, 2, 4, 8] {
+            let mut cfg = Scheme::BaselineVfColor.config();
+            cfg.coloring_vertex_cutoff = 128;
+            cfg.num_threads = Some(threads);
+            let colored = detect_communities(&g, &cfg);
+            assert!(
+                colored.modularity > 0.95 * unordered.modularity,
+                "n={n} t={threads}: colored Q {} vs unordered {}",
+                colored.modularity,
+                unordered.modularity
+            );
+            let nmi_colored = normalized_mutual_information(&truth, &colored.assignment);
+            assert!(
+                nmi_colored > 0.85 && nmi_colored > nmi_unordered - 0.05,
+                "n={n} t={threads}: colored NMI {nmi_colored} vs unordered {nmi_unordered}"
+            );
+            // And the colored result itself is thread-count independent.
+            match &reference {
+                None => reference = Some(colored.assignment),
+                Some(r) => assert_eq!(r, &colored.assignment, "n={n} t={threads}"),
+            }
+        }
+    }
 }
 
 /// §6.2.2: "our parallel implementation delivers higher modularity compared

@@ -10,15 +10,20 @@
 //! properties can assert *bitwise* equality, not just tolerance.
 
 use grappolo::coloring::{
-    color_greedy_serial, color_parallel, is_valid_distance1, ParallelColoringConfig,
+    color_greedy_serial, color_parallel, is_valid_distance1, ColorBatches, ParallelColoringConfig,
 };
-use grappolo::core::modularity::{community_degrees, modularity, Community, NeighborScratch};
-use grappolo::core::parallel::parallel_phase_unordered;
+use grappolo::core::modularity::{
+    community_degrees, community_sizes, modularity, Community, IndependentMove, ModularityTracker,
+    NeighborScratch,
+};
+use grappolo::core::parallel::{parallel_phase_colored, parallel_phase_unordered};
 use grappolo::core::rebuild::rebuild;
-use grappolo::core::reference::{gather_sorted, parallel_phase_unordered_sortbased};
+use grappolo::core::reference::{
+    gather_sorted, parallel_phase_colored_rescan, parallel_phase_unordered_sortbased,
+};
 use grappolo::core::serial::serial_modularity;
 use grappolo::core::vf::vf_preprocess;
-use grappolo::core::{RebuildStrategy, RenumberStrategy, Scheme};
+use grappolo::core::{PhaseOutcome, RebuildStrategy, RenumberStrategy, Scheme};
 use grappolo::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -324,6 +329,236 @@ fn detection_is_deterministic() {
         let r2 = detect_with_scheme(&g, Scheme::Baseline);
         assert_eq!(r1.assignment, r2.assignment, "seed {seed}");
         assert_eq!(r1.modularity, r2.modularity, "seed {seed}");
+    }
+}
+
+/// `e_{v→C}` lookups against a gather of `v`'s neighborhood.
+fn edge_weight_to(scratch: &NeighborScratch, c: Community) -> f64 {
+    scratch
+        .entries
+        .iter()
+        .find(|&&(cc, _)| cc == c)
+        .map_or(0.0, |&(_, w)| w)
+}
+
+/// A fresh full-rescan tracker over the current assignment — the
+/// differential reference the incremental state is held against.
+fn rescan_tracker(g: &CsrGraph, assignment: &[Community]) -> ModularityTracker {
+    ModularityTracker::new(g, assignment, &community_degrees(g, assignment), 1.0)
+}
+
+/// **Tracker/rescan equivalence, random move sequences**: after every single
+/// committed move on a random dyadic-weight graph, the incremental tracker's
+/// `e_in`, `Σ a_C²`, and modularity are *bitwise* equal to a from-scratch
+/// full rescan (exact arithmetic makes the different summation orders agree
+/// exactly).
+#[test]
+fn tracker_random_move_sequence_bitwise_matches_rescan() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = random_graph(&mut rng);
+        let n = g.num_vertices();
+        let mut assignment = random_assignment(&mut rng, &g);
+        let mut a = community_degrees(&g, &assignment);
+        let mut tracker = ModularityTracker::new(&g, &assignment, &a, 1.0);
+        let mut scratch = NeighborScratch::default();
+        for step in 0..24 {
+            let v = rng.gen_range(0..n) as u32;
+            let from = assignment[v as usize];
+            let to = rng.gen_range(0..n as Community);
+            if to == from {
+                continue;
+            }
+            scratch.gather(&g, &assignment, v);
+            tracker.apply_move(
+                g.weighted_degree(v),
+                edge_weight_to(&scratch, from),
+                edge_weight_to(&scratch, to),
+                from,
+                to,
+                &mut a,
+            );
+            assignment[v as usize] = to;
+            let reference = rescan_tracker(&g, &assignment);
+            assert_eq!(
+                tracker.e_in.to_bits(),
+                reference.e_in.to_bits(),
+                "seed {seed} step {step}: e_in drifted"
+            );
+            assert_eq!(
+                tracker.null_sum.to_bits(),
+                reference.null_sum.to_bits(),
+                "seed {seed} step {step}: null_sum drifted"
+            );
+            assert_eq!(
+                tracker.modularity().to_bits(),
+                reference.modularity().to_bits(),
+                "seed {seed} step {step}: modularity drifted"
+            );
+        }
+        assert_eq!(a, community_degrees(&g, &assignment), "seed {seed}");
+    }
+}
+
+/// **Tracker/rescan equivalence, independent batches**: random subsets of a
+/// color class (independent sets by construction) committed through
+/// `apply_independent_batch` leave the tracker bitwise equal to the full
+/// rescan — the exact invariant the colored sweep's barrier commit rests on.
+#[test]
+fn tracker_random_independent_batches_bitwise_match_rescan() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = random_graph(&mut rng);
+        let n = g.num_vertices();
+        let batches = ColorBatches::from_coloring(&color_greedy_serial(&g));
+        let mut assignment: Vec<Community> = (0..n as Community).collect();
+        let mut a = community_degrees(&g, &assignment);
+        let mut sizes = community_sizes(&assignment);
+        let mut tracker = ModularityTracker::new(&g, &assignment, &a, 1.0);
+        let mut scratch = NeighborScratch::default();
+        for round in 0..8 {
+            for batch in batches.iter() {
+                // A random sub-batch with random (possibly silly) targets:
+                // correctness of the accounting must not depend on the moves
+                // being gainful.
+                let mut moves: Vec<IndependentMove> = Vec::new();
+                let mut movers: Vec<u32> = Vec::new();
+                for &v in batch {
+                    if rng.gen_range(0..3) != 0 {
+                        continue;
+                    }
+                    let from = assignment[v as usize];
+                    let to = rng.gen_range(0..n as Community);
+                    if to == from {
+                        continue;
+                    }
+                    scratch.gather(&g, &assignment, v);
+                    moves.push(IndependentMove {
+                        k: g.weighted_degree(v),
+                        e_src: edge_weight_to(&scratch, from),
+                        e_tgt: edge_weight_to(&scratch, to),
+                        from,
+                        to,
+                    });
+                    movers.push(v);
+                }
+                tracker.apply_independent_batch(&moves, &mut a, &mut sizes);
+                for (mv, &v) in moves.iter().zip(&movers) {
+                    assignment[v as usize] = mv.to;
+                }
+                let reference = rescan_tracker(&g, &assignment);
+                assert_eq!(
+                    tracker.e_in.to_bits(),
+                    reference.e_in.to_bits(),
+                    "seed {seed} round {round}: e_in drifted"
+                );
+                assert_eq!(
+                    tracker.null_sum.to_bits(),
+                    reference.null_sum.to_bits(),
+                    "seed {seed} round {round}: null_sum drifted"
+                );
+            }
+        }
+        assert_eq!(a, community_degrees(&g, &assignment), "seed {seed}");
+        assert_eq!(sizes, community_sizes(&assignment), "seed {seed}");
+    }
+}
+
+/// The seeded generator suite the colored differential tests sweep: ER
+/// (negative control), planted partition (community-rich), RMAT
+/// (skewed-degree). All integer-weight, so all accounting is exact.
+fn colored_suite() -> Vec<(&'static str, CsrGraph)> {
+    vec![
+        (
+            "er",
+            erdos_renyi(&ErConfig {
+                num_vertices: 4_000,
+                num_edges: 20_000,
+                seed: 11,
+            }),
+        ),
+        (
+            "planted",
+            planted_partition(&PlantedConfig {
+                num_vertices: 6_000,
+                num_communities: 40,
+                seed: 12,
+                ..Default::default()
+            })
+            .0,
+        ),
+        (
+            "rmat",
+            rmat(&RmatConfig {
+                scale: 12,
+                num_edges: 40_000,
+                seed: 13,
+                ..Default::default()
+            }),
+        ),
+    ]
+}
+
+fn assert_outcomes_bitwise_equal(a: &PhaseOutcome, b: &PhaseOutcome, what: &str) {
+    assert_eq!(a.assignment, b.assignment, "{what}: assignments differ");
+    assert_eq!(
+        a.iterations.len(),
+        b.iterations.len(),
+        "{what}: iteration counts differ"
+    );
+    for (i, (x, y)) in a.iterations.iter().zip(&b.iterations).enumerate() {
+        assert_eq!(x.1, y.1, "{what}: iteration {i} move counts differ");
+        assert_eq!(
+            x.0.to_bits(),
+            y.0.to_bits(),
+            "{what}: iteration {i} modularity differs ({} vs {})",
+            x.0,
+            y.0
+        );
+    }
+    assert_eq!(
+        a.final_modularity.to_bits(),
+        b.final_modularity.to_bits(),
+        "{what}: final modularity differs"
+    );
+}
+
+/// **Colored sweep differential**: the incremental-accounting colored phase
+/// and the retained full-rescan reference walk bitwise-identical
+/// trajectories (assignments, per-iteration move counts *and* modularities)
+/// over the seeded ER/planted/RMAT suite.
+#[test]
+fn colored_phase_matches_rescan_reference() {
+    for (name, g) in colored_suite() {
+        let coloring = color_parallel(&g, &ParallelColoringConfig::default());
+        let batches = ColorBatches::from_coloring(&coloring);
+        let fast = parallel_phase_colored(&g, &batches, 1e-9, 64, 1.0);
+        let slow = parallel_phase_colored_rescan(&g, &batches, 1e-9, 64, 1.0);
+        assert_outcomes_bitwise_equal(&fast, &slow, name);
+    }
+}
+
+/// **Colored sweep stability**: bitwise-identical outcomes at 1/2/3/4/8
+/// worker threads — the §5.4 guarantee extended to the colored phase by the
+/// barrier-commit scheme (the historical atomic commits could not make this
+/// promise).
+#[test]
+fn colored_phase_bitwise_stable_across_thread_counts() {
+    for (name, g) in colored_suite() {
+        let coloring = color_parallel(&g, &ParallelColoringConfig::default());
+        let batches = ColorBatches::from_coloring(&coloring);
+        let run = |threads: usize| {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            pool.install(|| parallel_phase_colored(&g, &batches, 1e-9, 64, 1.0))
+        };
+        let reference = run(1);
+        for threads in [2usize, 3, 4, 8] {
+            let out = run(threads);
+            assert_outcomes_bitwise_equal(&reference, &out, &format!("{name}@{threads}"));
+        }
     }
 }
 
