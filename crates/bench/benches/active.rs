@@ -1,0 +1,93 @@
+//! Criterion benchmark for the **dirty-vertex (active-set) sweeps** — the
+//! end-to-end payoff of activity-proportional iterations.
+//!
+//! Unlike the `sweep` bench (which pins a fixed iteration budget so both
+//! kernels do identical work), every measurement here runs a whole phase
+//! **to convergence**: that is where pruning pays, because late iterations
+//! move <1% of vertices while a full sweep still gathers all `m` adjacency
+//! entries. Four variants per input:
+//!
+//! * `unordered_full` / `unordered_active` — [`parallel_phase_unordered_sweep`]
+//!   under [`SweepMode::Full`] vs [`SweepMode::Active`];
+//! * `colored_full` / `colored_active` — the colored analogue (coloring
+//!   precomputed outside the timed region).
+//!
+//! The PR 4 acceptance bar is **active ≥ 1.5× faster end-to-end** than full
+//! on the cached ~1.15 M-edge RMAT graph (the ingest/sweep benches' shared
+//! cache entry), with unchanged Q/NMI bars (see `tests/properties.rs` and
+//! `tests/paper_claims.rs` for the quality side of that contract).
+//!
+//! `cargo bench --bench active` emits `BENCH_active.json`, which the CI
+//! perf gate tracks against the committed baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use grappolo_bench::cached_graph;
+use grappolo_coloring::{color_parallel, ColorBatches, ParallelColoringConfig};
+use grappolo_core::parallel::{parallel_phase_colored_sweep, parallel_phase_unordered_sweep};
+use grappolo_core::SweepMode;
+use grappolo_graph::gen::{planted_partition, rmat, PlantedConfig, RmatConfig};
+use grappolo_graph::CsrGraph;
+
+/// Convergence threshold matching the driver's uncolored default; the same
+/// input therefore runs the same number of moving iterations every sample.
+const THRESHOLD: f64 = 1e-6;
+
+/// Safety cap well above any observed convergence length.
+const MAX_ITERS: usize = 10_000;
+
+fn bench_active(c: &mut Criterion) {
+    let mut group = c.benchmark_group("active");
+
+    let bench_input = |group: &mut criterion::BenchmarkGroup<'_>, label: &str, g: &CsrGraph| {
+        let batches =
+            ColorBatches::from_coloring(&color_parallel(g, &ParallelColoringConfig::default()));
+        group.throughput(Throughput::Elements(g.num_adjacency_entries() as u64));
+        for (id, sweep) in [
+            ("unordered_full", SweepMode::Full),
+            ("unordered_active", SweepMode::Active),
+        ] {
+            group.bench_with_input(BenchmarkId::new(id, label), &g, |b, g| {
+                b.iter(|| parallel_phase_unordered_sweep(g, sweep, THRESHOLD, MAX_ITERS, 1.0));
+            });
+        }
+        for (id, sweep) in [
+            ("colored_full", SweepMode::Full),
+            ("colored_active", SweepMode::Active),
+        ] {
+            group.bench_with_input(BenchmarkId::new(id, label), &(g, &batches), |b, (g, bt)| {
+                b.iter(|| parallel_phase_colored_sweep(g, bt, sweep, THRESHOLD, MAX_ITERS, 1.0));
+            });
+        }
+    };
+
+    let planted = cached_graph("sweep_planted_100000", || {
+        planted_partition(&PlantedConfig {
+            num_vertices: 100_000,
+            num_communities: 1_000,
+            ..Default::default()
+        })
+        .0
+    });
+    bench_input(&mut group, "planted100k", &planted);
+
+    // The acceptance-bar input: the same cached ~1.15 M-edge RMAT graph the
+    // ingest and sweep benches use (shared .grb cache entry).
+    let big = cached_graph("rmat_s18_m1200k_seed1", || {
+        rmat(&RmatConfig {
+            scale: 18,
+            num_edges: 1_200_000,
+            seed: 1,
+            ..Default::default()
+        })
+    });
+    bench_input(&mut group, "rmat1150k", &big);
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_active
+}
+criterion_main!(benches);

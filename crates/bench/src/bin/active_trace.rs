@@ -1,0 +1,70 @@
+//! Trajectory inspection for the full-vs-active sweep pair: per-iteration
+//! modularity and move counts (as a fraction of `n` — the activity the
+//! pruned schedule is proportional to) for every sweep variant on the
+//! cached bench inputs. This is the data behind `BENCH_active.json`:
+//! where the move fraction collapses, `--sweep active` pays off; where it
+//! stays dense, pruning never engages and the schedules are identical.
+//!
+//! ```text
+//! active_trace [planted|rmat]
+//! ```
+
+use grappolo_bench::cached_graph;
+use grappolo_coloring::{color_parallel, ColorBatches, ParallelColoringConfig};
+use grappolo_core::parallel::{parallel_phase_colored_sweep, parallel_phase_unordered_sweep};
+use grappolo_core::{PhaseOutcome, SweepMode};
+use grappolo_graph::gen::{planted_partition, rmat, PlantedConfig, RmatConfig};
+use grappolo_graph::CsrGraph;
+
+fn show(name: &str, g: &CsrGraph, out: &PhaseOutcome) {
+    println!(
+        "{name}: {} iterations, final Q {:.6}",
+        out.num_iterations(),
+        out.final_modularity
+    );
+    let n = g.num_vertices();
+    for (i, &(q, moves)) in out.iterations.iter().enumerate() {
+        println!(
+            "  iter {i:>3}: Q {q:+.6}  moves {moves:>8}  ({:.2}% of n)",
+            100.0 * moves as f64 / n as f64
+        );
+    }
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "rmat".into());
+    let g = match which.as_str() {
+        "planted" => cached_graph("sweep_planted_100000", || {
+            planted_partition(&PlantedConfig {
+                num_vertices: 100_000,
+                num_communities: 1_000,
+                ..Default::default()
+            })
+            .0
+        }),
+        _ => cached_graph("rmat_s18_m1200k_seed1", || {
+            rmat(&RmatConfig {
+                scale: 18,
+                num_edges: 1_200_000,
+                seed: 1,
+                ..Default::default()
+            })
+        }),
+    };
+    println!(
+        "input: n={} M={} (adjacency entries {})",
+        g.num_vertices(),
+        g.num_edges(),
+        g.num_adjacency_entries()
+    );
+    let batches =
+        ColorBatches::from_coloring(&color_parallel(&g, &ParallelColoringConfig::default()));
+    for (label, sweep) in [("full", SweepMode::Full), ("active", SweepMode::Active)] {
+        let out = parallel_phase_unordered_sweep(&g, sweep, 1e-6, 10_000, 1.0);
+        show(&format!("unordered/{label}"), &g, &out);
+    }
+    for (label, sweep) in [("full", SweepMode::Full), ("active", SweepMode::Active)] {
+        let out = parallel_phase_colored_sweep(&g, &batches, sweep, 1e-6, 10_000, 1.0);
+        show(&format!("colored/{label}"), &g, &out);
+    }
+}

@@ -1,7 +1,7 @@
 //! Hand-rolled argument parsing (keeps the dependency set to the
 //! offline-sanctioned crates).
 
-use grappolo_core::{ColoredAccounting, Scheme};
+use grappolo_core::{ColoredAccounting, Scheme, SweepMode};
 use std::path::PathBuf;
 
 /// Usage text printed on parse errors and `--help`.
@@ -12,13 +12,18 @@ USAGE:
   grappolo generate <input-id> [--scale F] [--seed N] -o FILE
       input-id: cnr | copapersdblp | channel | europe-osm | soc-livejournal |
                 mg1 | rgg | uk-2002 | nlpkkt240 | mg2 | friendster
+      synthetic families (CI scenario matrix): er | planted | rmat
   grappolo stats <graph-file>
   grappolo detect <graph-file> [--scheme serial|baseline|vf|color]
                   [--threads N] [--gamma F] [--assignments FILE] [--trace FILE]
-                  [--accounting incremental|rescan]
+                  [--accounting incremental|rescan] [--sweep full|active]
       --accounting: colored-sweep modularity accounting — `incremental`
       (default; O(#moves) deltas at each color-batch barrier) or `rescan`
       (the historical full-recompute baseline, for differential runs)
+      --sweep: iteration schedule — `full` (default; every iteration scans
+      all vertices, the paper's trajectory) or `active` (dirty-vertex work
+      lists: only vertices whose neighborhood changed are re-examined;
+      activity-proportional iterations, deterministic across thread counts)
   grappolo color <graph-file> [--balanced]
   grappolo compare <assignments-a> <assignments-b>
   grappolo convert <in-file> <out-file>
@@ -63,6 +68,8 @@ pub enum Command {
         trace: Option<PathBuf>,
         /// Colored-sweep modularity accounting mode.
         accounting: ColoredAccounting,
+        /// Sweep iteration schedule (full vs dirty-vertex work lists).
+        sweep: SweepMode,
     },
     /// Color a graph and report class statistics.
     Color {
@@ -195,6 +202,11 @@ fn parse_detect(rest: &[&str]) -> Result<Command, String> {
         "rescan" => ColoredAccounting::Rescan,
         other => return Err(format!("unknown --accounting `{other}`")),
     };
+    let sweep = match flag_value(rest, "--sweep")?.unwrap_or("full") {
+        "full" => SweepMode::Full,
+        "active" => SweepMode::Active,
+        other => return Err(format!("unknown --sweep `{other}`")),
+    };
     Ok(Command::Detect {
         path: path.into(),
         scheme,
@@ -203,6 +215,7 @@ fn parse_detect(rest: &[&str]) -> Result<Command, String> {
         assignments,
         trace,
         accounting,
+        sweep,
     })
 }
 
@@ -259,6 +272,7 @@ mod tests {
                 assignments,
                 trace,
                 accounting,
+                sweep,
                 ..
             } => {
                 assert_eq!(scheme, Scheme::BaselineVf);
@@ -267,9 +281,24 @@ mod tests {
                 assert_eq!(assignments, Some("out.txt".into()));
                 assert_eq!(trace, None);
                 assert_eq!(accounting, ColoredAccounting::Incremental);
+                assert_eq!(sweep, SweepMode::Full);
             }
             _ => panic!(),
         }
+    }
+
+    #[test]
+    fn detect_sweep_modes() {
+        match parse(&args("detect g.bin --sweep active")).unwrap() {
+            Command::Detect { sweep, .. } => assert_eq!(sweep, SweepMode::Active),
+            _ => panic!(),
+        }
+        match parse(&args("detect g.bin --sweep full")).unwrap() {
+            Command::Detect { sweep, .. } => assert_eq!(sweep, SweepMode::Full),
+            _ => panic!(),
+        }
+        assert!(parse(&args("detect g.bin --sweep lazy")).is_err());
+        assert!(parse(&args("detect g.bin --sweep")).is_err());
     }
 
     #[test]

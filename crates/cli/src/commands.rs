@@ -2,8 +2,11 @@
 
 use crate::args::{Command, USAGE};
 use grappolo_coloring::{balance_colors, color_parallel, ColoringStats, ParallelColoringConfig};
-use grappolo_core::{detect_communities, ColoredAccounting, LouvainConfig, Scheme};
+use grappolo_core::{detect_communities, ColoredAccounting, LouvainConfig, Scheme, SweepMode};
 use grappolo_graph::gen::paper_suite::PaperInput;
+use grappolo_graph::gen::{
+    erdos_renyi, planted_partition, rmat, ErConfig, PlantedConfig, RmatConfig,
+};
 use grappolo_graph::{io, CsrGraph, GraphStats};
 use grappolo_metrics::{normalized_mutual_information, pairwise_comparison};
 use std::path::Path;
@@ -31,6 +34,7 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             assignments,
             trace,
             accounting,
+            sweep,
         } => detect(
             &path,
             scheme,
@@ -39,6 +43,7 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             assignments.as_deref(),
             trace.as_deref(),
             accounting,
+            sweep,
         ),
         Command::Color { path, balanced } => color(&path, balanced),
         Command::Compare { a, b } => compare(&a, &b),
@@ -50,19 +55,62 @@ fn load(path: &Path) -> Result<CsrGraph, String> {
     io::load_path(path).map_err(|e| format!("loading {}: {e}", path.display()))
 }
 
+/// Synthetic base-family generation for ids outside the paper suite — the
+/// three graph classes the differential tests and the CI scenario matrix
+/// sweep: ER (no community structure, negative control), planted partition
+/// (community-rich), RMAT (skewed degrees). `scale` multiplies the base
+/// sizes (n = 40 K at scale 1.0).
+fn generate_family(input: &str, scale: f64, seed: u64) -> Option<(&'static str, CsrGraph)> {
+    let n = ((40_000.0 * scale) as usize).max(16);
+    match input {
+        "er" => Some((
+            "Erdős–Rényi",
+            erdos_renyi(&ErConfig {
+                num_vertices: n,
+                num_edges: n * 5,
+                seed,
+            }),
+        )),
+        "planted" => Some((
+            "planted partition",
+            planted_partition(&PlantedConfig {
+                num_vertices: n,
+                num_communities: (n / 100).max(2),
+                seed,
+                ..Default::default()
+            })
+            .0,
+        )),
+        "rmat" => Some((
+            "RMAT",
+            rmat(&RmatConfig {
+                scale: (n as f64).log2().ceil().max(4.0) as u32,
+                num_edges: n * 5,
+                seed,
+                ..Default::default()
+            }),
+        )),
+        _ => None,
+    }
+}
+
 fn generate(input: &str, scale: f64, seed: u64, output: &Path) -> Result<(), String> {
-    let proxy = PaperInput::from_id(input).ok_or_else(|| {
-        format!(
-            "unknown input id `{input}`; valid: {}",
-            PaperInput::ALL.map(|p| p.id()).join(", ")
-        )
-    })?;
     let t = Instant::now();
-    let g = proxy.generate(scale, seed);
+    let (name, g) = if let Some((name, g)) = generate_family(input, scale, seed) {
+        (name, g)
+    } else {
+        let proxy = PaperInput::from_id(input).ok_or_else(|| {
+            format!(
+                "unknown input id `{input}`; valid: er, planted, rmat, {}",
+                PaperInput::ALL.map(|p| p.id()).join(", ")
+            )
+        })?;
+        (proxy.reference().name, proxy.generate(scale, seed))
+    };
     io::save_path(&g, output).map_err(|e| format!("writing {}: {e}", output.display()))?;
     println!(
         "generated {} proxy: n={} M={} → {} in {:.2?}",
-        proxy.reference().name,
+        name,
         g.num_vertices(),
         g.num_edges(),
         output.display(),
@@ -95,11 +143,13 @@ fn detect(
     assignments: Option<&Path>,
     trace: Option<&Path>,
     accounting: ColoredAccounting,
+    sweep: SweepMode,
 ) -> Result<(), String> {
     let g = load(path)?;
     let mut config: LouvainConfig = scheme.config();
     config.resolution = gamma;
     config.colored_accounting = accounting;
+    config.sweep_mode = sweep;
     if let Some(t) = threads {
         config.num_threads = Some(t);
     }
@@ -273,6 +323,7 @@ mod tests {
             assignments: Some(assign_path.clone()),
             trace: Some(tmp("trace.json")),
             accounting: ColoredAccounting::Incremental,
+            sweep: SweepMode::Full,
         })
         .unwrap();
 
@@ -310,6 +361,7 @@ mod tests {
                 assignments: Some(out.clone()),
                 trace: None,
                 accounting,
+                sweep: SweepMode::Full,
             })
             .unwrap();
         }
@@ -318,6 +370,57 @@ mod tests {
             read_assignments(&out_res).unwrap(),
             "accounting modes diverged"
         );
+    }
+
+    #[test]
+    fn detect_active_sweep_deterministic_across_thread_counts() {
+        // CLI-level determinism for the dirty-vertex schedule: identical
+        // assignments at 1 and 4 worker threads, for the colored scheme.
+        let graph_path = tmp("sweep.grb");
+        execute(Command::Generate {
+            input: "planted".into(),
+            scale: 0.05,
+            seed: 9,
+            output: graph_path.clone(),
+        })
+        .unwrap();
+        let out1 = tmp("sweep_a1.txt");
+        let out4 = tmp("sweep_a4.txt");
+        for (out, threads) in [(&out1, 1usize), (&out4, 4)] {
+            execute(Command::Detect {
+                path: graph_path.clone(),
+                scheme: Scheme::BaselineVfColor,
+                threads: Some(threads),
+                gamma: 1.0,
+                assignments: Some(out.clone()),
+                trace: None,
+                accounting: ColoredAccounting::Incremental,
+                sweep: SweepMode::Active,
+            })
+            .unwrap();
+        }
+        assert_eq!(
+            read_assignments(&out1).unwrap(),
+            read_assignments(&out4).unwrap(),
+            "active sweep diverged across thread counts"
+        );
+    }
+
+    #[test]
+    fn generate_synthetic_families() {
+        for family in ["er", "planted", "rmat"] {
+            let p = tmp(&format!("fam_{family}.grb"));
+            execute(Command::Generate {
+                input: family.into(),
+                scale: 0.02,
+                seed: 1,
+                output: p.clone(),
+            })
+            .unwrap();
+            let g = io::load_path(&p).unwrap();
+            assert!(g.num_vertices() > 0, "{family}");
+            assert!(g.num_edges() > 0, "{family}");
+        }
     }
 
     #[test]

@@ -31,9 +31,36 @@ impl ColorBatches {
     /// Groups `coloring` into batches: `batch k` holds the vertices of color
     /// `k` in ascending id order.
     pub fn from_coloring(coloring: &Coloring) -> Self {
-        Self {
-            classes: color_classes(coloring),
-        }
+        // `color_classes` scans vertices in ascending id order, so each
+        // class is strictly ascending and duplicate-free by construction —
+        // the trusted path needs no re-validation.
+        Self::from_validated_classes(color_classes(coloring))
+    }
+
+    /// Wraps classes **already known** to satisfy the batch contract (each
+    /// class strictly ascending, no vertex in two classes) without the
+    /// O(n log n) re-validation [`ColorBatches::try_from_classes`] performs
+    /// — for classes produced by this crate's own validated colorings
+    /// (`greedy`, `parallel`, [`color_classes`]). The contract is still
+    /// checked under `debug_assertions`; external or hand-assembled classes
+    /// must go through [`ColorBatches::try_from_classes`] instead, because a
+    /// contract violation here corrupts the colored sweep's size and
+    /// modularity accounting.
+    pub fn from_validated_classes(classes: Vec<Vec<VertexId>>) -> Self {
+        let batches = Self { classes };
+        debug_assert!(
+            batches.is_stably_ordered(),
+            "from_validated_classes received unsorted classes"
+        );
+        debug_assert!(
+            {
+                let mut all: Vec<VertexId> = batches.classes.iter().flatten().copied().collect();
+                all.sort_unstable();
+                all.windows(2).all(|w| w[0] != w[1])
+            },
+            "from_validated_classes received a duplicated vertex"
+        );
+        batches
     }
 
     /// Wraps externally assembled classes, validating the batch contract the
@@ -79,6 +106,21 @@ impl ColorBatches {
     /// The underlying classes, ascending color order.
     pub fn as_classes(&self) -> &[Vec<VertexId>] {
         &self.classes
+    }
+
+    /// Copies the vertices of batch `color` that satisfy `keep` into `out`
+    /// (cleared first), preserving ascending order — the active-set
+    /// filtering hook of the dirty-vertex sweeps. A filtered batch is a
+    /// subset of an independent set, so it is itself independent and keeps
+    /// the stable commit order.
+    pub fn filter_batch_into(
+        &self,
+        color: usize,
+        mut keep: impl FnMut(VertexId) -> bool,
+        out: &mut Vec<VertexId>,
+    ) {
+        out.clear();
+        out.extend(self.classes[color].iter().copied().filter(|&v| keep(v)));
     }
 
     /// True when every batch is strictly ascending (always holds for
@@ -130,6 +172,37 @@ mod tests {
         assert!(ColorBatches::try_from_classes(vec![vec![1, 1]]).is_err());
         // A vertex may not belong to two batches.
         assert!(ColorBatches::try_from_classes(vec![vec![0, 7], vec![1], vec![7]]).is_err());
+    }
+
+    #[test]
+    fn from_validated_classes_trusts_without_sorting() {
+        let classes = vec![vec![1u32, 4], vec![0, 2], vec![3]];
+        let trusted = ColorBatches::from_validated_classes(classes.clone());
+        let checked = ColorBatches::try_from_classes(classes).unwrap();
+        assert_eq!(trusted, checked);
+        assert!(trusted.is_stably_ordered());
+        // Empty classes are fine on the trusted path too.
+        let gap = ColorBatches::from_validated_classes(vec![vec![0], vec![], vec![1]]);
+        assert_eq!(gap.num_batches(), 3);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "unsorted")]
+    fn from_validated_classes_debug_checks_order() {
+        let _ = ColorBatches::from_validated_classes(vec![vec![2, 0]]);
+    }
+
+    #[test]
+    fn filter_batch_preserves_ascending_order() {
+        let batches = ColorBatches::from_coloring(&vec![0, 1, 0, 1, 0, 0]);
+        let mut out = vec![99u32]; // must be cleared
+        batches.filter_batch_into(0, |v| v % 4 == 0, &mut out);
+        assert_eq!(out, vec![0, 4]);
+        batches.filter_batch_into(1, |_| true, &mut out);
+        assert_eq!(out, vec![1, 3]);
+        batches.filter_batch_into(1, |_| false, &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

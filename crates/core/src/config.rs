@@ -98,6 +98,26 @@ pub enum ColoredAccounting {
     Rescan,
 }
 
+/// Which vertices a sweep iteration re-examines (PR 4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SweepMode {
+    /// Every iteration scans all `n` vertices and gathers all `m` adjacency
+    /// entries — the paper's scheme, and the decision-trajectory reference
+    /// (default).
+    Full,
+    /// Iteration `k` re-examines only the **active** vertices: those that
+    /// moved in iteration `k−1` or had a neighbor move
+    /// ([`crate::active::ActiveSet`], rebuilt deterministically from the
+    /// committed move list). Pruning is deferred — iterations run the plain
+    /// full path (bitwise identical to `Full`) until the move count first
+    /// drops to the [`crate::active::ActiveSet::engages`] bound, then
+    /// become activity-proportional: late iterations where <1% of vertices
+    /// move cost O(activity) instead of O(m), while staying bitwise
+    /// deterministic across thread counts. Final quality matches `Full`
+    /// within the paper's tolerance (property-tested).
+    Active,
+}
+
 /// How the inter-phase graph rebuild aggregates community edges (§5.5 step
 /// (iii) and the DESIGN.md ablation).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -148,6 +168,9 @@ pub struct LouvainConfig {
     pub balanced_coloring: bool,
     /// How colored phases account per-iteration modularity.
     pub colored_accounting: ColoredAccounting,
+    /// Which vertices each sweep iteration re-examines (all sweeps: serial,
+    /// unordered, colored).
+    pub sweep_mode: SweepMode,
     /// Net modularity gain threshold θ within colored phases (paper: 1e-2;
     /// Table 5 sweeps this).
     pub colored_threshold: f64,
@@ -180,6 +203,7 @@ impl Default for LouvainConfig {
             coloring_phase_gain_cutoff: 1e-2,
             balanced_coloring: false,
             colored_accounting: ColoredAccounting::Incremental,
+            sweep_mode: SweepMode::Full,
             colored_threshold: 1e-2,
             final_threshold: 1e-6,
             max_phases: 64,
@@ -218,6 +242,15 @@ impl LouvainConfig {
         if self.vf_rounds == 0 && self.use_vf {
             return Err("use_vf requires vf_rounds ≥ 1".into());
         }
+        if self.colored_accounting == ColoredAccounting::Rescan
+            && self.sweep_mode == SweepMode::Active
+        {
+            return Err(
+                "rescan accounting is the full-sweep differential reference; \
+                 combine it with sweep_mode = Full"
+                    .into(),
+            );
+        }
         Ok(())
     }
 }
@@ -235,6 +268,37 @@ mod tests {
         assert!(v.parallel && v.use_vf && v.coloring == ColoringSchedule::Off);
         let c = Scheme::BaselineVfColor.config();
         assert!(c.parallel && c.use_vf && c.coloring == ColoringSchedule::MultiPhase);
+    }
+
+    #[test]
+    fn default_sweep_mode_is_the_paper_trajectory() {
+        // `Full` is the reference: every scheme config walks the paper's
+        // full-sweep trajectory unless the caller opts into pruning.
+        assert_eq!(LouvainConfig::default().sweep_mode, SweepMode::Full);
+        for scheme in Scheme::ALL {
+            assert_eq!(scheme.config().sweep_mode, SweepMode::Full, "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn rescan_accounting_rejects_active_sweeps() {
+        let c = LouvainConfig {
+            colored_accounting: ColoredAccounting::Rescan,
+            sweep_mode: SweepMode::Active,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let ok = LouvainConfig {
+            colored_accounting: ColoredAccounting::Rescan,
+            sweep_mode: SweepMode::Full,
+            ..Default::default()
+        };
+        assert!(ok.validate().is_ok());
+        let ok2 = LouvainConfig {
+            sweep_mode: SweepMode::Active,
+            ..Default::default()
+        };
+        assert!(ok2.validate().is_ok());
     }
 
     #[test]

@@ -6,11 +6,11 @@ use crate::config::{ColoredAccounting, ColoringSchedule, LouvainConfig, Scheme};
 use crate::dendrogram::{Dendrogram, DendrogramLevel};
 use crate::history::{IterationRecord, PhaseRecord, PhaseTimings, RunTrace};
 use crate::modularity::{modularity_with_resolution, Community};
-use crate::parallel::{parallel_phase_colored, parallel_phase_unordered};
+use crate::parallel::{parallel_phase_colored_sweep, parallel_phase_unordered_sweep};
 use crate::phase::PhaseOutcome;
 use crate::rebuild::{rebuild, renumber_communities};
 use crate::reference::parallel_phase_colored_rescan;
-use crate::serial::{serial_modularity, serial_phase};
+use crate::serial::{serial_modularity, serial_phase_sweep};
 use crate::vf::{vf_preprocess_recursive, VfResult};
 use grappolo_coloring::{
     balance_colors, color_parallel, ColorBatches, ColoringStats, ParallelColoringConfig,
@@ -131,27 +131,37 @@ fn run_inner(g: &CsrGraph, config: &LouvainConfig) -> CommunityResult {
         };
         let t_cluster = Instant::now();
         let outcome: PhaseOutcome = if !config.parallel {
-            serial_phase(
+            serial_phase_sweep(
                 &work,
+                config.sweep_mode,
                 threshold,
                 config.max_iterations_per_phase,
                 config.resolution,
             )
         } else if colored {
-            let phase_fn = match config.colored_accounting {
-                ColoredAccounting::Incremental => parallel_phase_colored,
-                ColoredAccounting::Rescan => parallel_phase_colored_rescan,
-            };
-            phase_fn(
-                &work,
-                &batches,
-                threshold,
-                config.max_iterations_per_phase,
-                config.resolution,
-            )
+            match config.colored_accounting {
+                ColoredAccounting::Incremental => parallel_phase_colored_sweep(
+                    &work,
+                    &batches,
+                    config.sweep_mode,
+                    threshold,
+                    config.max_iterations_per_phase,
+                    config.resolution,
+                ),
+                // The rescan reference is full-sweep by definition;
+                // `LouvainConfig::validate` rejects Rescan + Active.
+                ColoredAccounting::Rescan => parallel_phase_colored_rescan(
+                    &work,
+                    &batches,
+                    threshold,
+                    config.max_iterations_per_phase,
+                    config.resolution,
+                ),
+            }
         } else {
-            parallel_phase_unordered(
+            parallel_phase_unordered_sweep(
                 &work,
+                config.sweep_mode,
                 threshold,
                 config.max_iterations_per_phase,
                 config.resolution,
@@ -444,6 +454,45 @@ mod tests {
             .map(|r| r.modularity.to_bits())
             .collect();
         assert_eq!(q_inc, q_res, "per-iteration modularity trajectories differ");
+    }
+
+    #[test]
+    fn active_sweep_mode_end_to_end() {
+        // The driver-level contract for the dirty-vertex schedule: every
+        // scheme completes under `SweepMode::Active` with quality within
+        // the paper's tolerance of the full-sweep run, and the parallel
+        // schemes stay bitwise stable across thread counts.
+        let (g, _) = planted();
+        for scheme in Scheme::ALL {
+            let mut cfg = if scheme == Scheme::BaselineVfColor {
+                colored_config()
+            } else {
+                scheme.config()
+            };
+            let full = detect_communities(&g, &cfg);
+            cfg.sweep_mode = crate::config::SweepMode::Active;
+            let active = detect_communities(&g, &cfg);
+            assert!(
+                active.modularity >= 0.95 * full.modularity,
+                "{}: active Q {} vs full Q {}",
+                scheme.name(),
+                active.modularity,
+                full.modularity
+            );
+            if scheme != Scheme::Serial {
+                cfg.num_threads = Some(1);
+                let r1 = detect_communities(&g, &cfg);
+                cfg.num_threads = Some(8);
+                let r8 = detect_communities(&g, &cfg);
+                assert_eq!(r1.assignment, r8.assignment, "{}", scheme.name());
+                assert_eq!(
+                    r1.modularity.to_bits(),
+                    r8.modularity.to_bits(),
+                    "{}",
+                    scheme.name()
+                );
+            }
+        }
     }
 
     #[test]

@@ -30,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+pub mod active;
 pub mod config;
 pub mod dendrogram;
 pub mod driver;
@@ -42,8 +43,10 @@ pub mod reference;
 pub mod serial;
 pub mod vf;
 
+pub use active::ActiveSet;
 pub use config::{
     ColoredAccounting, ColoringSchedule, LouvainConfig, RebuildStrategy, RenumberStrategy, Scheme,
+    SweepMode,
 };
 pub use dendrogram::{Dendrogram, DendrogramLevel};
 pub use driver::{detect_communities, detect_with_scheme, CommunityResult};

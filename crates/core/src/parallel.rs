@@ -21,6 +21,8 @@
 //!   iteration (retained as
 //!   [`crate::reference::parallel_phase_colored_rescan`]).
 
+use crate::active::ActiveSet;
+use crate::config::SweepMode;
 use crate::modularity::{
     best_move_with_src, Community, IndependentMove, ModularityTracker, MoveContext, MoveDecision,
     NeighborScratch, ScratchPool, TRACKER_DRIFT_TOLERANCE,
@@ -29,6 +31,17 @@ use crate::phase::{should_stop, singlet_veto, PhaseOutcome};
 use grappolo_coloring::ColorBatches;
 use grappolo_graph::{CsrGraph, VertexId};
 use rayon::prelude::*;
+
+/// Runs one **unordered** (non-colored) parallel phase to convergence with
+/// the full-sweep schedule — see [`parallel_phase_unordered_sweep`].
+pub fn parallel_phase_unordered(
+    g: &CsrGraph,
+    threshold: f64,
+    max_iterations: usize,
+    resolution: f64,
+) -> PhaseOutcome {
+    parallel_phase_unordered_sweep(g, SweepMode::Full, threshold, max_iterations, resolution)
+}
 
 /// Runs one **unordered** (non-colored) parallel phase to convergence.
 ///
@@ -40,26 +53,34 @@ use rayon::prelude::*;
 /// rescan survives as a `debug_assert` cross-check). All updates are
 /// applied in deterministic order, preserving the §5.4 bitwise-stability
 /// guarantee across thread counts.
-pub fn parallel_phase_unordered(
+///
+/// `sweep` selects the iteration schedule: [`SweepMode::Full`] re-examines
+/// every vertex each iteration (the paper's scheme); [`SweepMode::Active`]
+/// re-examines only the dirty vertices — those whose neighborhood changed in
+/// the previous iteration ([`ActiveSet`], rebuilt from the committed move
+/// list) — making late iterations activity-proportional while staying
+/// bitwise deterministic across thread counts. Pruning is **deferred**: the
+/// phase runs the plain full-iteration path (bitwise identical to `Full`,
+/// zero overhead) until an iteration's move count first drops to the
+/// [`ActiveSet::engages`] bound, because a frontier derived from a dense
+/// move set would be near-saturated and save nothing.
+pub fn parallel_phase_unordered_sweep(
     g: &CsrGraph,
+    sweep: SweepMode,
     threshold: f64,
     max_iterations: usize,
     resolution: f64,
 ) -> PhaseOutcome {
     let n = g.num_vertices();
     let m = g.total_weight();
-    let mut c_prev: Vec<Community> = (0..n as Community).collect();
     if n == 0 || m <= 0.0 {
-        return PhaseOutcome {
-            assignment: c_prev,
-            iterations: Vec::new(),
-            final_modularity: 0.0,
-        };
+        return PhaseOutcome::trivial(n);
     }
 
     // Incremental state, initialized once for the singleton partition and
     // carried across iterations (Algorithm 1 line 8's "previous iteration"
     // view is exactly this state before the batch is applied).
+    let mut c_prev: Vec<Community> = (0..n as Community).collect();
     let mut a: Vec<f64> = (0..n).map(|v| g.weighted_degree(v as VertexId)).collect();
     let mut sizes: Vec<u32> = vec![1; n];
     let mut tracker = ModularityTracker::new(g, &c_prev, &a, resolution);
@@ -67,30 +88,88 @@ pub fn parallel_phase_unordered(
     let mut iterations: Vec<(f64, usize)> = Vec::new();
     let mut q_prev = tracker.modularity();
 
-    for _iter in 0..max_iterations {
-        // Lines 9–14: parallel sweep without locks, against snapshot state.
-        let c_curr: Vec<Community> = (0..n as VertexId)
-            .into_par_iter()
-            .map_init(NeighborScratch::default, |scratch, v| {
-                decide(g, &c_prev, &a, &sizes, m, resolution, scratch, v)
-            })
-            .collect();
+    // Deferred pruning: `active` stays disengaged (`None`) — the plain
+    // full-iteration path below, bitwise identical to `SweepMode::Full` —
+    // until an iteration's move count drops to the engagement bound; from
+    // then on the work list and a second assignment buffer prune every
+    // iteration.
+    let prune = sweep == SweepMode::Active;
+    let mut active: Option<(ActiveSet, Vec<Community>)> = None;
+    let scratches = ScratchPool::new();
 
-        // The committed moves, in ascending vertex order (deterministic).
-        let moved: Vec<VertexId> = (0..n as VertexId)
-            .into_par_iter()
-            .filter(|&v| c_prev[v as usize] != c_curr[v as usize])
-            .collect();
-        let moves = moved.len();
-        tracker.apply_batch(g, &c_prev, &c_curr, &moved, &mut a, &mut sizes);
-        let q_curr = tracker.modularity();
+    for _iter in 0..max_iterations {
+        let (q_curr, moves) = match &mut active {
+            // Lines 9–14, full schedule: one parallel sweep over every
+            // vertex without locks, against snapshot state.
+            None => {
+                let c_curr: Vec<Community> = (0..n as VertexId)
+                    .into_par_iter()
+                    .map_init(NeighborScratch::default, |scratch, v| {
+                        decide(g, &c_prev, &a, &sizes, m, resolution, scratch, v)
+                    })
+                    .collect();
+
+                // The committed moves, in ascending vertex order
+                // (deterministic).
+                let moved: Vec<VertexId> = (0..n as VertexId)
+                    .into_par_iter()
+                    .filter(|&v| c_prev[v as usize] != c_curr[v as usize])
+                    .collect();
+                let moves = moved.len();
+                tracker.apply_batch(g, &c_prev, &c_curr, &moved, &mut a, &mut sizes);
+                c_prev = c_curr;
+                if prune && ActiveSet::engages(n, moves) {
+                    let mut set = ActiveSet::empty(n);
+                    set.rebuild_from_moves(g, &moved);
+                    active = Some((set, c_prev.clone()));
+                }
+                (tracker.modularity(), moves)
+            }
+            // Active schedule: decide only the frontier. Frontier vertices
+            // see exactly the frozen state a full sweep would show them, so
+            // their decisions (and the incremental accounting) are
+            // unchanged; skipped vertices keep their label by construction.
+            Some((set, c_curr)) => {
+                if set.is_empty() {
+                    // Converged: nothing moved last iteration, so no vertex
+                    // can have a changed neighborhood. (Unreachable through
+                    // the normal loop — `should_stop` fires on zero moves —
+                    // but an explicit guard keeps the invariant local.)
+                    break;
+                }
+                let frontier = set.frontier();
+                let decisions: Vec<Community> = frontier
+                    .par_iter()
+                    .map_init(
+                        || scratches.take(),
+                        |scratch, &v| decide(g, &c_prev, &a, &sizes, m, resolution, scratch, v),
+                    )
+                    .collect();
+
+                // Commit: copy the previous assignment (O(n) memcpy — cheap
+                // next to the O(m) gathers pruning saves), then apply the
+                // frontier's decisions in ascending vertex order.
+                c_curr.copy_from_slice(&c_prev);
+                let mut moved: Vec<VertexId> = Vec::new();
+                for (&v, &to) in frontier.iter().zip(&decisions) {
+                    if to != c_prev[v as usize] {
+                        c_curr[v as usize] = to;
+                        moved.push(v);
+                    }
+                }
+                let moves = moved.len();
+                tracker.apply_batch(g, &c_prev, c_curr, &moved, &mut a, &mut sizes);
+                set.rebuild_from_moves(g, &moved);
+                std::mem::swap(&mut c_prev, c_curr);
+                (tracker.modularity(), moves)
+            }
+        };
         debug_assert!(
-            tracker.drift_from_full(g, &c_curr) < TRACKER_DRIFT_TOLERANCE,
+            tracker.drift_from_full(g, &c_prev) < TRACKER_DRIFT_TOLERANCE,
             "incremental modularity drifted: {} vs full recompute",
-            tracker.drift_from_full(g, &c_curr),
+            tracker.drift_from_full(g, &c_prev),
         );
         iterations.push((q_curr, moves));
-        c_prev = c_curr;
         if should_stop(q_prev, q_curr, moves, threshold) {
             break;
         }
@@ -200,17 +279,21 @@ pub(crate) fn colored_decide_batch(
 }
 
 /// Drains one batch's decisions into `moved` (ascending vertex order, since
-/// batches are stably ordered) and commits the assignment writes. The
-/// `a`/`sizes`/modularity accounting is the caller's responsibility — the
-/// only place the incremental sweep and the rescan reference differ.
+/// batches are stably ordered) and commits the assignment writes; the
+/// movers' vertex ids land in `movers` (same order, same length — the
+/// active-set rebuild consumes them). The `a`/`sizes`/modularity accounting
+/// is the caller's responsibility — the only place the incremental sweep
+/// and the rescan reference differ.
 pub(crate) fn colored_collect_moves(
     g: &CsrGraph,
     batch: &[VertexId],
     decisions: &[MoveDecision],
     assignment: &mut [Community],
     moved: &mut Vec<IndependentMove>,
+    movers: &mut Vec<VertexId>,
 ) {
     moved.clear();
+    movers.clear();
     for (&v, d) in batch.iter().zip(decisions) {
         let from = assignment[v as usize];
         if d.target == from {
@@ -223,6 +306,7 @@ pub(crate) fn colored_collect_moves(
             from,
             to: d.target,
         });
+        movers.push(v);
         assignment[v as usize] = d.target;
     }
 }
@@ -253,18 +337,45 @@ pub fn parallel_phase_colored(
     max_iterations: usize,
     resolution: f64,
 ) -> PhaseOutcome {
+    parallel_phase_colored_sweep(
+        g,
+        batches,
+        SweepMode::Full,
+        threshold,
+        max_iterations,
+        resolution,
+    )
+}
+
+/// [`parallel_phase_colored`] with an explicit sweep schedule.
+///
+/// Under [`SweepMode::Active`] each color batch is filtered to its active
+/// vertices ([`ColorBatches::filter_batch_into`]) before the batch decision
+/// pass — a filtered batch is still an independent set, so the barrier
+/// commit and incremental accounting stay exact. The work list is rebuilt
+/// once per iteration from the concatenated per-batch move lists, so the
+/// frontier (and hence the whole phase) remains bitwise deterministic
+/// across thread counts; vertices whose neighborhood changes mid-iteration
+/// (an earlier batch's commit) are picked up in the next iteration's
+/// frontier. As in the unordered sweep, pruning is deferred until an
+/// iteration's move count drops to the [`ActiveSet::engages`] bound — dense
+/// iterations run the plain path, bitwise identical to `Full`.
+pub fn parallel_phase_colored_sweep(
+    g: &CsrGraph,
+    batches: &ColorBatches,
+    sweep: SweepMode,
+    threshold: f64,
+    max_iterations: usize,
+    resolution: f64,
+) -> PhaseOutcome {
     let n = g.num_vertices();
     let m = g.total_weight();
-    let mut assignment: Vec<Community> = (0..n as Community).collect();
     if n == 0 || m <= 0.0 {
-        return PhaseOutcome {
-            assignment,
-            iterations: Vec::new(),
-            final_modularity: 0.0,
-        };
+        return PhaseOutcome::trivial(n);
     }
     debug_assert!(batches.is_stably_ordered(), "unstable color batches");
 
+    let mut assignment: Vec<Community> = (0..n as Community).collect();
     let mut a: Vec<f64> = (0..n).map(|v| g.weighted_degree(v as VertexId)).collect();
     let mut sizes: Vec<u32> = vec![1; n];
     let mut tracker = ModularityTracker::new(g, &assignment, &a, resolution);
@@ -272,24 +383,67 @@ pub fn parallel_phase_colored(
     let mut iterations: Vec<(f64, usize)> = Vec::new();
     let mut q_prev = tracker.modularity();
     let mut moved: Vec<IndependentMove> = Vec::new();
+    let mut movers: Vec<VertexId> = Vec::new();
     // One pool for the whole phase: scratch allocations amortize across all
     // color batches and iterations instead of recurring per parallel region.
     let scratches = ScratchPool::new();
 
+    // Deferred pruning, as in the unordered sweep: full-path iterations
+    // (bitwise identical to `Full`) until the move count first drops to the
+    // engagement bound, pruned iterations thereafter.
+    let prune = sweep == SweepMode::Active;
+    let mut active: Option<ActiveSet> = None;
+    let mut filtered: Vec<VertexId> = Vec::new();
+    let mut iter_movers: Vec<VertexId> = Vec::new();
+
     for _iter in 0..max_iterations {
+        if active.as_ref().is_some_and(ActiveSet::is_empty) {
+            // Converged: nothing moved last iteration (see the unordered
+            // sweep's identical guard).
+            break;
+        }
         let mut moves = 0usize;
-        for batch in batches.iter() {
+        iter_movers.clear();
+        for (color, full_batch) in batches.as_classes().iter().enumerate() {
+            let batch: &[VertexId] = match &active {
+                // A filtered batch is a subset of an independent set —
+                // still independent, still ascending.
+                Some(set) if !set.is_saturated() => {
+                    batches.filter_batch_into(color, |v| set.contains(v), &mut filtered);
+                    &filtered
+                }
+                _ => full_batch.as_slice(),
+            };
             if batch.is_empty() {
                 continue;
             }
             let decisions =
                 colored_decide_batch(g, &assignment, &a, &sizes, m, resolution, batch, &scratches);
-            colored_collect_moves(g, batch, &decisions, &mut assignment, &mut moved);
+            colored_collect_moves(
+                g,
+                batch,
+                &decisions,
+                &mut assignment,
+                &mut moved,
+                &mut movers,
+            );
             // Barrier commit: per-move e_in deltas reduced in a fixed
             // left-biased order (det_sum), a/null_sum/sizes updates applied
             // in ascending vertex order — O(#moves), schedule-independent.
             tracker.apply_independent_batch(&moved, &mut a, &mut sizes);
             moves += moved.len();
+            if prune {
+                iter_movers.extend_from_slice(&movers);
+            }
+        }
+        match &mut active {
+            Some(set) => set.rebuild_from_moves(g, &iter_movers),
+            None if prune && ActiveSet::engages(n, moves) => {
+                let mut set = ActiveSet::empty(n);
+                set.rebuild_from_moves(g, &iter_movers);
+                active = Some(set);
+            }
+            None => {}
         }
 
         let q_curr = tracker.modularity();
@@ -482,6 +636,144 @@ mod tests {
         let out = parallel_phase_unordered(&g, 1e-9, 100, 1.0);
         assert_eq!(out.assignment[2], 2);
         assert_eq!(out.assignment[3], 3);
+    }
+
+    #[test]
+    fn active_first_iteration_bitwise_matches_full() {
+        // Iteration 0's active set is saturated, so the pruned sweep must
+        // make bitwise-identical decisions to the full sweep — for both the
+        // unordered and the colored variants.
+        let (g, _) = planted_partition(&PlantedConfig {
+            num_vertices: 2_000,
+            num_communities: 20,
+            ..Default::default()
+        });
+        let full = parallel_phase_unordered_sweep(&g, SweepMode::Full, 1e-9, 1, 1.0);
+        let active = parallel_phase_unordered_sweep(&g, SweepMode::Active, 1e-9, 1, 1.0);
+        assert_eq!(full.assignment, active.assignment);
+        assert_eq!(full.iterations, active.iterations);
+        assert_eq!(
+            full.final_modularity.to_bits(),
+            active.final_modularity.to_bits()
+        );
+
+        let batches = classes_of(&g);
+        let full_c = parallel_phase_colored_sweep(&g, &batches, SweepMode::Full, 1e-9, 1, 1.0);
+        let active_c = parallel_phase_colored_sweep(&g, &batches, SweepMode::Active, 1e-9, 1, 1.0);
+        assert_eq!(full_c.assignment, active_c.assignment);
+        assert_eq!(full_c.iterations, active_c.iterations);
+    }
+
+    #[test]
+    fn active_unordered_quality_matches_full() {
+        let (g, _) = planted_partition(&PlantedConfig {
+            num_vertices: 3_000,
+            num_communities: 30,
+            ..Default::default()
+        });
+        let full = parallel_phase_unordered_sweep(&g, SweepMode::Full, 1e-6, 1000, 1.0);
+        let active = parallel_phase_unordered_sweep(&g, SweepMode::Active, 1e-6, 1000, 1.0);
+        assert!(
+            active.final_modularity >= 0.95 * full.final_modularity,
+            "active Q {} vs full Q {}",
+            active.final_modularity,
+            full.final_modularity
+        );
+    }
+
+    #[test]
+    fn active_colored_quality_matches_full() {
+        let (g, _) = planted_partition(&PlantedConfig {
+            num_vertices: 3_000,
+            num_communities: 30,
+            ..Default::default()
+        });
+        let batches = classes_of(&g);
+        let full = parallel_phase_colored_sweep(&g, &batches, SweepMode::Full, 1e-6, 1000, 1.0);
+        let active = parallel_phase_colored_sweep(&g, &batches, SweepMode::Active, 1e-6, 1000, 1.0);
+        assert!(
+            active.final_modularity >= 0.95 * full.final_modularity,
+            "active Q {} vs full Q {}",
+            active.final_modularity,
+            full.final_modularity
+        );
+    }
+
+    #[test]
+    fn active_sweeps_deterministic_across_thread_counts() {
+        // The tentpole guarantee: the dirty-vertex frontier is rebuilt from
+        // the committed move list, so the whole pruned phase — unordered and
+        // colored — is bitwise identical at any pool size.
+        let (g, _) = planted_partition(&PlantedConfig {
+            num_vertices: 3_000,
+            num_communities: 30,
+            ..Default::default()
+        });
+        let batches = classes_of(&g);
+        let run = |threads: usize, colored: bool| {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            pool.install(|| {
+                if colored {
+                    parallel_phase_colored_sweep(&g, &batches, SweepMode::Active, 1e-6, 1000, 1.0)
+                } else {
+                    parallel_phase_unordered_sweep(&g, SweepMode::Active, 1e-6, 1000, 1.0)
+                }
+            })
+        };
+        for colored in [false, true] {
+            let r1 = run(1, colored);
+            for threads in [2usize, 4, 8] {
+                let rt = run(threads, colored);
+                assert_eq!(
+                    r1.assignment, rt.assignment,
+                    "colored={colored} t={threads}"
+                );
+                assert_eq!(
+                    r1.iterations, rt.iterations,
+                    "colored={colored} t={threads}"
+                );
+                assert_eq!(
+                    r1.final_modularity.to_bits(),
+                    rt.final_modularity.to_bits(),
+                    "colored={colored} t={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn active_empty_graphs() {
+        let g = CsrGraph::empty(0);
+        assert!(
+            parallel_phase_unordered_sweep(&g, SweepMode::Active, 1e-6, 10, 1.0)
+                .assignment
+                .is_empty()
+        );
+        let g5 = CsrGraph::empty(5); // edgeless: m = 0 short-circuits
+        let out = parallel_phase_unordered_sweep(&g5, SweepMode::Active, 1e-6, 10, 1.0);
+        assert_eq!(out.assignment, vec![0, 1, 2, 3, 4]);
+        assert_eq!(out.num_iterations(), 0);
+    }
+
+    #[test]
+    fn active_converges_with_terminal_zero_move_iteration() {
+        // Once nothing moves, the frontier empties and the phase stops —
+        // the active schedule may not run longer than the iteration cap nor
+        // spin on an empty frontier.
+        let (g, _) = ring_of_cliques(&CliqueRingConfig {
+            num_cliques: 6,
+            clique_size: 5,
+            ..Default::default()
+        });
+        // Negative threshold: only the zero-move condition can stop the
+        // phase, which is exactly when the frontier would empty.
+        let out = parallel_phase_unordered_sweep(&g, SweepMode::Active, -1.0, 10_000, 1.0);
+        assert!(out.num_iterations() < 10_000, "phase failed to terminate");
+        assert_eq!(out.iterations.last().unwrap().1, 0);
+        assert!(out.final_modularity > 0.7);
     }
 
     #[test]

@@ -20,6 +20,16 @@ impl PhaseOutcome {
     pub fn num_iterations(&self) -> usize {
         self.iterations.len()
     }
+
+    /// The degenerate outcome every sweep returns for an empty or
+    /// zero-weight graph: the identity partition, no iterations, Q = 0.
+    pub fn trivial(n: usize) -> Self {
+        Self {
+            assignment: (0..n as Community).collect(),
+            iterations: Vec::new(),
+            final_modularity: 0.0,
+        }
+    }
 }
 
 /// The **singlet minimum-label heuristic** (§5.1): a vertex alone in its
@@ -73,6 +83,15 @@ mod tests {
         assert!(should_stop(0.1, 0.1 + 1e-9, 5, 1e-6));
         // negative gain (parallel Lemma 1 case) → stop
         assert!(should_stop(0.2, 0.1, 5, 1e-6));
+    }
+
+    #[test]
+    fn trivial_outcome_is_identity() {
+        let o = PhaseOutcome::trivial(3);
+        assert_eq!(o.assignment, vec![0, 1, 2]);
+        assert_eq!(o.num_iterations(), 0);
+        assert_eq!(o.final_modularity, 0.0);
+        assert!(PhaseOutcome::trivial(0).assignment.is_empty());
     }
 
     #[test]

@@ -65,14 +65,10 @@ pub fn parallel_phase_unordered_sortbased(
 ) -> PhaseOutcome {
     let n = g.num_vertices();
     let m = g.total_weight();
-    let mut c_prev: Vec<Community> = (0..n as Community).collect();
     if n == 0 || m <= 0.0 {
-        return PhaseOutcome {
-            assignment: c_prev,
-            iterations: Vec::new(),
-            final_modularity: 0.0,
-        };
+        return PhaseOutcome::trivial(n);
     }
+    let mut c_prev: Vec<Community> = (0..n as Community).collect();
 
     let mut iterations: Vec<(f64, usize)> = Vec::new();
     let mut q_prev = modularity_with_resolution(g, &c_prev, resolution);
@@ -149,14 +145,10 @@ pub fn parallel_phase_colored_rescan(
 ) -> PhaseOutcome {
     let n = g.num_vertices();
     let m = g.total_weight();
-    let mut assignment: Vec<Community> = (0..n as Community).collect();
     if n == 0 || m <= 0.0 {
-        return PhaseOutcome {
-            assignment,
-            iterations: Vec::new(),
-            final_modularity: 0.0,
-        };
+        return PhaseOutcome::trivial(n);
     }
+    let mut assignment: Vec<Community> = (0..n as Community).collect();
 
     let mut a: Vec<f64> = (0..n).map(|v| g.weighted_degree(v as VertexId)).collect();
     let mut sizes: Vec<u32> = vec![1; n];
@@ -164,6 +156,7 @@ pub fn parallel_phase_colored_rescan(
     let mut iterations: Vec<(f64, usize)> = Vec::new();
     let mut q_prev = ModularityTracker::new(g, &assignment, &a, resolution).modularity();
     let mut moved: Vec<IndependentMove> = Vec::new();
+    let mut movers: Vec<VertexId> = Vec::new();
     let scratches = ScratchPool::new();
 
     for _iter in 0..max_iterations {
@@ -174,7 +167,14 @@ pub fn parallel_phase_colored_rescan(
             }
             let decisions =
                 colored_decide_batch(g, &assignment, &a, &sizes, m, resolution, batch, &scratches);
-            colored_collect_moves(g, batch, &decisions, &mut assignment, &mut moved);
+            colored_collect_moves(
+                g,
+                batch,
+                &decisions,
+                &mut assignment,
+                &mut moved,
+                &mut movers,
+            );
             // Same arithmetic, same order as ModularityTracker's commit, so
             // the maintained `a` evolves bitwise identically — only the
             // e_in/null_sum bookkeeping is (deliberately) absent here.

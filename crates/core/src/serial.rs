@@ -12,6 +12,8 @@
 //! silently parallelize, or Table 2 / Fig. 7's absolute speedups would be
 //! meaningless.
 
+use crate::active::ActiveSet;
+use crate::config::SweepMode;
 use crate::modularity::{
     best_move_with_src, Community, ModularityTracker, MoveContext, NeighborScratch,
     TRACKER_DRIFT_TOLERANCE,
@@ -19,30 +21,47 @@ use crate::modularity::{
 use crate::phase::{should_stop, PhaseOutcome};
 use grappolo_graph::{CsrGraph, VertexId};
 
-/// Runs one serial phase to convergence with net-gain `threshold`.
-///
-/// `max_iterations` caps the loop (safety); `resolution` is γ in Q_γ.
+/// Runs one serial phase to convergence with net-gain `threshold` and the
+/// full-sweep schedule — see [`serial_phase_sweep`].
 pub fn serial_phase(
     g: &CsrGraph,
     threshold: f64,
     max_iterations: usize,
     resolution: f64,
 ) -> PhaseOutcome {
+    serial_phase_sweep(g, SweepMode::Full, threshold, max_iterations, resolution)
+}
+
+/// Runs one serial phase to convergence with net-gain `threshold`.
+///
+/// `max_iterations` caps the loop (safety); `resolution` is γ in Q_γ.
+/// `sweep` selects the iteration schedule: [`SweepMode::Full`] scans all
+/// vertices in id order (Blondel et al.'s scheme); [`SweepMode::Active`]
+/// scans only the dirty vertices — the frontier is in ascending id order,
+/// so active iterations visit the same vertices a full iteration would,
+/// minus the provably unchanged ones, in the same order. Pruning is
+/// deferred until an iteration's move count drops to the
+/// [`ActiveSet::engages`] bound (dense iterations are identical to `Full`);
+/// the [`ActiveSet`] rebuild is the only extra work, and this module stays
+/// rayon-free either way.
+pub fn serial_phase_sweep(
+    g: &CsrGraph,
+    sweep: SweepMode,
+    threshold: f64,
+    max_iterations: usize,
+    resolution: f64,
+) -> PhaseOutcome {
     let n = g.num_vertices();
     let m = g.total_weight();
-    let mut assignment: Vec<Community> = (0..n as Community).collect();
     if n == 0 || m <= 0.0 {
-        return PhaseOutcome {
-            assignment,
-            iterations: Vec::new(),
-            final_modularity: 0.0,
-        };
+        return PhaseOutcome::trivial(n);
     }
 
     // Live bookkeeping: community degrees, sizes, and the e_in / Σ a_C²
     // modularity terms, all updated per committed move so the per-iteration
     // modularity is O(1) instead of an O(m) rescan. The tracker's serial
     // constructor keeps this module rayon-free.
+    let mut assignment: Vec<Community> = (0..n as Community).collect();
     let mut a: Vec<f64> = (0..n).map(|v| g.weighted_degree(v as VertexId)).collect();
     let mut sizes: Vec<u32> = vec![1; n];
     let mut scratch = NeighborScratch::with_capacity(n);
@@ -50,10 +69,22 @@ pub fn serial_phase(
 
     let mut iterations: Vec<(f64, usize)> = Vec::new();
     let mut q_prev = tracker.modularity();
+    let prune = sweep == SweepMode::Active;
+    let mut active: Option<ActiveSet> = None;
+    let mut movers: Vec<VertexId> = Vec::new();
 
     for _iter in 0..max_iterations {
+        if active.as_ref().is_some_and(ActiveSet::is_empty) {
+            break; // converged: nothing moved last iteration
+        }
         let mut moves = 0usize;
-        for v in 0..n as VertexId {
+        movers.clear();
+        let sweep_len = active.as_ref().map_or(n, ActiveSet::len);
+        for idx in 0..sweep_len {
+            let v = match &active {
+                Some(set) => set.frontier()[idx],
+                None => idx as VertexId,
+            };
             let cur = assignment[v as usize];
             scratch.gather(g, &assignment, v);
             if scratch.entries.is_empty() {
@@ -82,8 +113,18 @@ pub fn serial_phase(
                 sizes[cur as usize] -= 1;
                 sizes[decision.target as usize] += 1;
                 assignment[v as usize] = decision.target;
+                movers.push(v);
                 moves += 1;
             }
+        }
+        match &mut active {
+            Some(set) => set.rebuild_from_moves(g, &movers),
+            None if prune && ActiveSet::engages(n, moves) => {
+                let mut set = ActiveSet::empty(n);
+                set.rebuild_from_moves(g, &movers);
+                active = Some(set);
+            }
+            None => {}
         }
         let q_curr = tracker.modularity();
         debug_assert!(
@@ -227,6 +268,46 @@ mod tests {
         let loose = serial_phase(&g, 0.5, 1000, 1.0);
         let tight = serial_phase(&g, 1e-9, 1000, 1.0);
         assert!(loose.num_iterations() <= tight.num_iterations());
+    }
+
+    #[test]
+    fn active_serial_matches_full_quality_and_stays_monotone() {
+        let (g, truth) = ring_of_cliques(&CliqueRingConfig {
+            num_cliques: 8,
+            clique_size: 6,
+            ..Default::default()
+        });
+        let full = serial_phase_sweep(&g, SweepMode::Full, 1e-6, 1000, 1.0);
+        let active = serial_phase_sweep(&g, SweepMode::Active, 1e-6, 1000, 1.0);
+        assert!(
+            active.final_modularity >= 0.95 * full.final_modularity,
+            "active Q {} vs full Q {}",
+            active.final_modularity,
+            full.final_modularity
+        );
+        // Immediate commits keep the monotonicity property under pruning.
+        for w in active.iterations.windows(2) {
+            assert!(w[1].0 >= w[0].0 - 1e-12);
+        }
+        // Structure recovered: every clique still lands in one community.
+        for c in 0..8 {
+            let members: Vec<_> = (0..48)
+                .filter(|&v| truth[v] == c)
+                .map(|v| active.assignment[v])
+                .collect();
+            assert!(members.windows(2).all(|w| w[0] == w[1]), "clique {c} split");
+        }
+    }
+
+    #[test]
+    fn active_serial_first_iteration_bitwise_matches_full() {
+        // A saturated frontier in ascending order is exactly the full
+        // serial scan, so iteration 0 is bitwise identical.
+        let (g, _) = ring_of_cliques(&CliqueRingConfig::default());
+        let full = serial_phase_sweep(&g, SweepMode::Full, 1e-9, 1, 1.0);
+        let active = serial_phase_sweep(&g, SweepMode::Active, 1e-9, 1, 1.0);
+        assert_eq!(full.assignment, active.assignment);
+        assert_eq!(full.iterations, active.iterations);
     }
 
     #[test]

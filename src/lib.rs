@@ -60,7 +60,7 @@ pub mod prelude {
     pub use crate::core::{
         detect_communities, detect_with_scheme, modularity, modularity_with_resolution,
         ColoredAccounting, ColoringSchedule, CommunityResult, Dendrogram, LouvainConfig,
-        RebuildStrategy, RenumberStrategy, RunTrace, Scheme,
+        RebuildStrategy, RenumberStrategy, RunTrace, Scheme, SweepMode,
     };
     pub use crate::graph::gen::paper_suite::{PaperInput, PaperReference};
     pub use crate::graph::gen::{

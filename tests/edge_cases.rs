@@ -104,6 +104,87 @@ fn invalid_config_panics() {
 }
 
 #[test]
+#[should_panic(expected = "invalid LouvainConfig")]
+fn active_sweep_with_rescan_accounting_panics() {
+    // Rescan accounting is the full-sweep differential reference; pairing
+    // it with the pruned schedule is a contract violation, not a silent
+    // fallback.
+    let g = from_unweighted_edges(2, [(0, 1)]).unwrap();
+    let cfg = LouvainConfig {
+        colored_accounting: grappolo::core::ColoredAccounting::Rescan,
+        sweep_mode: SweepMode::Active,
+        ..Default::default()
+    };
+    detect_communities(&g, &cfg);
+}
+
+/// The dirty-vertex schedule on degenerate graphs: empty, edgeless,
+/// isolated-vertex, and self-loop-only inputs behave exactly like the full
+/// sweep (no vertex ever becomes active after iteration 0 resolves).
+#[test]
+fn active_sweep_degenerate_graphs_match_full() {
+    let graphs: Vec<CsrGraph> = vec![
+        CsrGraph::empty(0),
+        CsrGraph::empty(7),
+        from_weighted_edges(3, [(0, 0, 1.0), (1, 1, 2.0), (2, 2, 3.0)]).unwrap(), // loops only
+        from_unweighted_edges(5, [(0, 1)]).unwrap(), // isolated 2, 3, 4
+        from_weighted_edges(4, [(0, 0, 5.0), (2, 3, 1.0)]).unwrap(), // loop + edge + isolated
+    ];
+    for (i, g) in graphs.iter().enumerate() {
+        for scheme in Scheme::ALL {
+            let mut cfg = scheme.config();
+            let full = detect_communities(g, &cfg);
+            cfg.sweep_mode = SweepMode::Active;
+            let active = detect_communities(g, &cfg);
+            assert_eq!(
+                full.assignment,
+                active.assignment,
+                "graph {i}, {}",
+                scheme.name()
+            );
+            assert_eq!(
+                full.modularity.to_bits(),
+                active.modularity.to_bits(),
+                "graph {i}, {}",
+                scheme.name()
+            );
+        }
+    }
+}
+
+/// Isolated vertices never enter a frontier after iteration 0: on a graph
+/// that is mostly isolated vertices the active run must finish in no more
+/// iterations than the full run, with the same partition.
+#[test]
+fn active_sweep_isolated_heavy_graph_terminates_fast() {
+    let mut b = GraphBuilder::new(1_000);
+    for v in 0..10u32 {
+        b = b.add_edge(v, (v + 1) % 10, 1.0);
+    }
+    let g = b.build().unwrap();
+    let mut cfg = Scheme::Baseline.config();
+    let full = detect_communities(&g, &cfg);
+    cfg.sweep_mode = SweepMode::Active;
+    let r = detect_communities(&g, &cfg);
+    assert_eq!(r.assignment.len(), 1_000);
+    assert_eq!(r.assignment, full.assignment);
+    assert!(
+        r.trace.total_iterations() <= full.trace.total_iterations(),
+        "active took {} iterations vs full's {}",
+        r.trace.total_iterations(),
+        full.trace.total_iterations()
+    );
+    // The 990 isolated vertices stay singletons.
+    let mut seen = std::collections::HashSet::new();
+    for v in 10..1_000 {
+        assert!(
+            seen.insert(r.assignment[v]),
+            "vertex {v} merged unexpectedly"
+        );
+    }
+}
+
+#[test]
 fn max_phases_one_still_terminates() {
     let (g, _) = planted_partition(&PlantedConfig {
         num_vertices: 500,

@@ -16,14 +16,17 @@ use grappolo::core::modularity::{
     community_degrees, community_sizes, modularity, Community, IndependentMove, ModularityTracker,
     NeighborScratch,
 };
-use grappolo::core::parallel::{parallel_phase_colored, parallel_phase_unordered};
+use grappolo::core::parallel::{
+    parallel_phase_colored, parallel_phase_colored_sweep, parallel_phase_unordered,
+    parallel_phase_unordered_sweep,
+};
 use grappolo::core::rebuild::rebuild;
 use grappolo::core::reference::{
     gather_sorted, parallel_phase_colored_rescan, parallel_phase_unordered_sortbased,
 };
-use grappolo::core::serial::serial_modularity;
+use grappolo::core::serial::{serial_modularity, serial_phase_sweep};
 use grappolo::core::vf::vf_preprocess;
-use grappolo::core::{PhaseOutcome, RebuildStrategy, RenumberStrategy, Scheme};
+use grappolo::core::{PhaseOutcome, RebuildStrategy, RenumberStrategy, Scheme, SweepMode};
 use grappolo::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -558,6 +561,98 @@ fn colored_phase_bitwise_stable_across_thread_counts() {
         for threads in [2usize, 3, 4, 8] {
             let out = run(threads);
             assert_outcomes_bitwise_equal(&reference, &out, &format!("{name}@{threads}"));
+        }
+    }
+}
+
+/// **Active-sweep differential, quality**: over the ER/planted/RMAT suite,
+/// the dirty-vertex schedule reaches the same final modularity as the full
+/// sweep within the paper's tolerance — for the serial, unordered, and
+/// colored variants. (Exact trajectory equality is *not* promised once the
+/// set desaturates: global community degrees can drift for vertices the
+/// pruned sweep provably need not re-examine.)
+#[test]
+fn active_sweep_quality_matches_full_on_suite() {
+    for (name, g) in colored_suite() {
+        let coloring = color_parallel(&g, &ParallelColoringConfig::default());
+        let batches = ColorBatches::from_coloring(&coloring);
+        let pairs: [(&str, PhaseOutcome, PhaseOutcome); 3] = [
+            (
+                "serial",
+                serial_phase_sweep(&g, SweepMode::Full, 1e-6, 500, 1.0),
+                serial_phase_sweep(&g, SweepMode::Active, 1e-6, 500, 1.0),
+            ),
+            (
+                "unordered",
+                parallel_phase_unordered_sweep(&g, SweepMode::Full, 1e-6, 500, 1.0),
+                parallel_phase_unordered_sweep(&g, SweepMode::Active, 1e-6, 500, 1.0),
+            ),
+            (
+                "colored",
+                parallel_phase_colored_sweep(&g, &batches, SweepMode::Full, 1e-6, 500, 1.0),
+                parallel_phase_colored_sweep(&g, &batches, SweepMode::Active, 1e-6, 500, 1.0),
+            ),
+        ];
+        for (variant, full, active) in &pairs {
+            assert!(
+                active.final_modularity >= 0.95 * full.final_modularity,
+                "{name}/{variant}: active Q {} vs full Q {}",
+                active.final_modularity,
+                full.final_modularity
+            );
+        }
+    }
+}
+
+/// **Active-sweep saturation identity**: while the active set is saturated
+/// (iteration 0 — everything dirty), the pruned sweeps make bitwise-
+/// identical decisions to the full sweeps on every suite input.
+#[test]
+fn active_sweep_saturated_bitwise_matches_full() {
+    for (name, g) in colored_suite() {
+        let coloring = color_parallel(&g, &ParallelColoringConfig::default());
+        let batches = ColorBatches::from_coloring(&coloring);
+        let full = parallel_phase_unordered_sweep(&g, SweepMode::Full, 1e-9, 1, 1.0);
+        let active = parallel_phase_unordered_sweep(&g, SweepMode::Active, 1e-9, 1, 1.0);
+        assert_outcomes_bitwise_equal(&full, &active, &format!("{name}/unordered"));
+        let full_c = parallel_phase_colored_sweep(&g, &batches, SweepMode::Full, 1e-9, 1, 1.0);
+        let active_c = parallel_phase_colored_sweep(&g, &batches, SweepMode::Active, 1e-9, 1, 1.0);
+        assert_outcomes_bitwise_equal(&full_c, &active_c, &format!("{name}/colored"));
+    }
+}
+
+/// **Active-sweep stability**: the dirty-vertex frontier is rebuilt from the
+/// committed move list, so the pruned unordered and colored phases are
+/// bitwise identical at 1/2/4/8 worker threads — the frontier itself (and
+/// hence every decision it admits) is thread-count independent.
+#[test]
+fn active_sweep_bitwise_stable_across_thread_counts() {
+    for (name, g) in colored_suite() {
+        let coloring = color_parallel(&g, &ParallelColoringConfig::default());
+        let batches = ColorBatches::from_coloring(&coloring);
+        for colored in [false, true] {
+            let run = |threads: usize| {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .unwrap();
+                pool.install(|| {
+                    if colored {
+                        parallel_phase_colored_sweep(&g, &batches, SweepMode::Active, 1e-9, 64, 1.0)
+                    } else {
+                        parallel_phase_unordered_sweep(&g, SweepMode::Active, 1e-9, 64, 1.0)
+                    }
+                })
+            };
+            let reference = run(1);
+            for threads in [2usize, 4, 8] {
+                let out = run(threads);
+                assert_outcomes_bitwise_equal(
+                    &reference,
+                    &out,
+                    &format!("{name}/colored={colored}@{threads}"),
+                );
+            }
         }
     }
 }
