@@ -6,6 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use grappolo_core::rebuild::rebuild;
+use grappolo_core::reference::{rebuild_stamp_flat_assembly, rebuild_stamp_rows_reference};
 use grappolo_core::{RebuildStrategy, RenumberStrategy};
 use grappolo_graph::gen::{planted_partition, PlantedConfig};
 
@@ -34,6 +35,25 @@ fn bench_rebuild(c: &mut Criterion) {
                 },
             );
         }
+        // The rebuild-assembly pair: flat two-pass count + scatter into
+        // preallocated CSR arrays against the rows-based assembly (per-row
+        // Vecs + rows_to_csr copy). Both arms are forced explicitly — the
+        // production StampAggregate path dispatches between them on row
+        // count. Outputs are bitwise identical; only the assembly differs.
+        group.bench_with_input(
+            BenchmarkId::new("assembly_flat", partition_name),
+            &(&g, assignment),
+            |b, (g, a)| {
+                b.iter(|| rebuild_stamp_flat_assembly(g, a));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("assembly_rows", partition_name),
+            &(&g, assignment),
+            |b, (g, a)| {
+                b.iter(|| rebuild_stamp_rows_reference(g, a));
+            },
+        );
     }
     group.finish();
 }

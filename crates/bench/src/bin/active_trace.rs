@@ -1,32 +1,44 @@
-//! Trajectory inspection for the full-vs-active sweep pair: per-iteration
-//! modularity and move counts (as a fraction of `n` — the activity the
-//! pruned schedule is proportional to) for every sweep variant on the
-//! cached bench inputs. This is the data behind `BENCH_active.json`:
+//! Trajectory inspection for the full/active/scheduled sweep family:
+//! per-iteration modularity, move counts (as a fraction of `n` — the
+//! activity the pruned schedule is proportional to), the effective
+//! per-vertex gain gate, the frontier size actually examined, and the
+//! locally-converged count. This is the data behind `BENCH_active.json`:
 //! where the move fraction collapses, `--sweep active` pays off; where it
-//! stays dense, pruning never engages and the schedules are identical.
+//! plateaus, the fixed aggregate threshold fires first — and the scheduled
+//! variants show how the geometric gate collapses it anyway.
 //!
 //! ```text
-//! active_trace [planted|rmat]
+//! active_trace [planted|rmat] [start_edge_units factor floor_edge_units]
 //! ```
+//!
+//! The optional trailing triple overrides the geometric schedule's
+//! edge-unit parameters (defaults: 4 0.5 0.5), for schedule exploration.
 
 use grappolo_bench::cached_graph;
 use grappolo_coloring::{color_parallel, ColorBatches, ParallelColoringConfig};
-use grappolo_core::parallel::{parallel_phase_colored_sweep, parallel_phase_unordered_sweep};
-use grappolo_core::{PhaseOutcome, SweepMode};
+use grappolo_core::parallel::{
+    parallel_phase_colored_scheduled, parallel_phase_unordered_scheduled,
+};
+use grappolo_core::{Convergence, PhaseOutcome, SweepMode, ThresholdSchedule};
 use grappolo_graph::gen::{planted_partition, rmat, PlantedConfig, RmatConfig};
 use grappolo_graph::CsrGraph;
+use std::time::Duration;
 
-fn show(name: &str, g: &CsrGraph, out: &PhaseOutcome) {
+fn show(name: &str, g: &CsrGraph, out: &PhaseOutcome, elapsed: Duration) {
     println!(
-        "{name}: {} iterations, final Q {:.6}",
+        "{name}: {} iterations, final Q {:.6}, {elapsed:.2?}",
         out.num_iterations(),
         out.final_modularity
     );
     let n = g.num_vertices();
-    for (i, &(q, moves)) in out.iterations.iter().enumerate() {
+    println!("  iter          Q     moves  (% of n)       gate  frontier  converged");
+    for (i, (&(q, moves), s)) in out.iterations.iter().zip(&out.stats).enumerate() {
         println!(
-            "  iter {i:>3}: Q {q:+.6}  moves {moves:>8}  ({:.2}% of n)",
-            100.0 * moves as f64 / n as f64
+            "  {i:>4} {q:+.6} {moves:>9}  ({:>6.2}%) {:>10.3e} {:>9} {:>10}",
+            100.0 * moves as f64 / n as f64,
+            s.gate,
+            s.frontier,
+            s.converged,
         );
     }
 }
@@ -59,12 +71,62 @@ fn main() {
     );
     let batches =
         ColorBatches::from_coloring(&color_parallel(&g, &ParallelColoringConfig::default()));
-    for (label, sweep) in [("full", SweepMode::Full), ("active", SweepMode::Active)] {
-        let out = parallel_phase_unordered_sweep(&g, sweep, 1e-6, 10_000, 1.0);
-        show(&format!("unordered/{label}"), &g, &out);
+    // The two convergence policies under comparison: the paper's fixed
+    // aggregate stop, and the geometric per-vertex schedule at the given
+    // (or default) edge-unit parameters scaled to this graph.
+    let raw: Vec<String> = std::env::args().skip(2).collect();
+    let (start_u, factor, floor_u) = match raw.len() {
+        0 => (
+            grappolo_core::config::GEOMETRIC_START_EDGE_UNITS,
+            grappolo_core::config::GEOMETRIC_FACTOR,
+            grappolo_core::config::GEOMETRIC_FLOOR_EDGE_UNITS,
+        ),
+        3 => {
+            let parse = |s: &String| {
+                s.parse::<f64>().unwrap_or_else(|e| {
+                    eprintln!("active_trace: bad schedule parameter `{s}`: {e}");
+                    std::process::exit(2);
+                })
+            };
+            (parse(&raw[0]), parse(&raw[1]), parse(&raw[2]))
+        }
+        _ => {
+            eprintln!("usage: active_trace [planted|rmat] [start_units factor floor_units]");
+            std::process::exit(2);
+        }
+    };
+    let m = g.total_weight();
+    let fixed = Convergence::fixed(1e-6);
+    let schedule = ThresholdSchedule::Geometric {
+        start: start_u / m,
+        factor,
+        floor: floor_u / m,
+    };
+    // A non-tightening schedule (factor ≥ 1, floor > start, …) would never
+    // reach its floor and spin every variant to the iteration cap — reject
+    // it up front with the library's own rule.
+    if let Err(e) = schedule.validate() {
+        eprintln!("active_trace: invalid geometric schedule: {e}");
+        std::process::exit(2);
     }
-    for (label, sweep) in [("full", SweepMode::Full), ("active", SweepMode::Active)] {
-        let out = parallel_phase_colored_sweep(&g, &batches, sweep, 1e-6, 10_000, 1.0);
-        show(&format!("colored/{label}"), &g, &out);
+    let geometric = Convergence {
+        schedule,
+        vertex_epsilon: 0.0,
+    };
+    println!("geometric schedule: start {start_u}/m, factor {factor}, floor {floor_u}/m");
+    let policies = [("fixed", &fixed), ("sched", &geometric)];
+    for (pname, conv) in policies {
+        for (label, sweep) in [("full", SweepMode::Full), ("active", SweepMode::Active)] {
+            let t = std::time::Instant::now();
+            let out = parallel_phase_unordered_scheduled(&g, sweep, conv, 10_000, 1.0);
+            show(&format!("unordered/{pname}/{label}"), &g, &out, t.elapsed());
+        }
+    }
+    for (pname, conv) in policies {
+        for (label, sweep) in [("full", SweepMode::Full), ("active", SweepMode::Active)] {
+            let t = std::time::Instant::now();
+            let out = parallel_phase_colored_scheduled(&g, &batches, sweep, conv, 10_000, 1.0);
+            show(&format!("colored/{pname}/{label}"), &g, &out, t.elapsed());
+        }
     }
 }

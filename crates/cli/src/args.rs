@@ -1,7 +1,7 @@
 //! Hand-rolled argument parsing (keeps the dependency set to the
 //! offline-sanctioned crates).
 
-use grappolo_core::{ColoredAccounting, Scheme, SweepMode};
+use grappolo_core::{ColoredAccounting, ScheduleMode, Scheme, SweepMode};
 use std::path::PathBuf;
 
 /// Usage text printed on parse errors and `--help`.
@@ -17,6 +17,7 @@ USAGE:
   grappolo detect <graph-file> [--scheme serial|baseline|vf|color]
                   [--threads N] [--gamma F] [--assignments FILE] [--trace FILE]
                   [--accounting incremental|rescan] [--sweep full|active]
+                  [--schedule fixed|geometric] [--vertex-epsilon F]
       --accounting: colored-sweep modularity accounting — `incremental`
       (default; O(#moves) deltas at each color-batch barrier) or `rescan`
       (the historical full-recompute baseline, for differential runs)
@@ -24,6 +25,14 @@ USAGE:
       all vertices, the paper's trajectory) or `active` (dirty-vertex work
       lists: only vertices whose neighborhood changed are re-examined;
       activity-proportional iterations, deterministic across thread counts)
+      --schedule: within-phase convergence schedule — `fixed` (default;
+      aggregate net-gain stop at the phase threshold, the paper's scheme) or
+      `geometric` (per-vertex gain gate tightening geometrically to a floor,
+      scaled to the graph's total weight; phases terminate when the frontier
+      empties at the floor — pairs naturally with `--sweep active`)
+      --vertex-epsilon: per-vertex convergence epsilon (absolute modularity
+      gain; 0 = off). A vertex whose best available gain is below it stays
+      put and leaves the work list until a neighbor moves
   grappolo color <graph-file> [--balanced]
   grappolo compare <assignments-a> <assignments-b>
   grappolo convert <in-file> <out-file>
@@ -70,6 +79,10 @@ pub enum Command {
         accounting: ColoredAccounting,
         /// Sweep iteration schedule (full vs dirty-vertex work lists).
         sweep: SweepMode,
+        /// Within-phase threshold schedule (fixed vs geometric gate).
+        schedule: ScheduleMode,
+        /// Per-vertex convergence epsilon (0 = disabled).
+        vertex_epsilon: f64,
     },
     /// Color a graph and report class statistics.
     Color {
@@ -207,6 +220,15 @@ fn parse_detect(rest: &[&str]) -> Result<Command, String> {
         "active" => SweepMode::Active,
         other => return Err(format!("unknown --sweep `{other}`")),
     };
+    let schedule = match flag_value(rest, "--schedule")?.unwrap_or("fixed") {
+        "fixed" => ScheduleMode::Fixed,
+        "geometric" => ScheduleMode::Geometric,
+        other => return Err(format!("unknown --schedule `{other}`")),
+    };
+    let vertex_epsilon: f64 = flag_value(rest, "--vertex-epsilon")?
+        .map(|v| v.parse().map_err(|e| format!("bad --vertex-epsilon: {e}")))
+        .transpose()?
+        .unwrap_or(0.0);
     Ok(Command::Detect {
         path: path.into(),
         scheme,
@@ -216,6 +238,8 @@ fn parse_detect(rest: &[&str]) -> Result<Command, String> {
         trace,
         accounting,
         sweep,
+        schedule,
+        vertex_epsilon,
     })
 }
 
@@ -273,6 +297,8 @@ mod tests {
                 trace,
                 accounting,
                 sweep,
+                schedule,
+                vertex_epsilon,
                 ..
             } => {
                 assert_eq!(scheme, Scheme::BaselineVf);
@@ -282,9 +308,33 @@ mod tests {
                 assert_eq!(trace, None);
                 assert_eq!(accounting, ColoredAccounting::Incremental);
                 assert_eq!(sweep, SweepMode::Full);
+                assert_eq!(schedule, ScheduleMode::Fixed);
+                assert_eq!(vertex_epsilon, 0.0);
             }
             _ => panic!(),
         }
+    }
+
+    #[test]
+    fn detect_schedule_modes() {
+        match parse(&args("detect g.bin --schedule geometric")).unwrap() {
+            Command::Detect { schedule, .. } => assert_eq!(schedule, ScheduleMode::Geometric),
+            _ => panic!(),
+        }
+        match parse(&args("detect g.bin --schedule fixed --vertex-epsilon 1e-7")).unwrap() {
+            Command::Detect {
+                schedule,
+                vertex_epsilon,
+                ..
+            } => {
+                assert_eq!(schedule, ScheduleMode::Fixed);
+                assert_eq!(vertex_epsilon, 1e-7);
+            }
+            _ => panic!(),
+        }
+        assert!(parse(&args("detect g.bin --schedule linear")).is_err());
+        assert!(parse(&args("detect g.bin --schedule")).is_err());
+        assert!(parse(&args("detect g.bin --vertex-epsilon nope")).is_err());
     }
 
     #[test]

@@ -2,7 +2,9 @@
 
 use crate::args::{Command, USAGE};
 use grappolo_coloring::{balance_colors, color_parallel, ColoringStats, ParallelColoringConfig};
-use grappolo_core::{detect_communities, ColoredAccounting, LouvainConfig, Scheme, SweepMode};
+use grappolo_core::{
+    detect_communities, ColoredAccounting, LouvainConfig, ScheduleMode, Scheme, SweepMode,
+};
 use grappolo_graph::gen::paper_suite::PaperInput;
 use grappolo_graph::gen::{
     erdos_renyi, planted_partition, rmat, ErConfig, PlantedConfig, RmatConfig,
@@ -35,6 +37,8 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             trace,
             accounting,
             sweep,
+            schedule,
+            vertex_epsilon,
         } => detect(
             &path,
             scheme,
@@ -44,6 +48,8 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             trace.as_deref(),
             accounting,
             sweep,
+            schedule,
+            vertex_epsilon,
         ),
         Command::Color { path, balanced } => color(&path, balanced),
         Command::Compare { a, b } => compare(&a, &b),
@@ -144,12 +150,20 @@ fn detect(
     trace: Option<&Path>,
     accounting: ColoredAccounting,
     sweep: SweepMode,
+    schedule: ScheduleMode,
+    vertex_epsilon: f64,
 ) -> Result<(), String> {
     let g = load(path)?;
     let mut config: LouvainConfig = scheme.config();
     config.resolution = gamma;
     config.colored_accounting = accounting;
     config.sweep_mode = sweep;
+    config.vertex_epsilon = vertex_epsilon;
+    if schedule == ScheduleMode::Geometric {
+        // Per-vertex gains live on the 1/m scale; derive the gate
+        // parameters from this graph's total weight.
+        config = config.with_geometric_schedule(g.total_weight());
+    }
     if let Some(t) = threads {
         config.num_threads = Some(t);
     }
@@ -324,6 +338,8 @@ mod tests {
             trace: Some(tmp("trace.json")),
             accounting: ColoredAccounting::Incremental,
             sweep: SweepMode::Full,
+            schedule: ScheduleMode::Fixed,
+            vertex_epsilon: 0.0,
         })
         .unwrap();
 
@@ -362,6 +378,8 @@ mod tests {
                 trace: None,
                 accounting,
                 sweep: SweepMode::Full,
+                schedule: ScheduleMode::Fixed,
+                vertex_epsilon: 0.0,
             })
             .unwrap();
         }
@@ -396,6 +414,8 @@ mod tests {
                 trace: None,
                 accounting: ColoredAccounting::Incremental,
                 sweep: SweepMode::Active,
+                schedule: ScheduleMode::Fixed,
+                vertex_epsilon: 0.0,
             })
             .unwrap();
         }
@@ -404,6 +424,69 @@ mod tests {
             read_assignments(&out4).unwrap(),
             "active sweep diverged across thread counts"
         );
+    }
+
+    #[test]
+    fn detect_geometric_schedule_deterministic_across_thread_counts() {
+        // CLI-level determinism for the scheduled convergence engine:
+        // identical assignments at 1 and 4 worker threads under
+        // --schedule geometric --sweep active.
+        let graph_path = tmp("sched.grb");
+        execute(Command::Generate {
+            input: "planted".into(),
+            scale: 0.05,
+            seed: 11,
+            output: graph_path.clone(),
+        })
+        .unwrap();
+        let out1 = tmp("sched_a1.txt");
+        let out4 = tmp("sched_a4.txt");
+        for (out, threads) in [(&out1, 1usize), (&out4, 4)] {
+            execute(Command::Detect {
+                path: graph_path.clone(),
+                scheme: Scheme::BaselineVfColor,
+                threads: Some(threads),
+                gamma: 1.0,
+                assignments: Some(out.clone()),
+                trace: None,
+                accounting: ColoredAccounting::Incremental,
+                sweep: SweepMode::Active,
+                schedule: ScheduleMode::Geometric,
+                vertex_epsilon: 0.0,
+            })
+            .unwrap();
+        }
+        assert_eq!(
+            read_assignments(&out1).unwrap(),
+            read_assignments(&out4).unwrap(),
+            "geometric schedule diverged across thread counts"
+        );
+    }
+
+    #[test]
+    fn detect_rejects_invalid_vertex_epsilon() {
+        let graph_path = tmp("veps.grb");
+        execute(Command::Generate {
+            input: "planted".into(),
+            scale: 0.02,
+            seed: 5,
+            output: graph_path.clone(),
+        })
+        .unwrap();
+        let err = execute(Command::Detect {
+            path: graph_path,
+            scheme: Scheme::Baseline,
+            threads: Some(1),
+            gamma: 1.0,
+            assignments: None,
+            trace: None,
+            accounting: ColoredAccounting::Incremental,
+            sweep: SweepMode::Full,
+            schedule: ScheduleMode::Fixed,
+            vertex_epsilon: -1.0,
+        })
+        .unwrap_err();
+        assert!(err.contains("vertex_epsilon"), "{err}");
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! coloring stops once the graph shrinks below 100 K vertices or the phase
 //! gain drops below the colored threshold.
 
+use crate::schedule::{Convergence, ScheduleMode, ThresholdSchedule};
 use serde::{Deserialize, Serialize};
 
 /// Which combination of the paper's heuristics to run — the four schemes of
@@ -177,6 +178,26 @@ pub struct LouvainConfig {
     /// Net modularity gain threshold θ for uncolored phases and overall
     /// termination (paper: 1e-6).
     pub final_threshold: f64,
+    /// Within-phase threshold schedule ([`ScheduleMode::Fixed`] = the
+    /// paper's aggregate stop at the phase θ; [`ScheduleMode::Geometric`] =
+    /// a per-vertex gain gate tightening `schedule_start · schedule_factor^k`
+    /// down to `schedule_floor`, with phase termination reworked to
+    /// "frontier empty at the floor" — see [`crate::schedule`]).
+    pub schedule: ScheduleMode,
+    /// Geometric schedule: per-vertex gate for iteration 0. Gains live on
+    /// the `1/m` scale, so use [`Self::with_geometric_schedule`] to derive
+    /// a graph-appropriate value.
+    pub schedule_start: f64,
+    /// Geometric schedule: per-iteration tightening multiplier in (0, 1).
+    pub schedule_factor: f64,
+    /// Geometric schedule: tightest gate reached (> 0).
+    pub schedule_floor: f64,
+    /// Per-vertex convergence epsilon (all schedules): a vertex whose best
+    /// available modularity gain is below this stays put and is treated as
+    /// locally converged — it leaves the dirty-vertex frontier until a
+    /// neighbor moves. 0 (default) disables the gate and reproduces the
+    /// ungated trajectory bit-for-bit.
+    pub vertex_epsilon: f64,
     /// Hard cap on phases (safety; the paper's runs need ≲ 10).
     pub max_phases: usize,
     /// Hard cap on iterations within one phase (safety).
@@ -206,6 +227,11 @@ impl Default for LouvainConfig {
             sweep_mode: SweepMode::Full,
             colored_threshold: 1e-2,
             final_threshold: 1e-6,
+            schedule: ScheduleMode::Fixed,
+            schedule_start: GEOMETRIC_START_EDGE_UNITS,
+            schedule_factor: GEOMETRIC_FACTOR,
+            schedule_floor: GEOMETRIC_FLOOR_EDGE_UNITS,
+            vertex_epsilon: 0.0,
             max_phases: 64,
             max_iterations_per_phase: 10_000,
             rebuild: RebuildStrategy::StampAggregate,
@@ -216,11 +242,55 @@ impl Default for LouvainConfig {
     }
 }
 
+/// Geometric-schedule default: iteration-0 gate in **edge-weight units**
+/// (multiples of `1/m`, the gain of moving a vertex along one unit-weight
+/// edge). 4 ⇒ only moves worth ≳ 4 unit edges clear iteration 0.
+pub const GEOMETRIC_START_EDGE_UNITS: f64 = 4.0;
+/// Geometric-schedule default: per-iteration tightening multiplier.
+pub const GEOMETRIC_FACTOR: f64 = 0.5;
+/// Geometric-schedule default: floor gate in edge-weight units. 0.5 sits
+/// below the single-unit-edge gain quantum, so at the floor only true
+/// sub-edge noise stays suppressed.
+pub const GEOMETRIC_FLOOR_EDGE_UNITS: f64 = 0.5;
+
 impl LouvainConfig {
     /// Convenience: sets the thread count.
     pub fn with_threads(mut self, t: usize) -> Self {
         self.num_threads = Some(t);
         self
+    }
+
+    /// Selects the geometric schedule with the default edge-unit parameters
+    /// scaled to a graph of total weight `m` (per-vertex gains live on the
+    /// `1/m` scale): `start = 4/m`, `factor = 0.5`, `floor = 0.5/m`. `m ≤ 0`
+    /// leaves the raw defaults in place (the degenerate-graph sweeps
+    /// short-circuit before any gate is consulted).
+    pub fn with_geometric_schedule(mut self, total_weight: f64) -> Self {
+        self.schedule = ScheduleMode::Geometric;
+        if total_weight > 0.0 {
+            self.schedule_start = GEOMETRIC_START_EDGE_UNITS / total_weight;
+            self.schedule_factor = GEOMETRIC_FACTOR;
+            self.schedule_floor = GEOMETRIC_FLOOR_EDGE_UNITS / total_weight;
+        }
+        self
+    }
+
+    /// Resolves the config's schedule selection against one phase's
+    /// aggregate threshold θ (`colored_threshold` or `final_threshold`) into
+    /// the [`Convergence`] policy that phase's sweep runs under.
+    pub fn convergence(&self, phase_threshold: f64) -> Convergence {
+        let schedule = match self.schedule {
+            ScheduleMode::Fixed => ThresholdSchedule::Fixed(phase_threshold),
+            ScheduleMode::Geometric => ThresholdSchedule::Geometric {
+                start: self.schedule_start,
+                factor: self.schedule_factor,
+                floor: self.schedule_floor,
+            },
+        };
+        Convergence {
+            schedule,
+            vertex_epsilon: self.vertex_epsilon,
+        }
     }
 
     /// Validates parameter sanity; returns the first problem found.
@@ -250,6 +320,31 @@ impl LouvainConfig {
                  combine it with sweep_mode = Full"
                     .into(),
             );
+        }
+        if !(self.vertex_epsilon >= 0.0) {
+            return Err(format!(
+                "vertex_epsilon must be ≥ 0 (a per-vertex modularity-gain \
+                 gate), got {}",
+                self.vertex_epsilon
+            ));
+        }
+        if self.schedule == ScheduleMode::Geometric {
+            // Delegate the start/factor/floor sanity rules to the resolved
+            // schedule so the error messages stay in one place.
+            ThresholdSchedule::Geometric {
+                start: self.schedule_start,
+                factor: self.schedule_factor,
+                floor: self.schedule_floor,
+            }
+            .validate()?;
+        }
+        if self.colored_accounting == ColoredAccounting::Rescan
+            && (self.schedule != ScheduleMode::Fixed || self.vertex_epsilon > 0.0)
+        {
+            return Err("rescan accounting is the fixed-threshold differential \
+                 reference; combine it with schedule = Fixed and \
+                 vertex_epsilon = 0"
+                .into());
         }
         Ok(())
     }
@@ -338,6 +433,89 @@ mod tests {
         assert!(c4.validate().is_err());
         c4.vf_rounds = 1;
         assert!(c4.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_nonsensical_schedules() {
+        // Growing or non-tightening factor.
+        for factor in [1.0, 1.5, 0.0, -0.5, f64::NAN] {
+            let c = LouvainConfig {
+                schedule: ScheduleMode::Geometric,
+                schedule_factor: factor,
+                ..Default::default()
+            };
+            let err = c.validate().unwrap_err();
+            assert!(err.contains("factor"), "factor={factor}: {err}");
+        }
+        // Floor above start (or non-positive).
+        let c = LouvainConfig {
+            schedule: ScheduleMode::Geometric,
+            schedule_start: 1e-8,
+            schedule_floor: 1e-4,
+            ..Default::default()
+        };
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("floor") && err.contains("start"), "{err}");
+        let c0 = LouvainConfig {
+            schedule: ScheduleMode::Geometric,
+            schedule_floor: 0.0,
+            ..Default::default()
+        };
+        assert!(c0.validate().unwrap_err().contains("floor"));
+        // Negative (or NaN) per-vertex epsilon.
+        for eps in [-1e-9, f64::NAN] {
+            let c = LouvainConfig {
+                vertex_epsilon: eps,
+                ..Default::default()
+            };
+            let err = c.validate().unwrap_err();
+            assert!(err.contains("vertex_epsilon"), "eps={eps}: {err}");
+        }
+        // The same parameters are fine under Fixed (they are simply unused).
+        let fixed = LouvainConfig {
+            schedule: ScheduleMode::Fixed,
+            schedule_factor: 2.0,
+            ..Default::default()
+        };
+        assert!(fixed.validate().is_ok());
+    }
+
+    #[test]
+    fn rescan_accounting_rejects_scheduled_runs() {
+        // The rescan reference is decision-identical only to the ungated
+        // fixed-threshold trajectory.
+        let geo = LouvainConfig {
+            colored_accounting: ColoredAccounting::Rescan,
+            ..LouvainConfig::default().with_geometric_schedule(1000.0)
+        };
+        assert!(geo.validate().is_err());
+        let eps = LouvainConfig {
+            colored_accounting: ColoredAccounting::Rescan,
+            vertex_epsilon: 1e-9,
+            ..Default::default()
+        };
+        assert!(eps.validate().is_err());
+    }
+
+    #[test]
+    fn geometric_helper_scales_to_graph_weight() {
+        let c = LouvainConfig::default().with_geometric_schedule(2_000.0);
+        assert_eq!(c.schedule, ScheduleMode::Geometric);
+        assert_eq!(c.schedule_start, GEOMETRIC_START_EDGE_UNITS / 2_000.0);
+        assert_eq!(c.schedule_floor, GEOMETRIC_FLOOR_EDGE_UNITS / 2_000.0);
+        assert!(c.validate().is_ok());
+        // Resolution: Fixed picks up the phase θ, Geometric its own params.
+        let conv = c.convergence(1e-6);
+        assert_eq!(
+            conv.schedule,
+            ThresholdSchedule::Geometric {
+                start: c.schedule_start,
+                factor: c.schedule_factor,
+                floor: c.schedule_floor,
+            }
+        );
+        let fixed_conv = LouvainConfig::default().convergence(1e-2);
+        assert_eq!(fixed_conv, Convergence::fixed(1e-2));
     }
 
     #[test]

@@ -6,11 +6,11 @@ use crate::config::{ColoredAccounting, ColoringSchedule, LouvainConfig, Scheme};
 use crate::dendrogram::{Dendrogram, DendrogramLevel};
 use crate::history::{IterationRecord, PhaseRecord, PhaseTimings, RunTrace};
 use crate::modularity::{modularity_with_resolution, Community};
-use crate::parallel::{parallel_phase_colored_sweep, parallel_phase_unordered_sweep};
+use crate::parallel::{parallel_phase_colored_scheduled, parallel_phase_unordered_scheduled};
 use crate::phase::PhaseOutcome;
 use crate::rebuild::{rebuild, renumber_communities};
 use crate::reference::parallel_phase_colored_rescan;
-use crate::serial::{serial_modularity, serial_phase_sweep};
+use crate::serial::{serial_modularity, serial_phase_scheduled};
 use crate::vf::{vf_preprocess_recursive, VfResult};
 use grappolo_coloring::{
     balance_colors, color_parallel, ColorBatches, ColoringStats, ParallelColoringConfig,
@@ -116,12 +116,16 @@ fn run_inner(g: &CsrGraph, config: &LouvainConfig) -> CommunityResult {
         };
         let coloring_time = t_color.elapsed();
 
-        // Step (3): the phase's iteration loop.
+        // Step (3): the phase's iteration loop. The aggregate phase θ
+        // resolves through the config's schedule selection into the
+        // convergence policy the sweep runs under (`Fixed` keeps the paper's
+        // aggregate stop at θ; `Geometric` swaps in the per-vertex gate).
         let threshold = if colored {
             config.colored_threshold
         } else {
             config.final_threshold
         };
+        let conv = config.convergence(threshold);
         let start_q = if config.parallel {
             let identity: Vec<Community> = (0..n as Community).collect();
             modularity_with_resolution(&work, &identity, config.resolution)
@@ -131,25 +135,26 @@ fn run_inner(g: &CsrGraph, config: &LouvainConfig) -> CommunityResult {
         };
         let t_cluster = Instant::now();
         let outcome: PhaseOutcome = if !config.parallel {
-            serial_phase_sweep(
+            serial_phase_scheduled(
                 &work,
                 config.sweep_mode,
-                threshold,
+                &conv,
                 config.max_iterations_per_phase,
                 config.resolution,
             )
         } else if colored {
             match config.colored_accounting {
-                ColoredAccounting::Incremental => parallel_phase_colored_sweep(
+                ColoredAccounting::Incremental => parallel_phase_colored_scheduled(
                     &work,
                     &batches,
                     config.sweep_mode,
-                    threshold,
+                    &conv,
                     config.max_iterations_per_phase,
                     config.resolution,
                 ),
-                // The rescan reference is full-sweep by definition;
-                // `LouvainConfig::validate` rejects Rescan + Active.
+                // The rescan reference is full-sweep, fixed-threshold, and
+                // ungated by definition; `LouvainConfig::validate` rejects
+                // Rescan + Active and Rescan + scheduled/gated configs.
                 ColoredAccounting::Rescan => parallel_phase_colored_rescan(
                     &work,
                     &batches,
@@ -159,10 +164,10 @@ fn run_inner(g: &CsrGraph, config: &LouvainConfig) -> CommunityResult {
                 ),
             }
         } else {
-            parallel_phase_unordered_sweep(
+            parallel_phase_unordered_scheduled(
                 &work,
                 config.sweep_mode,
-                threshold,
+                &conv,
                 config.max_iterations_per_phase,
                 config.resolution,
             )
@@ -493,6 +498,32 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn geometric_schedule_end_to_end() {
+        // The convergence engine at driver level: the geometric per-vertex
+        // gate runs through VF, coloring, multi-phase rebuilds, and both
+        // sweep modes, keeps quality within tolerance of the fixed
+        // baseline, and stays bitwise stable across thread counts.
+        let (g, _) = planted();
+        let fixed = detect_communities(&g, &colored_config());
+        let mut cfg = colored_config().with_geometric_schedule(g.total_weight());
+        cfg.sweep_mode = crate::config::SweepMode::Active;
+        let sched = detect_communities(&g, &cfg);
+        assert!(
+            sched.modularity >= 0.95 * fixed.modularity,
+            "scheduled Q {} vs fixed Q {}",
+            sched.modularity,
+            fixed.modularity
+        );
+        cfg.num_threads = Some(1);
+        let r1 = detect_communities(&g, &cfg);
+        cfg.num_threads = Some(8);
+        let r8 = detect_communities(&g, &cfg);
+        assert_eq!(r1.assignment, r8.assignment);
+        assert_eq!(r1.modularity.to_bits(), r8.modularity.to_bits());
+        assert_eq!(r1.trace.total_iterations(), r8.trace.total_iterations());
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod parallel;
 pub mod phase;
 pub mod rebuild;
 pub mod reference;
+pub mod schedule;
 pub mod serial;
 pub mod vf;
 
@@ -52,5 +53,6 @@ pub use dendrogram::{Dendrogram, DendrogramLevel};
 pub use driver::{detect_communities, detect_with_scheme, CommunityResult};
 pub use history::{IterationRecord, PhaseRecord, PhaseTimings, RunTrace};
 pub use modularity::{modularity, modularity_with_resolution, Community};
-pub use phase::PhaseOutcome;
+pub use phase::{IterationStats, PhaseOutcome};
+pub use schedule::{Convergence, ScheduleMode, ThresholdSchedule};
 pub use vf::{vf_preprocess, vf_preprocess_recursive, VfResult};

@@ -27,7 +27,8 @@ use crate::modularity::{
     best_move_with_src, Community, IndependentMove, ModularityTracker, MoveContext, MoveDecision,
     NeighborScratch, ScratchPool, TRACKER_DRIFT_TOLERANCE,
 };
-use crate::phase::{should_stop, singlet_veto, PhaseOutcome};
+use crate::phase::{singlet_veto, IterationStats, PhaseOutcome};
+use crate::schedule::Convergence;
 use grappolo_coloring::ColorBatches;
 use grappolo_graph::{CsrGraph, VertexId};
 use rayon::prelude::*;
@@ -71,6 +72,35 @@ pub fn parallel_phase_unordered_sweep(
     max_iterations: usize,
     resolution: f64,
 ) -> PhaseOutcome {
+    parallel_phase_unordered_scheduled(
+        g,
+        sweep,
+        &Convergence::fixed(threshold),
+        max_iterations,
+        resolution,
+    )
+}
+
+/// [`parallel_phase_unordered_sweep`] under an explicit [`Convergence`]
+/// policy — the full convergence engine.
+///
+/// Each iteration decides under the policy's per-vertex gain gate
+/// ([`Convergence::gate`]): a vertex whose best move gains less than the
+/// gate stays put and counts as **locally converged**, so it commits no
+/// move and drops out of the next dirty-vertex frontier until a neighbor
+/// moves. `Convergence::fixed(θ)` (gate 0) reproduces the historical
+/// fixed-threshold sweep bit-for-bit; a geometric schedule tightens the
+/// gate per iteration and terminates on "frontier empty at the floor"
+/// instead of the aggregate-gain stop ([`Convergence::should_stop`]). The
+/// gate sequence is a pure function of the iteration index, so scheduled
+/// sweeps remain bitwise deterministic across thread counts.
+pub fn parallel_phase_unordered_scheduled(
+    g: &CsrGraph,
+    sweep: SweepMode,
+    conv: &Convergence,
+    max_iterations: usize,
+    resolution: f64,
+) -> PhaseOutcome {
     let n = g.num_vertices();
     let m = g.total_weight();
     if n == 0 || m <= 0.0 {
@@ -86,6 +116,7 @@ pub fn parallel_phase_unordered_sweep(
     let mut tracker = ModularityTracker::new(g, &c_prev, &a, resolution);
 
     let mut iterations: Vec<(f64, usize)> = Vec::new();
+    let mut stats: Vec<IterationStats> = Vec::new();
     let mut q_prev = tracker.modularity();
 
     // Deferred pruning: `active` stays disengaged (`None`) — the plain
@@ -97,17 +128,36 @@ pub fn parallel_phase_unordered_sweep(
     let mut active: Option<(ActiveSet, Vec<Community>)> = None;
     let scratches = ScratchPool::new();
 
-    for _iter in 0..max_iterations {
-        let (q_curr, moves) = match &mut active {
+    for iter in 0..max_iterations {
+        let gate = conv.gate(iter);
+        let (q_curr, moves, converged) = match &mut active {
             // Lines 9–14, full schedule: one parallel sweep over every
             // vertex without locks, against snapshot state.
             None => {
-                let c_curr: Vec<Community> = (0..n as VertexId)
-                    .into_par_iter()
-                    .map_init(NeighborScratch::default, |scratch, v| {
-                        decide(g, &c_prev, &a, &sizes, m, resolution, scratch, v)
-                    })
-                    .collect();
+                // With the gate inactive (Fixed + ε = 0, the default and
+                // the perf-gated baseline) nothing can be suppressed, so
+                // the sweep keeps its historical single-collect shape; the
+                // gated shape pays two extra O(n) passes to split targets
+                // from suppression flags.
+                let (c_curr, converged) = if gate > 0.0 {
+                    let decisions: Vec<(Community, bool)> = (0..n as VertexId)
+                        .into_par_iter()
+                        .map_init(NeighborScratch::default, |scratch, v| {
+                            decide(g, &c_prev, &a, &sizes, m, resolution, gate, scratch, v)
+                        })
+                        .collect();
+                    let c_curr: Vec<Community> = decisions.par_iter().map(|&(c, _)| c).collect();
+                    let converged = decisions.par_iter().filter(|&&(_, gated)| gated).count();
+                    (c_curr, converged)
+                } else {
+                    let c_curr: Vec<Community> = (0..n as VertexId)
+                        .into_par_iter()
+                        .map_init(NeighborScratch::default, |scratch, v| {
+                            decide(g, &c_prev, &a, &sizes, m, resolution, gate, scratch, v).0
+                        })
+                        .collect();
+                    (c_curr, 0)
+                };
 
                 // The committed moves, in ascending vertex order
                 // (deterministic).
@@ -118,12 +168,23 @@ pub fn parallel_phase_unordered_sweep(
                 let moves = moved.len();
                 tracker.apply_batch(g, &c_prev, &c_curr, &moved, &mut a, &mut sizes);
                 c_prev = c_curr;
-                if prune && ActiveSet::engages(n, moves) {
+                // Engagement additionally waits for the gate to reach its
+                // floor: while the gate still tightens, a vertex gated this
+                // iteration may clear the next one, and only the full path
+                // re-examines it then (a frontier would park it until a
+                // neighbor moved). Under `Fixed` the gate is constant, so
+                // this clause never defers.
+                if prune && conv.gate_at_floor(iter) && ActiveSet::engages(n, moves) {
                     let mut set = ActiveSet::empty(n);
                     set.rebuild_from_moves(g, &moved);
                     active = Some((set, c_prev.clone()));
                 }
-                (tracker.modularity(), moves)
+                stats.push(IterationStats {
+                    gate,
+                    frontier: n,
+                    converged,
+                });
+                (tracker.modularity(), moves, converged)
             }
             // Active schedule: decide only the frontier. Frontier vertices
             // see exactly the frozen state a full sweep would show them, so
@@ -138,11 +199,13 @@ pub fn parallel_phase_unordered_sweep(
                     break;
                 }
                 let frontier = set.frontier();
-                let decisions: Vec<Community> = frontier
+                let decisions: Vec<(Community, bool)> = frontier
                     .par_iter()
                     .map_init(
                         || scratches.take(),
-                        |scratch, &v| decide(g, &c_prev, &a, &sizes, m, resolution, scratch, v),
+                        |scratch, &v| {
+                            decide(g, &c_prev, &a, &sizes, m, resolution, gate, scratch, v)
+                        },
                     )
                     .collect();
 
@@ -151,17 +214,25 @@ pub fn parallel_phase_unordered_sweep(
                 // frontier's decisions in ascending vertex order.
                 c_curr.copy_from_slice(&c_prev);
                 let mut moved: Vec<VertexId> = Vec::new();
-                for (&v, &to) in frontier.iter().zip(&decisions) {
+                let mut converged = 0usize;
+                for (&v, &(to, gated)) in frontier.iter().zip(&decisions) {
                     if to != c_prev[v as usize] {
                         c_curr[v as usize] = to;
                         moved.push(v);
                     }
+                    converged += gated as usize;
                 }
                 let moves = moved.len();
+                let frontier_len = frontier.len();
                 tracker.apply_batch(g, &c_prev, c_curr, &moved, &mut a, &mut sizes);
                 set.rebuild_from_moves(g, &moved);
                 std::mem::swap(&mut c_prev, c_curr);
-                (tracker.modularity(), moves)
+                stats.push(IterationStats {
+                    gate,
+                    frontier: frontier_len,
+                    converged,
+                });
+                (tracker.modularity(), moves, converged)
             }
         };
         debug_assert!(
@@ -170,7 +241,7 @@ pub fn parallel_phase_unordered_sweep(
             tracker.drift_from_full(g, &c_prev),
         );
         iterations.push((q_curr, moves));
-        if should_stop(q_prev, q_curr, moves, threshold) {
+        if conv.should_stop(iter, q_prev, q_curr, moves, converged) {
             break;
         }
         q_prev = q_curr;
@@ -180,11 +251,18 @@ pub fn parallel_phase_unordered_sweep(
     PhaseOutcome {
         assignment: c_prev,
         iterations,
+        stats,
         final_modularity,
     }
 }
 
-/// One vertex's migration decision against snapshot state.
+/// One vertex's migration decision against snapshot state, gated by the
+/// iteration's per-vertex gain threshold. Returns `(target, gated)`:
+/// `gated` is true iff the vertex had a strictly positive best gain that
+/// the gate suppressed — it is *locally converged* at this gate level
+/// (singlet vetoes and genuine stays are not gated). `gate = 0.0` can never
+/// suppress (a chosen target always has gain > 0), so ungated callers get
+/// the historical decision bit-for-bit.
 #[allow(clippy::too_many_arguments)]
 #[inline]
 fn decide(
@@ -194,13 +272,14 @@ fn decide(
     sizes: &[u32],
     m: f64,
     resolution: f64,
+    gate: f64,
     scratch: &mut NeighborScratch,
     v: VertexId,
-) -> Community {
+) -> (Community, bool) {
     let cur = assignment[v as usize];
     scratch.gather(g, assignment, v);
     if scratch.entries.is_empty() {
-        return cur;
+        return (cur, false);
     }
     let ctx = MoveContext {
         current: cur,
@@ -212,18 +291,25 @@ fn decide(
     let decision = best_move_with_src(&ctx, &scratch.entries, scratch.weight_to(cur), |c| {
         a[c as usize]
     });
-    if decision.target != cur && singlet_veto(cur, decision.target, |c| sizes[c as usize]) {
-        return cur;
+    if decision.target != cur {
+        if decision.gain < gate {
+            return (cur, true);
+        }
+        if singlet_veto(cur, decision.target, |c| sizes[c as usize]) {
+            return (cur, false);
+        }
     }
-    decision.target
+    (decision.target, false)
 }
 
 /// One color batch's migration decisions, evaluated in parallel against the
 /// state frozen at the batch barrier (`assignment`/`a`/`sizes` are not
 /// mutated while the batch is in flight). Returns one [`MoveDecision`] per
-/// batch vertex, in batch order; a vetoed or stay decision has
-/// `target == current`. Shared by the incremental colored sweep and the
-/// full-rescan reference so both make bitwise-identical decisions.
+/// batch vertex, in batch order; a gated, vetoed, or stay decision has
+/// `target == current` (a gated one keeps its positive `gain`, which is how
+/// [`colored_collect_moves`] recognizes local convergence). Shared by the
+/// incremental colored sweep and the full-rescan reference (which passes
+/// `gate = 0.0`) so both make bitwise-identical decisions.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn colored_decide_batch(
     g: &CsrGraph,
@@ -232,6 +318,7 @@ pub(crate) fn colored_decide_batch(
     sizes: &[u32],
     m: f64,
     resolution: f64,
+    gate: f64,
     batch: &[VertexId],
     scratches: &ScratchPool,
 ) -> Vec<MoveDecision> {
@@ -265,7 +352,8 @@ pub(crate) fn colored_decide_batch(
                         a[c as usize]
                     });
                 if decision.target != cur
-                    && singlet_veto(cur, decision.target, |c| sizes[c as usize])
+                    && (decision.gain < gate
+                        || singlet_veto(cur, decision.target, |c| sizes[c as usize]))
                 {
                     return MoveDecision {
                         target: cur,
@@ -281,22 +369,27 @@ pub(crate) fn colored_decide_batch(
 /// Drains one batch's decisions into `moved` (ascending vertex order, since
 /// batches are stably ordered) and commits the assignment writes; the
 /// movers' vertex ids land in `movers` (same order, same length — the
-/// active-set rebuild consumes them). The `a`/`sizes`/modularity accounting
-/// is the caller's responsibility — the only place the incremental sweep
-/// and the rescan reference differ.
+/// active-set rebuild consumes them). Returns the number of **locally
+/// converged** vertices: stays whose positive best gain fell below `gate`
+/// (gate 0.0 ⇒ always 0). The `a`/`sizes`/modularity accounting is the
+/// caller's responsibility — the only place the incremental sweep and the
+/// rescan reference differ.
 pub(crate) fn colored_collect_moves(
     g: &CsrGraph,
     batch: &[VertexId],
     decisions: &[MoveDecision],
+    gate: f64,
     assignment: &mut [Community],
     moved: &mut Vec<IndependentMove>,
     movers: &mut Vec<VertexId>,
-) {
+) -> usize {
     moved.clear();
     movers.clear();
+    let mut converged = 0usize;
     for (&v, d) in batch.iter().zip(decisions) {
         let from = assignment[v as usize];
         if d.target == from {
+            converged += (d.gain > 0.0 && d.gain < gate) as usize;
             continue;
         }
         moved.push(IndependentMove {
@@ -309,6 +402,7 @@ pub(crate) fn colored_collect_moves(
         movers.push(v);
         assignment[v as usize] = d.target;
     }
+    converged
 }
 
 /// Runs one **colored** parallel phase to convergence.
@@ -368,6 +462,36 @@ pub fn parallel_phase_colored_sweep(
     max_iterations: usize,
     resolution: f64,
 ) -> PhaseOutcome {
+    parallel_phase_colored_scheduled(
+        g,
+        batches,
+        sweep,
+        &Convergence::fixed(threshold),
+        max_iterations,
+        resolution,
+    )
+}
+
+/// [`parallel_phase_colored_sweep`] under an explicit [`Convergence`]
+/// policy — the colored side of the convergence engine.
+///
+/// The per-vertex gain gate is applied inside each batch's decision pass
+/// ([`colored_decide_batch`]): a gated vertex stays put, so it neither
+/// commits a move nor re-enters the dirty-vertex frontier until a neighbor
+/// moves. Gating is vertex-local against the batch's frozen barrier state,
+/// so the independent-set commit and the incremental accounting are
+/// untouched, and the gate sequence (a pure function of the iteration
+/// index) keeps the whole phase bitwise deterministic across thread counts.
+/// `Convergence::fixed(θ)` reproduces the fixed-threshold colored sweep
+/// bit-for-bit.
+pub fn parallel_phase_colored_scheduled(
+    g: &CsrGraph,
+    batches: &ColorBatches,
+    sweep: SweepMode,
+    conv: &Convergence,
+    max_iterations: usize,
+    resolution: f64,
+) -> PhaseOutcome {
     let n = g.num_vertices();
     let m = g.total_weight();
     if n == 0 || m <= 0.0 {
@@ -381,6 +505,7 @@ pub fn parallel_phase_colored_sweep(
     let mut tracker = ModularityTracker::new(g, &assignment, &a, resolution);
 
     let mut iterations: Vec<(f64, usize)> = Vec::new();
+    let mut stats: Vec<IterationStats> = Vec::new();
     let mut q_prev = tracker.modularity();
     let mut moved: Vec<IndependentMove> = Vec::new();
     let mut movers: Vec<VertexId> = Vec::new();
@@ -396,13 +521,16 @@ pub fn parallel_phase_colored_sweep(
     let mut filtered: Vec<VertexId> = Vec::new();
     let mut iter_movers: Vec<VertexId> = Vec::new();
 
-    for _iter in 0..max_iterations {
+    for iter in 0..max_iterations {
         if active.as_ref().is_some_and(ActiveSet::is_empty) {
             // Converged: nothing moved last iteration (see the unordered
             // sweep's identical guard).
             break;
         }
+        let gate = conv.gate(iter);
         let mut moves = 0usize;
+        let mut converged = 0usize;
+        let mut examined = 0usize;
         iter_movers.clear();
         for (color, full_batch) in batches.as_classes().iter().enumerate() {
             let batch: &[VertexId] = match &active {
@@ -417,12 +545,23 @@ pub fn parallel_phase_colored_sweep(
             if batch.is_empty() {
                 continue;
             }
-            let decisions =
-                colored_decide_batch(g, &assignment, &a, &sizes, m, resolution, batch, &scratches);
-            colored_collect_moves(
+            examined += batch.len();
+            let decisions = colored_decide_batch(
+                g,
+                &assignment,
+                &a,
+                &sizes,
+                m,
+                resolution,
+                gate,
+                batch,
+                &scratches,
+            );
+            converged += colored_collect_moves(
                 g,
                 batch,
                 &decisions,
+                gate,
                 &mut assignment,
                 &mut moved,
                 &mut movers,
@@ -438,7 +577,10 @@ pub fn parallel_phase_colored_sweep(
         }
         match &mut active {
             Some(set) => set.rebuild_from_moves(g, &iter_movers),
-            None if prune && ActiveSet::engages(n, moves) => {
+            // As in the unordered sweep, engagement waits for the gate
+            // floor: a pre-floor frontier would park vertices the
+            // tightening gate is about to admit.
+            None if prune && conv.gate_at_floor(iter) && ActiveSet::engages(n, moves) => {
                 let mut set = ActiveSet::empty(n);
                 set.rebuild_from_moves(g, &iter_movers);
                 active = Some(set);
@@ -453,7 +595,12 @@ pub fn parallel_phase_colored_sweep(
             tracker.drift_from_full(g, &assignment),
         );
         iterations.push((q_curr, moves));
-        if should_stop(q_prev, q_curr, moves, threshold) {
+        stats.push(IterationStats {
+            gate,
+            frontier: examined,
+            converged,
+        });
+        if conv.should_stop(iter, q_prev, q_curr, moves, converged) {
             break;
         }
         q_prev = q_curr;
@@ -463,6 +610,7 @@ pub fn parallel_phase_colored_sweep(
     PhaseOutcome {
         assignment,
         iterations,
+        stats,
         final_modularity,
     }
 }

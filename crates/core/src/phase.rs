@@ -3,6 +3,24 @@
 
 use crate::modularity::Community;
 
+/// Per-iteration convergence-engine telemetry: what the schedule gated and
+/// what the sweep actually examined. Parallel to
+/// [`PhaseOutcome::iterations`]; the `active_trace` bin renders these as the
+/// schedule-trajectory columns.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IterationStats {
+    /// Effective per-vertex gain gate this iteration decided under
+    /// ([`crate::schedule::Convergence::gate`]; 0 when ungated).
+    pub gate: f64,
+    /// Vertices the iteration examined (`n` on the full path, the frontier
+    /// length once the active set engages, the filtered batch total for
+    /// colored sweeps).
+    pub frontier: usize,
+    /// Vertices whose best positive-gain move the gate suppressed — locally
+    /// converged at this gate level.
+    pub converged: usize,
+}
+
 /// Result of running one phase to convergence.
 #[derive(Clone, Debug)]
 pub struct PhaseOutcome {
@@ -11,6 +29,8 @@ pub struct PhaseOutcome {
     pub assignment: Vec<Community>,
     /// Per-iteration `(modularity, moves)` records, in order.
     pub iterations: Vec<(f64, usize)>,
+    /// Per-iteration schedule telemetry, parallel to `iterations`.
+    pub stats: Vec<IterationStats>,
     /// Modularity after the last iteration.
     pub final_modularity: f64,
 }
@@ -27,6 +47,7 @@ impl PhaseOutcome {
         Self {
             assignment: (0..n as Community).collect(),
             iterations: Vec::new(),
+            stats: Vec::new(),
             final_modularity: 0.0,
         }
     }
@@ -99,6 +120,7 @@ mod tests {
         let o = PhaseOutcome {
             assignment: vec![0, 1],
             iterations: vec![(0.1, 2), (0.2, 1)],
+            stats: Vec::new(),
             final_modularity: 0.2,
         };
         assert_eq!(o.num_iterations(), 2);

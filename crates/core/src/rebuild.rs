@@ -18,7 +18,7 @@
 
 use crate::config::{RebuildStrategy, RenumberStrategy};
 use crate::modularity::{Community, NeighborScratch};
-use grappolo_graph::{CsrGraph, VertexId};
+use grappolo_graph::{CsrGraph, SharedSlice, VertexId};
 use parking_lot::Mutex;
 use rayon::prelude::*;
 use rustc_hash::FxHashMap;
@@ -175,6 +175,25 @@ pub(crate) fn mirror_low_id_rows(rows: &mut [Vec<(Community, f64)>]) {
     }
 }
 
+/// [`mirror_low_id_rows`] over assembled CSR arrays: for every
+/// inter-row pair the low-id row's weight is copied onto the high-id
+/// mirror entry (rows sorted by target, binary-searched). Semantically
+/// identical to the rows-based pass — only the storage differs.
+pub(crate) fn mirror_low_id_csr(offsets: &[usize], targets: &[Community], weights: &mut [f64]) {
+    let num_rows = offsets.len() - 1;
+    for u in 0..num_rows {
+        for idx in offsets[u]..offsets[u + 1] {
+            let v = targets[idx] as usize;
+            if v > u {
+                let row_v = &targets[offsets[v]..offsets[v + 1]];
+                if let Ok(pos) = row_v.binary_search(&(u as Community)) {
+                    weights[offsets[v] + pos] = weights[idx];
+                }
+            }
+        }
+    }
+}
+
 /// Assembles sorted per-community rows into a CSR graph.
 pub(crate) fn rows_to_csr(rows: Vec<Vec<(Community, f64)>>) -> CsrGraph {
     let num_rows = rows.len();
@@ -193,10 +212,46 @@ pub(crate) fn rows_to_csr(rows: Vec<Vec<(Community, f64)>>) -> CsrGraph {
     CsrGraph::from_sorted_adjacency(offsets, targets, weights)
 }
 
+/// Row count above which [`condense_stamped`] switches from the rows-based
+/// assembly to the flat two-pass scatter. Measured crossover: with few
+/// output rows the stamped mark array stays cache-resident, making the
+/// flat path's second gather pass pure overhead (≈ 1.8× slower on a
+/// 200-row condensation); by ~10⁵ rows the mark array spills past L2, the
+/// two assemblies run at parity speed-wise, and the flat path wins on
+/// memory — no per-row heap `Vec`s (one per community) and no doubled
+/// `rows_to_csr` copy. 64 K rows ≈ a 512 KB mark array, the L2 boundary on
+/// the reference container.
+const FLAT_ASSEMBLY_MIN_ROWS: usize = 1 << 16;
+
 /// Stamped-scratch condensation shared by the inter-phase rebuild and VF
-/// compaction: one flat-scratch pass per output row over the row's grouped
-/// member vertices, with `row_of` mapping any original vertex to its output
-/// row.
+/// compaction, with `row_of` mapping any original vertex to its output row.
+/// Dispatches between the two bitwise-identical assemblies
+/// ([`condense_stamped_flat`] / [`condense_stamped_rows`]) on
+/// [`FLAT_ASSEMBLY_MIN_ROWS`]; since both produce identical CSR arrays
+/// (property-tested), the dispatch cannot affect results — only speed and
+/// peak memory.
+pub(crate) fn condense_stamped(
+    g: &CsrGraph,
+    num_rows: usize,
+    offsets: &[usize],
+    members: &[VertexId],
+    row_of: impl Fn(usize) -> Community + Sync + Send,
+) -> CsrGraph {
+    if num_rows >= FLAT_ASSEMBLY_MIN_ROWS {
+        condense_stamped_flat(g, num_rows, offsets, members, row_of)
+    } else {
+        condense_stamped_rows(g, num_rows, offsets, members, row_of)
+    }
+}
+
+/// Flat **two-pass** assembly directly into the output CSR arrays.
+///
+/// Pass 1 runs the stamped gather per output row counting its distinct
+/// target rows; an exclusive prefix sum turns the counts into CSR offsets.
+/// Pass 2 re-runs the gather and scatters each row's sorted `(target,
+/// weight)` entries straight into its preallocated `targets`/`weights`
+/// span — no per-row `Vec`, no `rows_to_csr` copy. Rows own disjoint
+/// output spans, so the parallel scatter is race-free.
 ///
 /// Every directed adjacency entry of the row's members is accumulated in
 /// (member, adjacency) order — intra non-loop edges are seen from both
@@ -206,7 +261,74 @@ pub(crate) fn rows_to_csr(rows: Vec<Vec<(Community, f64)>>) -> CsrGraph {
 /// the final per-row sort (unique keys) orders the typically-short target
 /// list. Mirror weights are then unified exactly as in the lock-map path so
 /// the CSR stays bitwise symmetric.
-pub(crate) fn condense_stamped(
+pub(crate) fn condense_stamped_flat(
+    g: &CsrGraph,
+    num_rows: usize,
+    offsets: &[usize],
+    members: &[VertexId],
+    row_of: impl Fn(usize) -> Community + Sync + Send,
+) -> CsrGraph {
+    // Pass 1: count each row's distinct neighbor rows (the gather without
+    // materializing entries beyond the scratch).
+    let counts: Vec<usize> = (0..num_rows as Community)
+        .into_par_iter()
+        .map_init(NeighborScratch::default, |scratch, c| {
+            scratch.begin(num_rows);
+            for &v in &members[offsets[c as usize]..offsets[c as usize + 1]] {
+                for (u, w) in g.neighbors(v) {
+                    scratch.accumulate(row_of(u as usize), w);
+                }
+            }
+            scratch.entries.len()
+        })
+        .collect();
+    let mut row_offsets = vec![0usize; num_rows + 1];
+    for r in 0..num_rows {
+        row_offsets[r + 1] = row_offsets[r] + counts[r];
+    }
+    let total = row_offsets[num_rows];
+
+    // Pass 2: re-gather and scatter each row's sorted entries into its
+    // span. Disjointness: row `r` writes exactly
+    // `targets/weights[row_offsets[r]..row_offsets[r + 1]]`, and the
+    // prefix-sum spans are non-overlapping by construction.
+    let mut targets = vec![0 as Community; total];
+    let mut weights = vec![0.0f64; total];
+    let t_shared = SharedSlice::new(&mut targets);
+    let w_shared = SharedSlice::new(&mut weights);
+    (0..num_rows as Community)
+        .into_par_iter()
+        .map_init(NeighborScratch::default, |scratch, c| {
+            scratch.begin(num_rows);
+            for &v in &members[offsets[c as usize]..offsets[c as usize + 1]] {
+                for (u, w) in g.neighbors(v) {
+                    scratch.accumulate(row_of(u as usize), w);
+                }
+            }
+            scratch.entries.sort_unstable_by_key(|&(t, _)| t);
+            let base = row_offsets[c as usize];
+            debug_assert_eq!(scratch.entries.len(), counts[c as usize]);
+            for (i, &(t, w)) in scratch.entries.iter().enumerate() {
+                // Safety: in bounds (base + i < row_offsets[c + 1] ≤ total)
+                // and this row's span is written by this worker only.
+                unsafe {
+                    t_shared.write(base + i, t);
+                    w_shared.write(base + i, w);
+                }
+            }
+        })
+        .for_each(drop);
+    mirror_low_id_csr(&row_offsets, &targets, &mut weights);
+    CsrGraph::from_sorted_adjacency(row_offsets, targets, weights)
+}
+
+/// The rows-based assembly of the stamped condensation — per-row
+/// `Vec<(Community, f64)>`s collected then copied through [`rows_to_csr`].
+/// Bitwise identical output to [`condense_stamped_flat`]
+/// (property-tested); the faster assembly while the mark array stays
+/// cache-resident (small row counts), and the `rebuild` bench's
+/// `assembly_rows` arm.
+pub(crate) fn condense_stamped_rows(
     g: &CsrGraph,
     num_rows: usize,
     offsets: &[usize],
@@ -467,6 +589,54 @@ mod tests {
             let b: Vec<_> = r4.graph.neighbors(v).collect();
             assert_eq!(a, b, "row {v} differs between pool sizes");
         }
+    }
+
+    #[test]
+    fn flat_assembly_bitwise_matches_rows_reference() {
+        // The two-pass count + scatter assembly must reproduce the retained
+        // rows-based reference exactly: same offsets, same targets, weights
+        // bit-for-bit — on a community-rich partition, a scattered one, and
+        // a singleton one.
+        let (g, truth) = planted_partition(&PlantedConfig {
+            num_vertices: 2_000,
+            num_communities: 20,
+            ..Default::default()
+        });
+        let scattered: Vec<Community> = (0..g.num_vertices() as u32).map(|v| v % 97).collect();
+        let singleton: Vec<Community> = (0..g.num_vertices() as u32).collect();
+        for assignment in [&truth, &scattered, &singleton] {
+            let flat = crate::reference::rebuild_stamp_flat_assembly(&g, assignment);
+            let rows = crate::reference::rebuild_stamp_rows_reference(&g, assignment);
+            assert_eq!(flat.num_vertices(), rows.num_vertices());
+            assert_eq!(flat.num_edges(), rows.num_edges());
+            for v in 0..flat.num_vertices() as VertexId {
+                let a: Vec<(VertexId, u64)> =
+                    flat.neighbors(v).map(|(u, w)| (u, w.to_bits())).collect();
+                let b: Vec<(VertexId, u64)> =
+                    rows.neighbors(v).map(|(u, w)| (u, w.to_bits())).collect();
+                assert_eq!(a, b, "row {v} differs between assemblies");
+            }
+        }
+    }
+
+    #[test]
+    fn mirror_low_id_csr_matches_rows_pass() {
+        // Same asymmetric input run through both mirror passes.
+        let rows_input = vec![
+            vec![(1u32, 1.0), (2u32, 2.0)],
+            vec![(0u32, 1.5)],
+            vec![(0u32, 2.5)],
+        ];
+        let mut rows = rows_input.clone();
+        mirror_low_id_rows(&mut rows);
+        let offsets = vec![0usize, 2, 3, 4];
+        let targets = vec![1u32, 2, 0, 0];
+        let mut weights = vec![1.0, 2.0, 1.5, 2.5];
+        mirror_low_id_csr(&offsets, &targets, &mut weights);
+        // Low-id row authoritative: (0,1) = 1.0 both ways, (0,2) = 2.0.
+        assert_eq!(rows[1][0].1, 1.0);
+        assert_eq!(rows[2][0].1, 2.0);
+        assert_eq!(weights, vec![1.0, 2.0, 1.0, 2.0]);
     }
 
     #[test]

@@ -14,12 +14,16 @@
 //! `tests/properties.rs` assert; the optimized paths' advantage is purely
 //! time.
 
+use crate::config::RenumberStrategy;
 use crate::modularity::{
     best_move, community_degrees, community_sizes, modularity_with_resolution, Community,
     IndependentMove, ModularityTracker, MoveContext, ScratchPool,
 };
 use crate::parallel::{colored_collect_moves, colored_decide_batch};
-use crate::phase::{should_stop, singlet_veto, PhaseOutcome};
+use crate::phase::{should_stop, singlet_veto, IterationStats, PhaseOutcome};
+use crate::rebuild::{
+    condense_stamped_flat, condense_stamped_rows, group_by_row, renumber_communities,
+};
 use grappolo_coloring::ColorBatches;
 use grappolo_graph::{CsrGraph, VertexId};
 use rayon::prelude::*;
@@ -71,6 +75,7 @@ pub fn parallel_phase_unordered_sortbased(
     let mut c_prev: Vec<Community> = (0..n as Community).collect();
 
     let mut iterations: Vec<(f64, usize)> = Vec::new();
+    let mut stats: Vec<IterationStats> = Vec::new();
     let mut q_prev = modularity_with_resolution(g, &c_prev, resolution);
 
     for _iter in 0..max_iterations {
@@ -109,6 +114,11 @@ pub fn parallel_phase_unordered_sortbased(
             .count();
         let q_curr = modularity_with_resolution(g, &c_curr, resolution);
         iterations.push((q_curr, moves));
+        stats.push(IterationStats {
+            gate: 0.0,
+            frontier: n,
+            converged: 0,
+        });
         c_prev = c_curr;
         if should_stop(q_prev, q_curr, moves, threshold) {
             break;
@@ -120,6 +130,7 @@ pub fn parallel_phase_unordered_sortbased(
     PhaseOutcome {
         assignment: c_prev,
         iterations,
+        stats,
         final_modularity,
     }
 }
@@ -154,6 +165,7 @@ pub fn parallel_phase_colored_rescan(
     let mut sizes: Vec<u32> = vec![1; n];
 
     let mut iterations: Vec<(f64, usize)> = Vec::new();
+    let mut stats: Vec<IterationStats> = Vec::new();
     let mut q_prev = ModularityTracker::new(g, &assignment, &a, resolution).modularity();
     let mut moved: Vec<IndependentMove> = Vec::new();
     let mut movers: Vec<VertexId> = Vec::new();
@@ -165,12 +177,22 @@ pub fn parallel_phase_colored_rescan(
             if batch.is_empty() {
                 continue;
             }
-            let decisions =
-                colored_decide_batch(g, &assignment, &a, &sizes, m, resolution, batch, &scratches);
+            let decisions = colored_decide_batch(
+                g,
+                &assignment,
+                &a,
+                &sizes,
+                m,
+                resolution,
+                0.0,
+                batch,
+                &scratches,
+            );
             colored_collect_moves(
                 g,
                 batch,
                 &decisions,
+                0.0,
                 &mut assignment,
                 &mut moved,
                 &mut movers,
@@ -196,6 +218,11 @@ pub fn parallel_phase_colored_rescan(
         let a_rescan = community_degrees(g, &assignment);
         let q_curr = ModularityTracker::new(g, &assignment, &a_rescan, resolution).modularity();
         iterations.push((q_curr, moves));
+        stats.push(IterationStats {
+            gate: 0.0,
+            frontier: n,
+            converged: 0,
+        });
         if should_stop(q_prev, q_curr, moves, threshold) {
             break;
         }
@@ -206,8 +233,37 @@ pub fn parallel_phase_colored_rescan(
     PhaseOutcome {
         assignment,
         iterations,
+        stats,
         final_modularity,
     }
+}
+
+/// The historical **rows-based** stamped rebuild assembly: per-community
+/// `Vec<(Community, f64)>` rows collected in parallel, mirrored, then
+/// copied into CSR (`rows_to_csr`). The production path now assembles
+/// directly into preallocated `offsets`/`targets`/`weights` arrays
+/// (two-pass count + scatter, [`crate::rebuild`]); this reference produces
+/// bitwise-identical graphs (property-tested) and is the `rebuild` bench's
+/// `assembly_rows` baseline.
+pub fn rebuild_stamp_rows_reference(g: &CsrGraph, assignment: &[Community]) -> CsrGraph {
+    assert_eq!(assignment.len(), g.num_vertices());
+    let (renumber, num_communities) = renumber_communities(assignment, RenumberStrategy::Serial);
+    let row_of = |u: usize| renumber[assignment[u] as usize];
+    let (offsets, members) = group_by_row(assignment.len(), num_communities, row_of);
+    condense_stamped_rows(g, num_communities, &offsets, &members, row_of)
+}
+
+/// The flat two-pass stamped rebuild assembly (count pass → prefix-sum
+/// offsets → parallel scatter into preallocated `targets`/`weights`),
+/// forced regardless of the production path's size-adaptive dispatch —
+/// the `rebuild` bench's `assembly_flat` arm and the other half of the
+/// assembly differential tests.
+pub fn rebuild_stamp_flat_assembly(g: &CsrGraph, assignment: &[Community]) -> CsrGraph {
+    assert_eq!(assignment.len(), g.num_vertices());
+    let (renumber, num_communities) = renumber_communities(assignment, RenumberStrategy::Serial);
+    let row_of = |u: usize| renumber[assignment[u] as usize];
+    let (offsets, members) = group_by_row(assignment.len(), num_communities, row_of);
+    condense_stamped_flat(g, num_communities, &offsets, &members, row_of)
 }
 
 #[cfg(test)]

@@ -18,7 +18,8 @@ use crate::modularity::{
     best_move_with_src, Community, ModularityTracker, MoveContext, NeighborScratch,
     TRACKER_DRIFT_TOLERANCE,
 };
-use crate::phase::{should_stop, PhaseOutcome};
+use crate::phase::{IterationStats, PhaseOutcome};
+use crate::schedule::Convergence;
 use grappolo_graph::{CsrGraph, VertexId};
 
 /// Runs one serial phase to convergence with net-gain `threshold` and the
@@ -51,6 +52,30 @@ pub fn serial_phase_sweep(
     max_iterations: usize,
     resolution: f64,
 ) -> PhaseOutcome {
+    serial_phase_scheduled(
+        g,
+        sweep,
+        &Convergence::fixed(threshold),
+        max_iterations,
+        resolution,
+    )
+}
+
+/// [`serial_phase_sweep`] under an explicit [`Convergence`] policy.
+///
+/// The per-vertex gain gate applies to each immediately-committed decision:
+/// a gated vertex stays put and counts as locally converged, exactly as in
+/// the parallel sweeps (the serial scan sees fresher state, but the gate
+/// test itself is identical). `Convergence::fixed(θ)` reproduces the
+/// historical serial sweep bit-for-bit; this module stays rayon-free under
+/// every policy.
+pub fn serial_phase_scheduled(
+    g: &CsrGraph,
+    sweep: SweepMode,
+    conv: &Convergence,
+    max_iterations: usize,
+    resolution: f64,
+) -> PhaseOutcome {
     let n = g.num_vertices();
     let m = g.total_weight();
     if n == 0 || m <= 0.0 {
@@ -68,16 +93,19 @@ pub fn serial_phase_sweep(
     let mut tracker = ModularityTracker::new_serial(g, &assignment, &a, resolution);
 
     let mut iterations: Vec<(f64, usize)> = Vec::new();
+    let mut stats: Vec<IterationStats> = Vec::new();
     let mut q_prev = tracker.modularity();
     let prune = sweep == SweepMode::Active;
     let mut active: Option<ActiveSet> = None;
     let mut movers: Vec<VertexId> = Vec::new();
 
-    for _iter in 0..max_iterations {
+    for iter in 0..max_iterations {
         if active.as_ref().is_some_and(ActiveSet::is_empty) {
             break; // converged: nothing moved last iteration
         }
+        let gate = conv.gate(iter);
         let mut moves = 0usize;
+        let mut converged = 0usize;
         movers.clear();
         let sweep_len = active.as_ref().map_or(n, ActiveSet::len);
         for idx in 0..sweep_len {
@@ -102,6 +130,10 @@ pub fn serial_phase_sweep(
                     a[c as usize]
                 });
             if decision.target != cur {
+                if decision.gain < gate {
+                    converged += 1; // locally converged at this gate level
+                    continue;
+                }
                 tracker.apply_move(
                     ctx.k,
                     decision.e_src,
@@ -119,7 +151,10 @@ pub fn serial_phase_sweep(
         }
         match &mut active {
             Some(set) => set.rebuild_from_moves(g, &movers),
-            None if prune && ActiveSet::engages(n, moves) => {
+            // Engagement waits for the gate floor, as in the parallel
+            // sweeps: pre-floor frontiers would park vertices the
+            // tightening gate is about to admit.
+            None if prune && conv.gate_at_floor(iter) && ActiveSet::engages(n, moves) => {
                 let mut set = ActiveSet::empty(n);
                 set.rebuild_from_moves(g, &movers);
                 active = Some(set);
@@ -133,7 +168,12 @@ pub fn serial_phase_sweep(
             "serial incremental modularity drifted from full recompute",
         );
         iterations.push((q_curr, moves));
-        if should_stop(q_prev, q_curr, moves, threshold) {
+        stats.push(IterationStats {
+            gate,
+            frontier: sweep_len,
+            converged,
+        });
+        if conv.should_stop(iter, q_prev, q_curr, moves, converged) {
             break;
         }
         q_prev = q_curr;
@@ -143,6 +183,7 @@ pub fn serial_phase_sweep(
     PhaseOutcome {
         assignment,
         iterations,
+        stats,
         final_modularity,
     }
 }

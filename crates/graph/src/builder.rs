@@ -14,6 +14,7 @@
 //! is property-tested across thread counts.
 
 use crate::csr::{CsrGraph, VertexId, DEFAULT_WEIGHT};
+use crate::shared::SharedSlice;
 use rayon::prelude::*;
 
 /// How duplicate occurrences of the same undirected edge are resolved.
@@ -496,35 +497,6 @@ fn merge_weight(acc: &mut f64, w: f64, policy: MergePolicy) -> Result<(), ()> {
         MergePolicy::Reject => return Err(()),
     }
     Ok(())
-}
-
-/// Raw view of a slice written at provably disjoint indices by parallel
-/// workers. Every use site states its disjointness argument.
-struct SharedSlice<T> {
-    ptr: *mut T,
-}
-
-unsafe impl<T: Send> Send for SharedSlice<T> {}
-unsafe impl<T: Send> Sync for SharedSlice<T> {}
-
-impl<T: Copy> SharedSlice<T> {
-    fn new(slice: &mut [T]) -> Self {
-        Self {
-            ptr: slice.as_mut_ptr(),
-        }
-    }
-
-    /// # Safety
-    /// `i` must be in bounds and not concurrently written.
-    unsafe fn read(&self, i: usize) -> T {
-        *self.ptr.add(i)
-    }
-
-    /// # Safety
-    /// `i` must be in bounds and not concurrently read or written.
-    unsafe fn write(&self, i: usize, value: T) {
-        *self.ptr.add(i) = value;
-    }
 }
 
 /// Convenience: builds a graph from an unweighted edge list.

@@ -26,10 +26,12 @@ pub mod gen;
 pub mod io;
 pub mod kcore;
 pub mod perm;
+pub mod shared;
 pub mod stats;
 
 pub use builder::{
     from_unweighted_edges, from_weighted_edges, BuildError, GraphBuilder, MergePolicy,
 };
 pub use csr::{CsrGraph, VertexId, DEFAULT_WEIGHT};
+pub use shared::SharedSlice;
 pub use stats::GraphStats;

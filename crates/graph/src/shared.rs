@@ -1,0 +1,36 @@
+//! A raw view of a slice written at provably disjoint indices by parallel
+//! workers — the scatter idiom shared by the graph builder's histogram /
+//! scatter stages and the core crate's flat rebuild assembly.
+
+/// Raw view of a slice written at provably disjoint indices by parallel
+/// workers. Every use site must state its disjointness argument: no index
+/// may be read or written by more than one worker while the view is live.
+pub struct SharedSlice<T> {
+    ptr: *mut T,
+}
+
+unsafe impl<T: Send> Send for SharedSlice<T> {}
+unsafe impl<T: Send> Sync for SharedSlice<T> {}
+
+impl<T: Copy> SharedSlice<T> {
+    /// Wraps `slice`; the view must not outlive it (the borrow checker
+    /// enforces this at the use sites, which keep the `&mut` borrow alive
+    /// for the scatter's duration).
+    pub fn new(slice: &mut [T]) -> Self {
+        Self {
+            ptr: slice.as_mut_ptr(),
+        }
+    }
+
+    /// # Safety
+    /// `i` must be in bounds and not concurrently written.
+    pub unsafe fn read(&self, i: usize) -> T {
+        *self.ptr.add(i)
+    }
+
+    /// # Safety
+    /// `i` must be in bounds and not concurrently read or written.
+    pub unsafe fn write(&self, i: usize, value: T) {
+        *self.ptr.add(i) = value;
+    }
+}
