@@ -1,0 +1,130 @@
+//! Strong-scaling benchmark for the resident work-stealing pool: the same
+//! workload at 1/2/4/8/16 threads, so CI can track parallel efficiency per
+//! thread count instead of a single speedup point.
+//!
+//! Two workloads on the cached ~1.15 M-edge RMAT graph (the acceptance-bar
+//! input the ingest/sweep/active benches share):
+//!
+//! * `colored_active/rmat1150k/t<t>` — the colored active sweep run to
+//!   convergence, the tentpole's target path (many small parallel regions
+//!   per iteration: one per color batch, plus the rebuild-free bookkeeping
+//!   passes — the shape that used to pay thread-spawn latency per region);
+//! * `build/rmat1150k/t<t>` — `GraphBuilder::build` (chunked histogram →
+//!   scatter → per-vertex merge), the bandwidth-bound ingest path.
+//!
+//! Before timing, the bench asserts the determinism contract the scheduler
+//! must preserve: **bitwise-identical sweep assignments at every measured
+//! thread count** (stolen execution order, fixed task tree, ordered
+//! reduction).
+//!
+//! `cargo bench --bench scaling` emits `BENCH_scaling.json`. CI's
+//! strong-scaling job computes per-thread-count efficiency
+//! `t1_median / (t · t_median)` from it and enforces the ≥2.5×-at-8-threads
+//! floor on runners with ≥8 hardware threads (the committed baseline comes
+//! from whatever machine last regenerated it, so the gate is machine-aware).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use grappolo_bench::cached_graph;
+use grappolo_coloring::{color_parallel, ColorBatches, ParallelColoringConfig};
+use grappolo_core::parallel::parallel_phase_colored_sweep;
+use grappolo_core::SweepMode;
+use grappolo_graph::gen::{rmat, RmatConfig};
+use grappolo_graph::{GraphBuilder, VertexId};
+
+const THRESHOLD: f64 = 1e-6;
+const MAX_ITERS: usize = 10_000;
+
+/// The strong-scaling axis. 16 exceeds any expected CI core count on
+/// purpose: oversubscription must degrade gracefully and stay bitwise
+/// deterministic.
+const THREADS: [usize; 5] = [1, 2, 4, 8, 16];
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling");
+
+    let g = cached_graph("rmat_s18_m1200k_seed1", || {
+        rmat(&RmatConfig {
+            scale: 18,
+            num_edges: 1_200_000,
+            seed: 1,
+            ..Default::default()
+        })
+    });
+    let batches =
+        ColorBatches::from_coloring(&color_parallel(&g, &ParallelColoringConfig::default()));
+    let edges: Vec<(VertexId, VertexId, f64)> = g.undirected_edges().collect();
+    let n = g.num_vertices();
+
+    // Determinism gate: the stealing scheduler must yield bitwise-identical
+    // assignments at every measured thread count before any timing matters.
+    let reference =
+        parallel_phase_colored_sweep(&g, &batches, SweepMode::Active, THRESHOLD, MAX_ITERS, 1.0);
+    for threads in THREADS {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        let outcome = pool.install(|| {
+            parallel_phase_colored_sweep(&g, &batches, SweepMode::Active, THRESHOLD, MAX_ITERS, 1.0)
+        });
+        assert_eq!(
+            outcome.assignment, reference.assignment,
+            "colored active sweep diverged at {threads} threads"
+        );
+        assert!(
+            outcome.final_modularity.to_bits() == reference.final_modularity.to_bits(),
+            "modularity diverged at {threads} threads"
+        );
+    }
+
+    for threads in THREADS {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+
+        group.throughput(Throughput::Elements(g.num_adjacency_entries() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("colored_active", format!("rmat1150k/t{threads}")),
+            &(&g, &batches),
+            |b, (g, bt)| {
+                b.iter(|| {
+                    pool.install(|| {
+                        parallel_phase_colored_sweep(
+                            g,
+                            bt,
+                            SweepMode::Active,
+                            THRESHOLD,
+                            MAX_ITERS,
+                            1.0,
+                        )
+                    })
+                });
+            },
+        );
+
+        group.throughput(Throughput::Elements(edges.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("build", format!("rmat1150k/t{threads}")),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    pool.install(|| {
+                        GraphBuilder::with_capacity(n, edges.len())
+                            .extend_edges(edges.iter().copied())
+                            .build()
+                            .unwrap()
+                    })
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_scaling
+}
+criterion_main!(benches);

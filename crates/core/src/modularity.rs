@@ -55,7 +55,12 @@ const DET_CHUNK: usize = 4096;
 
 /// Deterministic parallel sum of `f(i)` for `i in 0..n`: chunk sums are
 /// computed in parallel but combined in index order, so the result does not
-/// depend on the thread count or scheduling.
+/// depend on the thread count or scheduling. Chunks are coarse units of
+/// work (`DET_CHUNK` adds each), so the shim's uniform grain rule is
+/// overridden with `with_min_len(1)` — the same convention every other
+/// coarse-item iterator in the workspace uses; without it a multi-million
+/// element sum would run inline because its *chunk count* sits under the
+/// 1024-item default grain.
 pub fn det_sum<F: Fn(usize) -> f64 + Sync>(n: usize, f: F) -> f64 {
     if n == 0 {
         return 0.0;
@@ -63,6 +68,7 @@ pub fn det_sum<F: Fn(usize) -> f64 + Sync>(n: usize, f: F) -> f64 {
     let num_chunks = n.div_ceil(DET_CHUNK);
     let partials: Vec<f64> = (0..num_chunks)
         .into_par_iter()
+        .with_min_len(1)
         .map(|c| {
             let start = c * DET_CHUNK;
             let end = (start + DET_CHUNK).min(n);
@@ -248,51 +254,91 @@ impl NeighborScratch {
     }
 }
 
-/// A checkout/return pool of [`NeighborScratch`]es shared by the short
-/// `map_init` bursts of a batched sweep.
+/// Worker slots in a [`ScratchPool`]: slot 0 serves threads outside any
+/// resident pool (the caller participating in its own region, tests, the
+/// serial path); slots `1..` serve resident workers by
+/// [`rayon::current_worker_index`]. 32 worker slots cover every realistic
+/// pool; larger pools wrap modulo and merely share a slot (contention, not
+/// incorrectness).
+const SCRATCH_SLOTS: usize = 33;
+
+/// The persistent per-worker arena of [`NeighborScratch`]es behind every
+/// `map_init` gather in the sweeps, the rebuild, and the reference ladder.
 ///
-/// `map_init` builds one state value per executed chunk and drops it when
-/// the chunk ends, so a sweep that launches many small parallel regions (one
+/// `map_init` builds one state value per executed task and drops it when
+/// the task ends, so a sweep that launches many small parallel regions (one
 /// per color batch per iteration) would otherwise allocate — and fault in —
 /// a fresh `n`-sized `marks` array for every region. Checking scratches out
-/// of a pool makes the allocation amortize across the whole phase: each
-/// worker's region pops a warmed scratch (marks sized, generation valid) and
-/// its guard pushes it back on drop. Pool order has no effect on results —
-/// the generation stamp makes any scratch state equivalent — so determinism
-/// is untouched.
-#[derive(Debug, Default)]
+/// of the pool makes the allocation amortize across the whole run: a task's
+/// `init` pops a warmed scratch (marks sized, generation valid) from the
+/// slot owned by the executing worker and the guard pushes it back on drop.
+///
+/// Scratches live in **worker-indexed slots**, so on the resident pool a
+/// worker keeps re-checking-out the scratch it warmed — cache- and
+/// NUMA-friendly — and the checkout is an uncontended lock in the steady
+/// state. [`ScratchPool::global`] is the process-wide instance: because
+/// the resident workers are themselves process-wide, scratches persist not
+/// just across iterations but across *phases* (each phase's smaller graph
+/// reuses the previous phase's already-faulted marks; `begin` re-sizes).
+/// Checkout order has no effect on results — the generation stamp makes any
+/// scratch state equivalent — so determinism is untouched.
+#[derive(Debug)]
 pub struct ScratchPool {
-    pool: std::sync::Mutex<Vec<NeighborScratch>>,
+    slots: Vec<std::sync::Mutex<Vec<NeighborScratch>>>,
+}
+
+impl Default for ScratchPool {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl ScratchPool {
     /// An empty pool; scratches are created on first checkout.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            slots: (0..SCRATCH_SLOTS)
+                .map(|_| std::sync::Mutex::new(Vec::new()))
+                .collect(),
+        }
     }
 
-    /// Checks a scratch out (creating one if the pool is dry). The guard
-    /// returns it on drop.
+    /// The process-global pool — the arena the resident workers keep warm
+    /// for the lifetime of the process. Prefer this over per-phase pools so
+    /// buffers survive phase transitions.
+    pub fn global() -> &'static ScratchPool {
+        static GLOBAL: std::sync::OnceLock<ScratchPool> = std::sync::OnceLock::new();
+        GLOBAL.get_or_init(ScratchPool::new)
+    }
+
+    /// The slot owned by the executing thread.
+    fn slot(&self) -> &std::sync::Mutex<Vec<NeighborScratch>> {
+        let idx = match rayon::current_worker_index() {
+            Some(i) => 1 + i % (self.slots.len() - 1),
+            None => 0,
+        };
+        &self.slots[idx]
+    }
+
+    /// Checks a scratch out of the executing worker's slot (creating one if
+    /// the slot is dry). The guard returns it to the same slot on drop.
     pub fn take(&self) -> PooledScratch<'_> {
-        let scratch = self
-            .pool
+        let slot = self.slot();
+        let scratch = slot
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .pop()
             .unwrap_or_default();
-        PooledScratch {
-            scratch,
-            pool: self,
-        }
+        PooledScratch { scratch, slot }
     }
 }
 
 /// A checked-out [`NeighborScratch`]; derefs to the scratch and returns it
-/// to its [`ScratchPool`] on drop.
+/// to its worker's [`ScratchPool`] slot on drop.
 #[derive(Debug)]
 pub struct PooledScratch<'a> {
     scratch: NeighborScratch,
-    pool: &'a ScratchPool,
+    slot: &'a std::sync::Mutex<Vec<NeighborScratch>>,
 }
 
 impl std::ops::Deref for PooledScratch<'_> {
@@ -310,8 +356,7 @@ impl std::ops::DerefMut for PooledScratch<'_> {
 
 impl Drop for PooledScratch<'_> {
     fn drop(&mut self) {
-        self.pool
-            .pool
+        self.slot
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .push(std::mem::take(&mut self.scratch));

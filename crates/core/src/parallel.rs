@@ -126,7 +126,10 @@ pub fn parallel_phase_unordered_scheduled(
     // iteration.
     let prune = sweep == SweepMode::Active;
     let mut active: Option<(ActiveSet, Vec<Community>)> = None;
-    let scratches = ScratchPool::new();
+    // The process-global per-worker arena: scratches checked out here were
+    // warmed by earlier iterations — and earlier *phases* — on the same
+    // resident worker.
+    let scratches = ScratchPool::global();
 
     for iter in 0..max_iterations {
         let gate = conv.gate(iter);
@@ -142,9 +145,12 @@ pub fn parallel_phase_unordered_scheduled(
                 let (c_curr, converged) = if gate > 0.0 {
                     let decisions: Vec<(Community, bool)> = (0..n as VertexId)
                         .into_par_iter()
-                        .map_init(NeighborScratch::default, |scratch, v| {
-                            decide(g, &c_prev, &a, &sizes, m, resolution, gate, scratch, v)
-                        })
+                        .map_init(
+                            || scratches.take(),
+                            |scratch, v| {
+                                decide(g, &c_prev, &a, &sizes, m, resolution, gate, scratch, v)
+                            },
+                        )
                         .collect();
                     let c_curr: Vec<Community> = decisions.par_iter().map(|&(c, _)| c).collect();
                     let converged = decisions.par_iter().filter(|&&(_, gated)| gated).count();
@@ -152,9 +158,12 @@ pub fn parallel_phase_unordered_scheduled(
                 } else {
                     let c_curr: Vec<Community> = (0..n as VertexId)
                         .into_par_iter()
-                        .map_init(NeighborScratch::default, |scratch, v| {
-                            decide(g, &c_prev, &a, &sizes, m, resolution, gate, scratch, v).0
-                        })
+                        .map_init(
+                            || scratches.take(),
+                            |scratch, v| {
+                                decide(g, &c_prev, &a, &sizes, m, resolution, gate, scratch, v).0
+                            },
+                        )
                         .collect();
                     (c_curr, 0)
                 };
@@ -509,9 +518,10 @@ pub fn parallel_phase_colored_scheduled(
     let mut q_prev = tracker.modularity();
     let mut moved: Vec<IndependentMove> = Vec::new();
     let mut movers: Vec<VertexId> = Vec::new();
-    // One pool for the whole phase: scratch allocations amortize across all
-    // color batches and iterations instead of recurring per parallel region.
-    let scratches = ScratchPool::new();
+    // The process-global per-worker arena: scratch allocations amortize
+    // across all color batches, iterations, and phases instead of recurring
+    // per parallel region.
+    let scratches = ScratchPool::global();
 
     // Deferred pruning, as in the unordered sweep: full-path iterations
     // (bitwise identical to `Full`) until the move count first drops to the
@@ -555,7 +565,7 @@ pub fn parallel_phase_colored_scheduled(
                 resolution,
                 gate,
                 batch,
-                &scratches,
+                scratches,
             );
             converged += colored_collect_moves(
                 g,

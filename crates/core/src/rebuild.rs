@@ -17,7 +17,7 @@
 //! modularity across the phase transition (tested below).
 
 use crate::config::{RebuildStrategy, RenumberStrategy};
-use crate::modularity::{Community, NeighborScratch};
+use crate::modularity::{Community, ScratchPool};
 use grappolo_graph::{CsrGraph, SharedSlice, VertexId};
 use parking_lot::Mutex;
 use rayon::prelude::*;
@@ -272,15 +272,18 @@ pub(crate) fn condense_stamped_flat(
     // materializing entries beyond the scratch).
     let counts: Vec<usize> = (0..num_rows as Community)
         .into_par_iter()
-        .map_init(NeighborScratch::default, |scratch, c| {
-            scratch.begin(num_rows);
-            for &v in &members[offsets[c as usize]..offsets[c as usize + 1]] {
-                for (u, w) in g.neighbors(v) {
-                    scratch.accumulate(row_of(u as usize), w);
+        .map_init(
+            || ScratchPool::global().take(),
+            |scratch, c| {
+                scratch.begin(num_rows);
+                for &v in &members[offsets[c as usize]..offsets[c as usize + 1]] {
+                    for (u, w) in g.neighbors(v) {
+                        scratch.accumulate(row_of(u as usize), w);
+                    }
                 }
-            }
-            scratch.entries.len()
-        })
+                scratch.entries.len()
+            },
+        )
         .collect();
     let mut row_offsets = vec![0usize; num_rows + 1];
     for r in 0..num_rows {
@@ -298,25 +301,28 @@ pub(crate) fn condense_stamped_flat(
     let w_shared = SharedSlice::new(&mut weights);
     (0..num_rows as Community)
         .into_par_iter()
-        .map_init(NeighborScratch::default, |scratch, c| {
-            scratch.begin(num_rows);
-            for &v in &members[offsets[c as usize]..offsets[c as usize + 1]] {
-                for (u, w) in g.neighbors(v) {
-                    scratch.accumulate(row_of(u as usize), w);
+        .map_init(
+            || ScratchPool::global().take(),
+            |scratch, c| {
+                scratch.begin(num_rows);
+                for &v in &members[offsets[c as usize]..offsets[c as usize + 1]] {
+                    for (u, w) in g.neighbors(v) {
+                        scratch.accumulate(row_of(u as usize), w);
+                    }
                 }
-            }
-            scratch.entries.sort_unstable_by_key(|&(t, _)| t);
-            let base = row_offsets[c as usize];
-            debug_assert_eq!(scratch.entries.len(), counts[c as usize]);
-            for (i, &(t, w)) in scratch.entries.iter().enumerate() {
-                // Safety: in bounds (base + i < row_offsets[c + 1] ≤ total)
-                // and this row's span is written by this worker only.
-                unsafe {
-                    t_shared.write(base + i, t);
-                    w_shared.write(base + i, w);
+                scratch.entries.sort_unstable_by_key(|&(t, _)| t);
+                let base = row_offsets[c as usize];
+                debug_assert_eq!(scratch.entries.len(), counts[c as usize]);
+                for (i, &(t, w)) in scratch.entries.iter().enumerate() {
+                    // Safety: in bounds (base + i < row_offsets[c + 1] ≤ total)
+                    // and this row's span is written by this worker only.
+                    unsafe {
+                        t_shared.write(base + i, t);
+                        w_shared.write(base + i, w);
+                    }
                 }
-            }
-        })
+            },
+        )
         .for_each(drop);
     mirror_low_id_csr(&row_offsets, &targets, &mut weights);
     CsrGraph::from_sorted_adjacency(row_offsets, targets, weights)
@@ -337,17 +343,20 @@ pub(crate) fn condense_stamped_rows(
 ) -> CsrGraph {
     let mut rows: Vec<Vec<(Community, f64)>> = (0..num_rows as Community)
         .into_par_iter()
-        .map_init(NeighborScratch::default, |scratch, c| {
-            scratch.begin(num_rows);
-            for &v in &members[offsets[c as usize]..offsets[c as usize + 1]] {
-                for (u, w) in g.neighbors(v) {
-                    scratch.accumulate(row_of(u as usize), w);
+        .map_init(
+            || ScratchPool::global().take(),
+            |scratch, c| {
+                scratch.begin(num_rows);
+                for &v in &members[offsets[c as usize]..offsets[c as usize + 1]] {
+                    for (u, w) in g.neighbors(v) {
+                        scratch.accumulate(row_of(u as usize), w);
+                    }
                 }
-            }
-            let mut row = std::mem::take(&mut scratch.entries);
-            row.sort_unstable_by_key(|&(t, _)| t);
-            row
-        })
+                let mut row = std::mem::take(&mut scratch.entries);
+                row.sort_unstable_by_key(|&(t, _)| t);
+                row
+            },
+        )
         .collect();
     mirror_low_id_rows(&mut rows);
     rows_to_csr(rows)

@@ -169,7 +169,7 @@ pub fn parallel_phase_colored_rescan(
     let mut q_prev = ModularityTracker::new(g, &assignment, &a, resolution).modularity();
     let mut moved: Vec<IndependentMove> = Vec::new();
     let mut movers: Vec<VertexId> = Vec::new();
-    let scratches = ScratchPool::new();
+    let scratches = ScratchPool::global();
 
     for _iter in 0..max_iterations {
         let mut moves = 0usize;
@@ -186,7 +186,7 @@ pub fn parallel_phase_colored_rescan(
                 resolution,
                 0.0,
                 batch,
-                &scratches,
+                scratches,
             );
             colored_collect_moves(
                 g,

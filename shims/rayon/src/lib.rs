@@ -1,61 +1,92 @@
 //! Minimal work-alike for the subset of `rayon` this workspace uses.
 //!
 //! The build environment has no registry access, so the workspace provides
-//! its own data-parallel layer behind the same names. Parallelism is real:
-//! terminal operations split the index space into one contiguous chunk per
-//! worker and run the chunks on scoped OS threads. Every reduction combines
-//! chunk results **in index order**, so any result is bitwise independent of
-//! the worker count — a stronger guarantee than rayon's, and exactly the
-//! property the paper's §5.4 stability argument needs from the runtime.
+//! its own data-parallel layer behind the same names. Parallelism is real
+//! and resident: a lazily-initialized worker pool (see [`pool`]) executes
+//! every parallel region, so regions pay no thread-spawn latency, and tasks
+//! are claimed in stolen order from a shared counter so heavy-tailed
+//! workloads keep all workers busy. Determinism survives the stealing
+//! because the *decomposition* is fixed and the *reduction* is ordered:
+//!
+//! * **Fixed task tree.** A region over `0..n` splits into tasks at
+//!   boundaries computed by [`task_layout`] — a pure function of `n` and
+//!   the grain size, never of the worker count (the same contract the
+//!   parallel merge sort's fixed split layout follows).
+//! * **Stolen execution.** Which worker runs a task, and in what order, is
+//!   scheduling-dependent; the task's input range and output are not.
+//! * **Ordered reduction.** Per-task results land in task-indexed slots and
+//!   every terminal combines them in ascending task order, so any result is
+//!   bitwise independent of the worker count — a stronger guarantee than
+//!   rayon's, and exactly the property the paper's §5.4 stability argument
+//!   needs from the runtime.
+//!
+//! # Grain-size rule
+//!
+//! Every terminal operation applies one uniform sequential-fallback rule,
+//! shared by `for_each` / `map` / `map_init` / `fold`+`reduce` / `sum` /
+//! `collect` (and therefore by `grappolo_core`'s `det_sum`, which is built
+//! on these): with grain `g` — the innermost source's
+//! [`ParallelIterator::with_min_len`] value, default [`SEQ_CUTOFF`] = 1024
+//! items —
+//!
+//! 1. a region of `n ≤ g` items runs inline on the caller (no pool, no
+//!    atomics — identical results, ordered combines);
+//! 2. otherwise the index space splits into tasks of
+//!    `max(g, ceil(n / 64))` contiguous items each (at most
+//!    [`MAX_TASKS_PER_REGION`] tasks, so per-task bookkeeping stays
+//!    amortized), executed by the pool in stolen order.
+//!
+//! Iterators whose items are coarse units of work (e.g. whole slice chunks)
+//! override the grain via `with_min_len(1)` so a handful of heavy items
+//! still parallelizes.
 //!
 //! Supported surface: `into_par_iter` on integer ranges and `Vec<T>`,
 //! `par_iter` on slices, the adapters `map` / `map_init` / `filter` /
 //! `flat_map_iter` / `copied` / `zip` / `enumerate` / `fold` /
 //! `with_min_len`, the terminals `collect` / `count` / `sum` / `reduce` /
 //! `for_each`, plus `join`, a real parallel merge sort behind
-//! `par_sort_unstable{,_by,_by_key}`, `par_chunks`, `par_chunks_mut` and
-//! `ThreadPoolBuilder`/`ThreadPool::install`. Like the real rayon, the
-//! worker count honours the `RAYON_NUM_THREADS` environment variable when no
-//! pool is installed.
+//! `par_sort_unstable{,_by,_by_key}`, `par_chunks`, `par_chunks_mut`,
+//! `ThreadPoolBuilder`/`ThreadPool::install` (a built pool owns resident
+//! workers and `install` binds execution to them), and
+//! [`current_worker_index`] for persistent per-worker arenas. Like the real
+//! rayon, the worker count honours the `RAYON_NUM_THREADS` environment
+//! variable when no pool is installed.
 
-use std::cell::Cell;
 use std::cmp::Ordering as CmpOrdering;
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex};
 
-thread_local! {
-    /// 0 = "no pool installed": fall back to the machine's parallelism.
-    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
-}
+mod pool;
 
-/// Below this many items a terminal operation runs inline: spawning threads
-/// for tiny inputs costs more than it saves and the result is identical
-/// either way (ordered combines). Iterators whose items are coarse units of
-/// work override this via [`ParallelIterator::with_min_len`].
+pub use pool::current_worker_index;
+use pool::PoolCore;
+
+/// Below this many items a terminal operation runs inline: dispatching pool
+/// tasks for tiny inputs costs more than it saves and the result is
+/// identical either way (ordered combines). Iterators whose items are
+/// coarse units of work override this via
+/// [`ParallelIterator::with_min_len`].
 const SEQ_CUTOFF: usize = 1024;
 
-fn default_threads() -> usize {
-    static DEFAULT: OnceLock<usize> = OnceLock::new();
-    *DEFAULT.get_or_init(|| {
-        std::env::var("RAYON_NUM_THREADS")
-            .ok()
-            .and_then(|s| s.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            })
-    })
+/// Upper bound on the number of tasks a single region decomposes into. The
+/// bound is a fixed constant — *never* derived from the worker count — so
+/// the task tree (and with it every task's input range) is identical for
+/// every pool size; workers merely steal from a deeper or shallower pile.
+/// 64 tasks give an 8-worker pool an average of 8 steals per region, enough
+/// for the load imbalance of heavy-tailed (RMAT) degree distributions to
+/// even out, while keeping per-task slot bookkeeping negligible.
+const MAX_TASKS_PER_REGION: usize = 64;
+
+/// Decomposes a region of `n` items with grain `g` into `(num_tasks,
+/// task_size)` — the fixed task tree. Pure in `(n, g)`: the layout never
+/// depends on the worker count (see the module docs' grain-size rule).
+fn task_layout(n: usize, grain: usize) -> (usize, usize) {
+    let size = grain.max(1).max(n.div_ceil(MAX_TASKS_PER_REGION));
+    (n.div_ceil(size), size)
 }
 
 /// Number of workers terminal operations on this thread will use.
 pub fn current_num_threads() -> usize {
-    let t = POOL_THREADS.with(|c| c.get());
-    if t == 0 {
-        default_threads()
-    } else {
-        t
-    }
+    pool::current_threads()
 }
 
 /// Error from [`ThreadPoolBuilder::build`]; never actually produced.
@@ -88,46 +119,56 @@ impl ThreadPoolBuilder {
 
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         let n = if self.num_threads == 0 {
-            default_threads()
+            pool::default_threads()
         } else {
             self.num_threads
         };
-        Ok(ThreadPool { num_threads: n })
+        let (core, workers) = PoolCore::start(n);
+        Ok(ThreadPool { core, workers })
     }
 }
 
-/// A "pool" is just a worker-count scope: `install` pins the count for the
-/// duration of the closure (on this thread), which is all the workspace
-/// needs from dedicated pools.
+/// A dedicated resident pool: `num_threads(n)` spawns `n - 1` parked worker
+/// threads at build time (the installing caller is the n-th executor), and
+/// [`ThreadPool::install`] binds the closure's parallel regions to those
+/// workers — execution really moves to the pool, it is not just a
+/// worker-count override. Workers are shut down and joined on drop.
 pub struct ThreadPool {
-    num_threads: usize,
+    core: Arc<PoolCore>,
+    workers: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl ThreadPool {
+    /// Runs `op` with this pool as the execution target for every parallel
+    /// region (and nested region) it launches, restoring the previous
+    /// target on exit.
     pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
-        struct Restore(usize);
-        impl Drop for Restore {
-            fn drop(&mut self) {
-                POOL_THREADS.with(|c| c.set(self.0));
-            }
-        }
-        let _restore = Restore(POOL_THREADS.with(|c| {
-            let prev = c.get();
-            c.set(self.num_threads);
-            prev
-        }));
-        op()
+        pool::with_pool(&self.core, op)
     }
 
     pub fn current_num_threads(&self) -> usize {
-        self.num_threads
+        self.core.threads
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.core.shutdown();
+        for handle in self.workers.drain(..) {
+            // A worker that panicked outside catch_unwind already aborted
+            // its job; surface nothing here.
+            let _ = handle.join();
+        }
     }
 }
 
 /// Runs both closures, potentially in parallel, and returns both results
-/// (mirrors `rayon::join`). The second closure runs on a scoped worker
-/// thread while the first runs on the caller; with a single-thread budget
-/// both run inline. Results are returned in argument order either way.
+/// (mirrors `rayon::join`). The second closure is offered to the resident
+/// pool as a stealable job while the first runs on the caller; if no worker
+/// claims it in time the caller reclaims it and runs it inline, and with a
+/// single-thread budget both run inline outright. Results are returned in
+/// argument order either way, and panics from either closure propagate on
+/// the caller.
 pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -135,20 +176,12 @@ where
     RA: Send,
     RB: Send,
 {
-    if current_num_threads() <= 1 {
+    if pool::current_threads() <= 1 {
         let ra = oper_a();
         let rb = oper_b();
         return (ra, rb);
     }
-    std::thread::scope(|scope| {
-        let hb = scope.spawn(oper_b);
-        let ra = oper_a();
-        let rb = match hb.join() {
-            Ok(rb) => rb,
-            Err(payload) => std::panic::resume_unwind(payload),
-        };
-        (ra, rb)
-    })
+    pool::join_on_pool(&pool::current_pool(), oper_a, oper_b)
 }
 
 // ---------------------------------------------------------------------------
@@ -166,9 +199,11 @@ pub trait ParallelIterator: Sized + Send + Sync {
     /// Produces the items of indices `lo..hi`, in order, into `sink`.
     fn pi_chunk<S: FnMut(Self::Item)>(&self, lo: usize, hi: usize, sink: &mut S);
 
-    /// Index-space length at or below which terminal operations run inline.
-    /// Adapters forward the innermost source's value; [`MinLen`] overrides it
-    /// so coarse-grained items (e.g. whole slice chunks) still parallelize.
+    /// Grain size: the index-space length at or below which terminal
+    /// operations run inline, and the minimum per-task extent of the fixed
+    /// task tree (see the module docs' grain-size rule). Adapters forward
+    /// the innermost source's value; [`MinLen`] overrides it so
+    /// coarse-grained items (e.g. whole slice chunks) still parallelize.
     fn pi_seq_threshold(&self) -> usize {
         SEQ_CUTOFF
     }
@@ -176,9 +211,10 @@ pub trait ParallelIterator: Sized + Send + Sync {
     // ---- adapters -------------------------------------------------------
 
     /// Treats runs of up to `min` items as the smallest unit worth running
-    /// inline (mirrors rayon's `with_min_len`): terminal operations fall back
-    /// to sequential execution only when the whole index space fits in `min`
-    /// items. Use for iterators whose items are coarse units of work.
+    /// inline (mirrors rayon's `with_min_len`): terminal operations fall
+    /// back to sequential execution when the whole index space fits in
+    /// `min` items, and no pool task covers fewer than `min` items. Use for
+    /// iterators whose items are coarse units of work.
     fn with_min_len(self, min: usize) -> MinLen<Self> {
         MinLen {
             base: self,
@@ -292,10 +328,12 @@ pub trait ParallelIterator: Sized + Send + Sync {
     }
 }
 
-/// Splits `0..n` into at most `threads` contiguous chunks and folds each
-/// chunk into a per-chunk accumulator; returns the accumulators in chunk
-/// (= index) order. Runs inline when a pool of one is installed or the input
-/// is small.
+/// Decomposes `0..n` into the fixed task tree ([`task_layout`]) and folds
+/// each task's index range into a per-task accumulator on the resident
+/// pool; returns the accumulators in task (= index) order, so every
+/// terminal's combine is ordered regardless of which workers ran which
+/// tasks. Runs inline when the thread budget is 1 or the input fits in one
+/// grain.
 fn drive_chunks<P, A>(
     p: &P,
     seed: impl Fn() -> A + Sync,
@@ -306,33 +344,28 @@ where
     A: Send,
 {
     let n = p.pi_len();
-    let threads = current_num_threads().max(1);
-    if threads == 1 || n <= p.pi_seq_threshold() {
+    if pool::current_threads() <= 1 || n <= p.pi_seq_threshold() {
         let mut acc = seed();
         p.pi_chunk(0, n, &mut |item| consume(&mut acc, item));
         return vec![acc];
     }
-    let chunk = n.div_ceil(threads);
-    let bounds: Vec<(usize, usize)> = (0..threads)
-        .map(|t| (t * chunk, ((t + 1) * chunk).min(n)))
-        .filter(|&(lo, hi)| lo < hi)
-        .collect();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = bounds
-            .iter()
-            .map(|&(lo, hi)| {
-                let p = &p;
-                let seed = &seed;
-                let consume = &consume;
-                scope.spawn(move || {
-                    let mut acc = seed();
-                    p.pi_chunk(lo, hi, &mut |item| consume(&mut acc, item));
-                    acc
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
+    let (num_tasks, size) = task_layout(n, p.pi_seq_threshold());
+    let slots: Vec<Mutex<Option<A>>> = (0..num_tasks).map(|_| Mutex::new(None)).collect();
+    pool::current_pool().run_region(num_tasks, &|t| {
+        let lo = t * size;
+        let hi = (lo + size).min(n);
+        let mut acc = seed();
+        p.pi_chunk(lo, hi, &mut |item| consume(&mut acc, item));
+        *slots[t].lock().unwrap_or_else(|e| e.into_inner()) = Some(acc);
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("pool task did not run")
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -407,8 +440,11 @@ where
     }
 
     fn pi_chunk<S: FnMut(R)>(&self, lo: usize, hi: usize, sink: &mut S) {
-        // One scratch state per chunk — the moral equivalent of rayon's
-        // per-split init.
+        // One scratch state per task — the moral equivalent of rayon's
+        // per-split init. Call sites that want the state to persist across
+        // tasks, regions, and phases pass an `init` that checks out of a
+        // worker-indexed arena (see `grappolo_core`'s `ScratchPool`) instead
+        // of allocating.
         let mut state = (self.init)();
         self.base
             .pi_chunk(lo, hi, &mut |item| sink((self.f)(&mut state, item)));
@@ -515,10 +551,6 @@ where
 {
     type Item = (A::Item, B::Item);
 
-    fn pi_len(&self) -> usize {
-        self.a.pi_len().min(self.b.pi_len())
-    }
-
     fn pi_chunk<S: FnMut((A::Item, B::Item))>(&self, lo: usize, hi: usize, sink: &mut S) {
         let mut left = Vec::with_capacity(hi - lo);
         self.a.pi_chunk(lo, hi, &mut |item| left.push(item));
@@ -527,6 +559,10 @@ where
         for pair in left.into_iter().zip(right) {
             sink(pair);
         }
+    }
+
+    fn pi_len(&self) -> usize {
+        self.a.pi_len().min(self.b.pi_len())
     }
 
     fn pi_seq_threshold(&self) -> usize {
@@ -558,7 +594,7 @@ impl<P: ParallelIterator> ParallelIterator for Enumerate<P> {
     }
 }
 
-/// Result of [`ParallelIterator::fold`]: per-chunk accumulators awaiting a
+/// Result of [`ParallelIterator::fold`]: per-task accumulators awaiting a
 /// final `reduce`. Matches the `fold(..).reduce(..)` idiom.
 pub struct FoldPartials<P, ID, F> {
     base: P,
@@ -682,7 +718,7 @@ impl<'a, T: Sync + Send> IntoParallelIterator for &'a Vec<T> {
 /// `par_chunks(size)` yields `&[T]` windows of `size` elements (last one may
 /// be shorter) with a caller-controlled, thread-count-independent layout —
 /// chunk `i` always covers `i*size ..`. Chunks are coarse units of work, so
-/// the sequential-fallback threshold is 1.
+/// the sequential-fallback grain is 1.
 pub trait ParallelSlice<T: Sync> {
     fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
 }
@@ -740,7 +776,7 @@ impl<'a, T: Sync + Send + 'a> IntoParallelRefIterator<'a> for [T] {
 }
 
 /// Parallel iterator that moves items out of a `Vec`. Slots are mutexed so
-/// chunks can take ownership through a shared reference.
+/// tasks can take ownership through a shared reference.
 pub struct VecPar<T> {
     slots: Vec<Mutex<Option<T>>>,
 }
@@ -889,7 +925,9 @@ impl Drop for AbortOnUnwind {
 }
 
 /// Parallel merge sort: recursive `join` down to a fixed [`SORT_LEAF`]
-/// layout, pdqsort at the leaves, left-biased merges on the way up.
+/// layout, pdqsort at the leaves, left-biased merges on the way up. The
+/// `join` halves execute as stealable jobs on the resident pool, so the
+/// recursion spawns no threads.
 fn par_merge_sort_by<T, F>(v: &mut [T], cmp: &F)
 where
     T: Send,
@@ -1002,33 +1040,26 @@ impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
     where
         F: Fn((usize, &'a mut [T])) + Sync + Send,
     {
-        let threads = current_num_threads().max(1);
         let items = self.items;
-        if threads == 1 || items.len() <= 1 {
+        if pool::current_threads() <= 1 || items.len() <= 1 {
             for item in items {
                 f(item);
             }
             return;
         }
-        let per = items.len().div_ceil(threads);
-        let mut groups: Vec<Vec<(usize, &'a mut [T])>> = Vec::new();
-        let mut it = items.into_iter();
-        loop {
-            let group: Vec<_> = it.by_ref().take(per).collect();
-            if group.is_empty() {
-                break;
-            }
-            groups.push(group);
-        }
-        std::thread::scope(|scope| {
-            for group in groups {
-                let f = &f;
-                scope.spawn(move || {
-                    for item in group {
-                        f(item);
-                    }
-                });
-            }
+        // One task per chunk (chunks are caller-sized coarse work units),
+        // claimed in stolen order; each slot is taken by exactly its own
+        // task, so the mutable borrows never alias.
+        #[allow(clippy::type_complexity)]
+        let slots: Vec<Mutex<Option<(usize, &'a mut [T])>>> =
+            items.into_iter().map(|it| Mutex::new(Some(it))).collect();
+        pool::current_pool().run_region(slots.len(), &|t| {
+            let item = slots[t]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .expect("chunk task ran twice");
+            f(item);
         });
     }
 }
@@ -1083,7 +1114,9 @@ mod tests {
         };
         let a = run(1);
         let b = run(4);
+        let c = run(16);
         assert_eq!(a, b);
+        assert_eq!(a, c);
     }
 
     #[test]
@@ -1153,7 +1186,9 @@ mod tests {
     #[test]
     fn par_sort_deterministic_across_pool_sizes_with_ties() {
         // Many duplicate keys: the fixed split layout + left-biased merges
-        // must give the same permutation for every thread budget.
+        // must give the same permutation for every thread budget — under
+        // the stealing scheduler the halves complete in arbitrary order,
+        // but the merge tree is fixed.
         let base: Vec<(u64, usize)> = splitmix(3, 100_000)
             .into_iter()
             .enumerate()
@@ -1171,6 +1206,7 @@ mod tests {
         let one = run(1);
         assert_eq!(one, run(2));
         assert_eq!(one, run(8));
+        assert_eq!(one, run(16));
     }
 
     #[test]
@@ -1181,10 +1217,18 @@ mod tests {
     }
 
     #[test]
+    fn join_on_pool_returns_both_results() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let (a, b) = pool.install(|| join(|| 2 + 2, || "ok".to_string()));
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
     fn par_chunks_fixed_layout() {
         let data: Vec<u32> = (0..10_000).collect();
         // 7 coarse chunks: well under SEQ_CUTOFF items, must still map in
-        // chunk order thanks to the threshold override.
+        // chunk order thanks to the grain override.
         let sums: Vec<(usize, u32)> = data
             .par_chunks(1536)
             .enumerate()
@@ -1220,5 +1264,147 @@ mod tests {
         assert_eq!(v[0], 0);
         assert_eq!(v[129], 1);
         assert_eq!(v[9_999], 9_999 / 128);
+    }
+
+    #[test]
+    fn task_layout_is_pure_in_n_and_grain() {
+        // The fixed task tree: same (n, grain) → same layout, independent
+        // of any ambient pool.
+        assert_eq!(task_layout(10, 1024), (1, 1024));
+        assert_eq!(task_layout(2048, 1024), (2, 1024));
+        assert_eq!(task_layout(100_000, 1024), (64, 1563));
+        assert_eq!(task_layout(8, 1), (8, 1));
+        let (tasks, size) = task_layout(1_000_000, 1024);
+        assert!(tasks <= MAX_TASKS_PER_REGION);
+        assert!(size * tasks >= 1_000_000);
+    }
+
+    // --- pool semantics ---------------------------------------------------
+
+    /// `ThreadPool::install` must bind execution to the pool's own resident
+    /// workers — not merely override a thread-count variable. Regression
+    /// test for the historical shim, where `install` only set a
+    /// thread-local count and every region spawned fresh scoped threads.
+    #[test]
+    fn install_executes_on_pool_workers() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let seen: Mutex<HashSet<Option<usize>>> = Mutex::new(HashSet::new());
+        let caller_thread = std::thread::current().id();
+        let worker_threads: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 4);
+            (0usize..16).into_par_iter().with_min_len(1).for_each(|_| {
+                // Slow tasks so the parked workers reliably win some steals
+                // before the caller drains the counter.
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                seen.lock().unwrap().insert(current_worker_index());
+                if std::thread::current().id() != caller_thread {
+                    worker_threads
+                        .lock()
+                        .unwrap()
+                        .insert(std::thread::current().id());
+                }
+            });
+        });
+        let seen = seen.into_inner().unwrap();
+        let worker_threads = worker_threads.into_inner().unwrap();
+        // At least one task must have executed on a resident worker (a
+        // thread other than the caller, reporting Some(index)).
+        assert!(
+            !worker_threads.is_empty(),
+            "no task ran on a pool worker: install did not bind execution"
+        );
+        assert!(
+            seen.iter().any(Option::is_some),
+            "no task observed a worker index: {seen:?}"
+        );
+        // Worker indices are dense and bounded by the pool size.
+        assert!(seen
+            .iter()
+            .flatten()
+            .all(|&i| i < pool.current_num_threads() - 1));
+    }
+
+    #[test]
+    fn install_restores_previous_target() {
+        let outer = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let inner = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        outer.install(|| {
+            assert_eq!(current_num_threads(), 3);
+            inner.install(|| assert_eq!(current_num_threads(), 2));
+            assert_eq!(current_num_threads(), 3);
+        });
+    }
+
+    /// A panic in a stolen task must propagate to the caller of the
+    /// parallel region (not kill a worker or hang the region), and the pool
+    /// must stay usable afterwards.
+    #[test]
+    fn panic_in_stolen_task_propagates_and_pool_survives() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| {
+                (0usize..32).into_par_iter().with_min_len(1).for_each(|i| {
+                    if i == 17 {
+                        panic!("boom from task 17");
+                    }
+                });
+            });
+        }));
+        let payload = result.expect_err("task panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+            .unwrap_or("");
+        assert!(msg.contains("boom"), "unexpected payload: {msg}");
+        // The pool still works after the unwound region.
+        let sum: usize = pool.install(|| (0usize..10_000).into_par_iter().sum());
+        assert_eq!(sum, 9_999 * 10_000 / 2);
+    }
+
+    #[test]
+    fn panic_in_stolen_join_half_propagates() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| {
+                join(
+                    || std::thread::sleep(std::time::Duration::from_millis(5)),
+                    || panic!("boom from join"),
+                )
+            });
+        }));
+        assert!(result.is_err(), "join-half panic must propagate");
+        let (a, b) = pool.install(|| join(|| 1, || 2));
+        assert_eq!((a, b), (1, 2));
+    }
+
+    /// Stealing changes execution order, never results: a region whose
+    /// tasks finish in deliberately skewed time must still reduce in task
+    /// order.
+    #[test]
+    fn skewed_task_durations_keep_ordered_reduction() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let out: Vec<usize> = pool.install(|| {
+            (0usize..48)
+                .into_par_iter()
+                .with_min_len(1)
+                .map(|i| {
+                    // Earlier tasks sleep longest: under stealing they
+                    // finish last, so an unordered combine would reverse.
+                    std::thread::sleep(std::time::Duration::from_micros((48 - i as u64) * 100));
+                    i * 3
+                })
+                .collect()
+        });
+        assert_eq!(out, (0usize..48).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_index_is_none_outside_pools() {
+        assert_eq!(current_worker_index(), None);
     }
 }

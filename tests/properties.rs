@@ -37,6 +37,7 @@ use grappolo::core::{
 use grappolo::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use rayon::ParallelSliceMut;
 
 const CASES: u64 = 64;
 
@@ -191,10 +192,15 @@ fn unordered_phase_bitwise_stable_across_thread_counts() {
             pool.install(|| parallel_phase_unordered(&g, 1e-9, 64, 1.0))
         };
         let r1 = run(1);
-        let r3 = run(3);
-        assert_eq!(r1.assignment, r3.assignment, "seed {seed}");
-        assert_eq!(r1.final_modularity, r3.final_modularity, "seed {seed}");
-        assert_eq!(r1.iterations, r3.iterations, "seed {seed}");
+        for threads in [3usize, 16] {
+            let rt = run(threads);
+            assert_eq!(r1.assignment, rt.assignment, "seed {seed} @{threads}");
+            assert_eq!(
+                r1.final_modularity, rt.final_modularity,
+                "seed {seed} @{threads}"
+            );
+            assert_eq!(r1.iterations, rt.iterations, "seed {seed} @{threads}");
+        }
     }
 }
 
@@ -548,10 +554,11 @@ fn colored_phase_matches_rescan_reference() {
     }
 }
 
-/// **Colored sweep stability**: bitwise-identical outcomes at 1/2/3/4/8
+/// **Colored sweep stability**: bitwise-identical outcomes at 1/2/3/4/8/16
 /// worker threads — the §5.4 guarantee extended to the colored phase by the
 /// barrier-commit scheme (the historical atomic commits could not make this
-/// promise).
+/// promise), and held under the stealing scheduler (16 oversubscribes every
+/// CI runner, so stolen execution order varies maximally).
 #[test]
 fn colored_phase_bitwise_stable_across_thread_counts() {
     for (name, g) in colored_suite() {
@@ -565,7 +572,7 @@ fn colored_phase_bitwise_stable_across_thread_counts() {
             pool.install(|| parallel_phase_colored(&g, &batches, 1e-9, 64, 1.0))
         };
         let reference = run(1);
-        for threads in [2usize, 3, 4, 8] {
+        for threads in [2usize, 3, 4, 8, 16] {
             let out = run(threads);
             assert_outcomes_bitwise_equal(&reference, &out, &format!("{name}@{threads}"));
         }
@@ -630,7 +637,7 @@ fn active_sweep_saturated_bitwise_matches_full() {
 
 /// **Active-sweep stability**: the dirty-vertex frontier is rebuilt from the
 /// committed move list, so the pruned unordered and colored phases are
-/// bitwise identical at 1/2/4/8 worker threads — the frontier itself (and
+/// bitwise identical at 1/2/4/8/16 worker threads — the frontier itself (and
 /// hence every decision it admits) is thread-count independent.
 #[test]
 fn active_sweep_bitwise_stable_across_thread_counts() {
@@ -652,7 +659,7 @@ fn active_sweep_bitwise_stable_across_thread_counts() {
                 })
             };
             let reference = run(1);
-            for threads in [2usize, 4, 8] {
+            for threads in [2usize, 4, 8, 16] {
                 let out = run(threads);
                 assert_outcomes_bitwise_equal(
                     &reference,
@@ -764,7 +771,7 @@ fn scheduled_sweeps_bitwise_stable_across_thread_counts() {
                     })
                 };
                 let reference = run(1);
-                for threads in [2usize, 4, 8] {
+                for threads in [2usize, 4, 8, 16] {
                     let out = run(threads);
                     assert_outcomes_bitwise_equal(
                         &reference,
@@ -874,5 +881,100 @@ fn serial_trace_is_monotone() {
             result.trace.check_monotone_within_phases(1e-9).is_ok(),
             "seed {seed}"
         );
+    }
+}
+
+/// **Sort permutation stability under stealing**: `par_sort_unstable_by_key`
+/// on tie-heavy keys derived from the ER/planted/RMAT suite yields the same
+/// *permutation* — not just the same multiset — at 1/2/4/8/16 worker
+/// threads. Degrees make natural tie-heavy keys (RMAT especially: most
+/// vertices share low degrees), so equal-key runs exercise the fixed split
+/// layout + left-biased merge guarantee under maximally varying stolen
+/// execution order.
+#[test]
+fn par_sort_permutation_bitwise_stable_across_thread_counts() {
+    for (name, g) in colored_suite() {
+        let base: Vec<(u32, u32)> = (0..g.num_vertices() as u32)
+            .map(|v| (g.neighbors(v).count() as u32, v))
+            .collect();
+        let run = |threads: usize| {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let mut v = base.clone();
+            // Key ignores the vertex id, so every same-degree run is a tie
+            // the merge must break identically at every thread count.
+            pool.install(|| v.par_sort_unstable_by_key(|&(deg, _)| deg));
+            v
+        };
+        let reference = run(1);
+        for threads in [2usize, 4, 8, 16] {
+            assert_eq!(reference, run(threads), "{name}@{threads}");
+        }
+    }
+}
+
+/// **Tracker stability under stealing**: constructing a `ModularityTracker`
+/// (whose `e_in`/`Σ a_C²` rescans run through `det_sum`) and replaying an
+/// identical seeded independent-batch move sequence leaves bitwise-equal
+/// incremental state at 1/2/4/8/16 worker threads.
+#[test]
+fn tracker_state_bitwise_stable_across_thread_counts() {
+    for (name, g) in colored_suite() {
+        let n = g.num_vertices();
+        let batches = ColorBatches::from_coloring(&color_greedy_serial(&g));
+        let run = |threads: usize| {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            pool.install(|| {
+                // Re-seed inside the pool so every thread count replays the
+                // exact same move sequence.
+                let mut rng = SmallRng::seed_from_u64(0xC0FFEE);
+                let mut assignment: Vec<Community> = (0..n as Community).collect();
+                let mut a = community_degrees(&g, &assignment);
+                let mut sizes = community_sizes(&assignment);
+                let mut tracker = ModularityTracker::new(&g, &assignment, &a, 1.0);
+                let mut scratch = NeighborScratch::default();
+                for batch in batches.iter().take(4) {
+                    let mut moves: Vec<IndependentMove> = Vec::new();
+                    let mut movers: Vec<u32> = Vec::new();
+                    for &v in batch.iter().take(512) {
+                        if rng.gen_range(0..2) == 0 {
+                            continue;
+                        }
+                        let from = assignment[v as usize];
+                        let to = rng.gen_range(0..n as Community);
+                        if to == from {
+                            continue;
+                        }
+                        scratch.gather(&g, &assignment, v);
+                        moves.push(IndependentMove {
+                            k: g.weighted_degree(v),
+                            e_src: edge_weight_to(&scratch, from),
+                            e_tgt: edge_weight_to(&scratch, to),
+                            from,
+                            to,
+                        });
+                        movers.push(v);
+                    }
+                    tracker.apply_independent_batch(&moves, &mut a, &mut sizes);
+                    for (mv, &v) in moves.iter().zip(&movers) {
+                        assignment[v as usize] = mv.to;
+                    }
+                }
+                (
+                    tracker.e_in.to_bits(),
+                    tracker.null_sum.to_bits(),
+                    tracker.modularity().to_bits(),
+                )
+            })
+        };
+        let reference = run(1);
+        for threads in [2usize, 4, 8, 16] {
+            assert_eq!(reference, run(threads), "{name}@{threads}");
+        }
     }
 }
