@@ -5,13 +5,15 @@
 //! kernels do identical work), every measurement here runs a whole phase
 //! **to convergence**: that is where pruning pays, because late iterations
 //! move <1% of vertices while a full sweep still gathers all `m` adjacency
-//! entries. Eight variants per input:
+//! entries. Every variant runs through [`PhaseDriver`], the unified phase
+//! entry point, resolved from a [`LouvainConfig`] per variant. Eight
+//! variants per input:
 //!
-//! * `unordered_full` / `unordered_active` — [`parallel_phase_unordered_sweep`]
-//!   under [`SweepMode::Full`] vs [`SweepMode::Active`] with the paper's
-//!   fixed aggregate threshold;
-//! * `colored_full` / `colored_active` — the colored analogue (coloring
-//!   precomputed outside the timed region);
+//! * `unordered_full` / `unordered_active` — [`PhaseDriver::run`] under
+//!   [`SweepMode::Full`] vs [`SweepMode::Active`] with the paper's fixed
+//!   aggregate threshold;
+//! * `colored_full` / `colored_active` — [`PhaseDriver::run_colored`], the
+//!   colored analogue (coloring precomputed outside the timed region);
 //! * `unordered_sched_full` / `unordered_sched_active` and
 //!   `colored_sched_full` / `colored_sched_active` — the same sweeps under
 //!   the geometric per-vertex convergence schedule (PR 5) at the default
@@ -33,11 +35,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use grappolo_bench::cached_graph;
 use grappolo_coloring::{color_parallel, ColorBatches, ParallelColoringConfig};
-use grappolo_core::parallel::{
-    parallel_phase_colored_scheduled, parallel_phase_colored_sweep,
-    parallel_phase_unordered_scheduled, parallel_phase_unordered_sweep,
-};
-use grappolo_core::{Convergence, LouvainConfig, SweepMode};
+use grappolo_core::{LouvainConfig, PhaseDriver, SweepMode};
 use grappolo_graph::gen::{planted_partition, rmat, PlantedConfig, RmatConfig};
 use grappolo_graph::CsrGraph;
 
@@ -54,45 +52,44 @@ fn bench_active(c: &mut Criterion) {
     let bench_input = |group: &mut criterion::BenchmarkGroup<'_>, label: &str, g: &CsrGraph| {
         let batches =
             ColorBatches::from_coloring(&color_parallel(g, &ParallelColoringConfig::default()));
-        // The geometric schedule at the default edge-unit parameters for
-        // this input (start 4/m, factor 0.5, floor 0.5/m).
-        let conv: Convergence = LouvainConfig::default()
-            .with_geometric_schedule(g.total_weight())
-            .convergence(THRESHOLD);
+        // One resolved driver per variant: fixed threshold, or the
+        // geometric schedule at the default edge-unit parameters for this
+        // input (start 4/m, factor 0.5, floor 0.5/m).
+        let driver_for = |sweep: SweepMode, scheduled: bool| -> PhaseDriver {
+            let mut config = LouvainConfig {
+                sweep_mode: sweep,
+                max_iterations_per_phase: MAX_ITERS,
+                ..LouvainConfig::default()
+            };
+            if scheduled {
+                config = config.with_geometric_schedule(g.total_weight());
+            }
+            PhaseDriver::from_config(&config, THRESHOLD)
+        };
         group.throughput(Throughput::Elements(g.num_adjacency_entries() as u64));
-        for (id, sweep) in [
-            ("unordered_full", SweepMode::Full),
-            ("unordered_active", SweepMode::Active),
+        for (id, sweep, scheduled) in [
+            ("unordered_full", SweepMode::Full, false),
+            ("unordered_active", SweepMode::Active, false),
+            ("unordered_sched_full", SweepMode::Full, true),
+            ("unordered_sched_active", SweepMode::Active, true),
         ] {
-            group.bench_with_input(BenchmarkId::new(id, label), &g, |b, g| {
-                b.iter(|| parallel_phase_unordered_sweep(g, sweep, THRESHOLD, MAX_ITERS, 1.0));
+            let driver = driver_for(sweep, scheduled);
+            group.bench_with_input(BenchmarkId::new(id, label), &(g, &driver), |b, (g, d)| {
+                b.iter(|| d.run(g));
             });
         }
-        for (id, sweep) in [
-            ("unordered_sched_full", SweepMode::Full),
-            ("unordered_sched_active", SweepMode::Active),
+        for (id, sweep, scheduled) in [
+            ("colored_full", SweepMode::Full, false),
+            ("colored_active", SweepMode::Active, false),
+            ("colored_sched_full", SweepMode::Full, true),
+            ("colored_sched_active", SweepMode::Active, true),
         ] {
-            group.bench_with_input(BenchmarkId::new(id, label), &(g, &conv), |b, (g, cv)| {
-                b.iter(|| parallel_phase_unordered_scheduled(g, sweep, cv, MAX_ITERS, 1.0));
-            });
-        }
-        for (id, sweep) in [
-            ("colored_full", SweepMode::Full),
-            ("colored_active", SweepMode::Active),
-        ] {
-            group.bench_with_input(BenchmarkId::new(id, label), &(g, &batches), |b, (g, bt)| {
-                b.iter(|| parallel_phase_colored_sweep(g, bt, sweep, THRESHOLD, MAX_ITERS, 1.0));
-            });
-        }
-        for (id, sweep) in [
-            ("colored_sched_full", SweepMode::Full),
-            ("colored_sched_active", SweepMode::Active),
-        ] {
+            let driver = driver_for(sweep, scheduled);
             group.bench_with_input(
                 BenchmarkId::new(id, label),
-                &(g, &batches, &conv),
-                |b, (g, bt, cv)| {
-                    b.iter(|| parallel_phase_colored_scheduled(g, bt, sweep, cv, MAX_ITERS, 1.0));
+                &(g, &batches, &driver),
+                |b, (g, bt, d)| {
+                    b.iter(|| d.run_colored(g, bt));
                 },
             );
         }

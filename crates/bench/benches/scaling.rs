@@ -26,8 +26,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use grappolo_bench::cached_graph;
 use grappolo_coloring::{color_parallel, ColorBatches, ParallelColoringConfig};
-use grappolo_core::parallel::parallel_phase_colored_sweep;
-use grappolo_core::SweepMode;
+use grappolo_core::{LouvainConfig, PhaseDriver, SweepMode};
 use grappolo_graph::gen::{rmat, RmatConfig};
 use grappolo_graph::{GraphBuilder, VertexId};
 
@@ -55,18 +54,26 @@ fn bench_scaling(c: &mut Criterion) {
     let edges: Vec<(VertexId, VertexId, f64)> = g.undirected_edges().collect();
     let n = g.num_vertices();
 
+    // The colored active sweep, resolved once through the unified phase
+    // entry point.
+    let driver = PhaseDriver::from_config(
+        &LouvainConfig {
+            sweep_mode: SweepMode::Active,
+            max_iterations_per_phase: MAX_ITERS,
+            ..LouvainConfig::default()
+        },
+        THRESHOLD,
+    );
+
     // Determinism gate: the stealing scheduler must yield bitwise-identical
     // assignments at every measured thread count before any timing matters.
-    let reference =
-        parallel_phase_colored_sweep(&g, &batches, SweepMode::Active, THRESHOLD, MAX_ITERS, 1.0);
+    let reference = driver.run_colored(&g, &batches);
     for threads in THREADS {
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(threads)
             .build()
             .unwrap();
-        let outcome = pool.install(|| {
-            parallel_phase_colored_sweep(&g, &batches, SweepMode::Active, THRESHOLD, MAX_ITERS, 1.0)
-        });
+        let outcome = pool.install(|| driver.run_colored(&g, &batches));
         assert_eq!(
             outcome.assignment, reference.assignment,
             "colored active sweep diverged at {threads} threads"
@@ -86,20 +93,9 @@ fn bench_scaling(c: &mut Criterion) {
         group.throughput(Throughput::Elements(g.num_adjacency_entries() as u64));
         group.bench_with_input(
             BenchmarkId::new("colored_active", format!("rmat1150k/t{threads}")),
-            &(&g, &batches),
-            |b, (g, bt)| {
-                b.iter(|| {
-                    pool.install(|| {
-                        parallel_phase_colored_sweep(
-                            g,
-                            bt,
-                            SweepMode::Active,
-                            THRESHOLD,
-                            MAX_ITERS,
-                            1.0,
-                        )
-                    })
-                });
+            &(&g, &batches, &driver),
+            |b, (g, bt, d)| {
+                b.iter(|| pool.install(|| d.run_colored(g, bt)));
             },
         );
 

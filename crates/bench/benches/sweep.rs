@@ -21,12 +21,22 @@
 //!
 //! `cargo bench --bench sweep` emits `BENCH_sweep.json` for the perf
 //! trajectory.
+//!
+//! This bench deliberately measures the *historical* fixed-threshold entry
+//! points (now deprecated wrappers in `grappolo_core::reference`) against
+//! their retained baselines — it tracks kernel ratios across the PR
+//! sequence, so the call shapes must stay exactly what the earlier PRs
+//! measured. Production callers go through `grappolo_core::PhaseDriver`;
+//! see the `active` bench.
+#![allow(deprecated)]
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use grappolo_bench::cached_graph;
 use grappolo_coloring::{color_parallel, ColorBatches, ParallelColoringConfig};
-use grappolo_core::parallel::{parallel_phase_colored, parallel_phase_unordered};
-use grappolo_core::reference::{parallel_phase_colored_rescan, parallel_phase_unordered_sortbased};
+use grappolo_core::reference::{
+    parallel_phase_colored, parallel_phase_colored_rescan, parallel_phase_unordered,
+    parallel_phase_unordered_sortbased,
+};
 use grappolo_graph::gen::{planted_partition, rmat, PlantedConfig, RmatConfig};
 use grappolo_graph::CsrGraph;
 

@@ -16,10 +16,9 @@
 
 use grappolo_bench::cached_graph;
 use grappolo_coloring::{color_parallel, ColorBatches, ParallelColoringConfig};
-use grappolo_core::parallel::{
-    parallel_phase_colored_scheduled, parallel_phase_unordered_scheduled,
+use grappolo_core::{
+    LouvainConfig, LouvainConfigBuilder, PhaseDriver, PhaseOutcome, ScheduleSpec, SweepMode,
 };
-use grappolo_core::{Convergence, PhaseOutcome, SweepMode, ThresholdSchedule};
 use grappolo_graph::gen::{planted_partition, rmat, PlantedConfig, RmatConfig};
 use grappolo_graph::CsrGraph;
 use std::time::Duration;
@@ -71,9 +70,6 @@ fn main() {
     );
     let batches =
         ColorBatches::from_coloring(&color_parallel(&g, &ParallelColoringConfig::default()));
-    // The two convergence policies under comparison: the paper's fixed
-    // aggregate stop, and the geometric per-vertex schedule at the given
-    // (or default) edge-unit parameters scaled to this graph.
     let raw: Vec<String> = std::env::args().skip(2).collect();
     let (start_u, factor, floor_u) = match raw.len() {
         0 => (
@@ -96,36 +92,42 @@ fn main() {
         }
     };
     let m = g.total_weight();
-    let fixed = Convergence::fixed(1e-6);
-    let schedule = ThresholdSchedule::Geometric {
+    // The two convergence policies resolve into PhaseDriver configurations
+    // through the typed builder, whose `build()` rejects a non-tightening
+    // schedule (factor ≥ 1, floor > start, …) with the library's own rule
+    // — such a schedule would never reach its floor and would spin every
+    // variant to the iteration cap.
+    let driver_for = |spec: ScheduleSpec, sweep: SweepMode| -> PhaseDriver {
+        let config = LouvainConfigBuilder::from_base(LouvainConfig::default())
+            .sweep(sweep)
+            .schedule(spec)
+            .build()
+            .unwrap_or_else(|e| {
+                eprintln!("active_trace: invalid geometric schedule: {e}");
+                std::process::exit(2);
+            });
+        PhaseDriver::from_config(&config, 1e-6)
+    };
+    let geometric = ScheduleSpec::GeometricRaw {
         start: start_u / m,
         factor,
         floor: floor_u / m,
     };
-    // A non-tightening schedule (factor ≥ 1, floor > start, …) would never
-    // reach its floor and spin every variant to the iteration cap — reject
-    // it up front with the library's own rule.
-    if let Err(e) = schedule.validate() {
-        eprintln!("active_trace: invalid geometric schedule: {e}");
-        std::process::exit(2);
-    }
-    let geometric = Convergence {
-        schedule,
-        vertex_epsilon: 0.0,
-    };
     println!("geometric schedule: start {start_u}/m, factor {factor}, floor {floor_u}/m");
-    let policies = [("fixed", &fixed), ("sched", &geometric)];
-    for (pname, conv) in policies {
+    let policies = [("fixed", ScheduleSpec::Fixed), ("sched", geometric)];
+    for (pname, spec) in policies {
         for (label, sweep) in [("full", SweepMode::Full), ("active", SweepMode::Active)] {
+            let driver = driver_for(spec, sweep);
             let t = std::time::Instant::now();
-            let out = parallel_phase_unordered_scheduled(&g, sweep, conv, 10_000, 1.0);
+            let out = driver.run(&g);
             show(&format!("unordered/{pname}/{label}"), &g, &out, t.elapsed());
         }
     }
-    for (pname, conv) in policies {
+    for (pname, spec) in policies {
         for (label, sweep) in [("full", SweepMode::Full), ("active", SweepMode::Active)] {
+            let driver = driver_for(spec, sweep);
             let t = std::time::Instant::now();
-            let out = parallel_phase_colored_scheduled(&g, &batches, sweep, conv, 10_000, 1.0);
+            let out = driver.run_colored(&g, &batches);
             show(&format!("colored/{pname}/{label}"), &g, &out, t.elapsed());
         }
     }

@@ -1,7 +1,7 @@
 //! Hand-rolled argument parsing (keeps the dependency set to the
 //! offline-sanctioned crates).
 
-use grappolo_core::{ColoredAccounting, ScheduleMode, Scheme, SweepMode};
+use grappolo_core::{ColoredAccounting, RefineMode, ScheduleMode, Scheme, SweepMode};
 use std::path::PathBuf;
 
 /// Usage text printed on parse errors and `--help`.
@@ -18,6 +18,7 @@ USAGE:
                   [--threads N] [--gamma F] [--assignments FILE] [--trace FILE]
                   [--accounting incremental|rescan] [--sweep full|active]
                   [--schedule fixed|geometric] [--vertex-epsilon F]
+                  [--refine leiden|none]
       --accounting: colored-sweep modularity accounting — `incremental`
       (default; O(#moves) deltas at each color-batch barrier) or `rescan`
       (the historical full-recompute baseline, for differential runs)
@@ -33,6 +34,13 @@ USAGE:
       --vertex-epsilon: per-vertex convergence epsilon (absolute modularity
       gain; 0 = off). A vertex whose best available gain is below it stays
       put and leaves the work list until a neighbor moves
+      --refine: post-sweep refinement — `none` (default; the paper's
+      pipeline) or `leiden` (split internally disconnected communities into
+      connected sub-communities and re-absorb profitable singletons before
+      each rebuild; deterministic, never lowers modularity)
+  grappolo audit <graph-file> <assignments-file>
+      print the connectivity report for an assignment: communities,
+      internally disconnected count/fraction, min internal conductance
   grappolo color <graph-file> [--balanced]
   grappolo compare <assignments-a> <assignments-b>
   grappolo convert <in-file> <out-file>
@@ -83,6 +91,15 @@ pub enum Command {
         schedule: ScheduleMode,
         /// Per-vertex convergence epsilon (0 = disabled).
         vertex_epsilon: f64,
+        /// Post-sweep refinement mode.
+        refine: RefineMode,
+    },
+    /// Audit an assignment's internal connectivity.
+    Audit {
+        /// Graph path.
+        graph: PathBuf,
+        /// Assignment path (`vertex community` lines).
+        assignments: PathBuf,
     },
     /// Color a graph and report class statistics.
     Color {
@@ -122,6 +139,14 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             Ok(Command::Stats { path: path.into() })
         }
         "detect" => parse_detect(&rest),
+        "audit" => {
+            let graph = positional(&rest, 0, "graph-file")?;
+            let assignments = positional(&rest, 1, "assignments-file")?;
+            Ok(Command::Audit {
+                graph: graph.into(),
+                assignments: assignments.into(),
+            })
+        }
         "color" => {
             let path = positional(&rest, 0, "graph-file")?;
             let balanced = rest.contains(&"--balanced");
@@ -229,6 +254,11 @@ fn parse_detect(rest: &[&str]) -> Result<Command, String> {
         .map(|v| v.parse().map_err(|e| format!("bad --vertex-epsilon: {e}")))
         .transpose()?
         .unwrap_or(0.0);
+    let refine = match flag_value(rest, "--refine")?.unwrap_or("none") {
+        "none" => RefineMode::None,
+        "leiden" => RefineMode::Leiden,
+        other => return Err(format!("unknown --refine `{other}`")),
+    };
     Ok(Command::Detect {
         path: path.into(),
         scheme,
@@ -240,6 +270,7 @@ fn parse_detect(rest: &[&str]) -> Result<Command, String> {
         sweep,
         schedule,
         vertex_epsilon,
+        refine,
     })
 }
 
@@ -299,6 +330,7 @@ mod tests {
                 sweep,
                 schedule,
                 vertex_epsilon,
+                refine,
                 ..
             } => {
                 assert_eq!(scheme, Scheme::BaselineVf);
@@ -310,9 +342,36 @@ mod tests {
                 assert_eq!(sweep, SweepMode::Full);
                 assert_eq!(schedule, ScheduleMode::Fixed);
                 assert_eq!(vertex_epsilon, 0.0);
+                assert_eq!(refine, RefineMode::None);
             }
             _ => panic!(),
         }
+    }
+
+    #[test]
+    fn detect_refine_modes() {
+        match parse(&args("detect g.bin --refine leiden")).unwrap() {
+            Command::Detect { refine, .. } => assert_eq!(refine, RefineMode::Leiden),
+            _ => panic!(),
+        }
+        match parse(&args("detect g.bin --refine none")).unwrap() {
+            Command::Detect { refine, .. } => assert_eq!(refine, RefineMode::None),
+            _ => panic!(),
+        }
+        assert!(parse(&args("detect g.bin --refine louvain")).is_err());
+        assert!(parse(&args("detect g.bin --refine")).is_err());
+    }
+
+    #[test]
+    fn parses_audit() {
+        assert_eq!(
+            parse(&args("audit g.bin out.txt")).unwrap(),
+            Command::Audit {
+                graph: "g.bin".into(),
+                assignments: "out.txt".into()
+            }
+        );
+        assert!(parse(&args("audit g.bin")).is_err());
     }
 
     #[test]

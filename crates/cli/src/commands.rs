@@ -3,14 +3,15 @@
 use crate::args::{Command, USAGE};
 use grappolo_coloring::{balance_colors, color_parallel, ColoringStats, ParallelColoringConfig};
 use grappolo_core::{
-    detect_communities, ColoredAccounting, LouvainConfig, ScheduleMode, Scheme, SweepMode,
+    detect_communities, geometric_for, ColoredAccounting, LouvainConfigBuilder, RefineMode,
+    ScheduleMode, ScheduleSpec, Scheme, SweepMode,
 };
 use grappolo_graph::gen::paper_suite::PaperInput;
 use grappolo_graph::gen::{
     erdos_renyi, planted_partition, rmat, ErConfig, PlantedConfig, RmatConfig,
 };
 use grappolo_graph::{io, CsrGraph, GraphStats};
-use grappolo_metrics::{normalized_mutual_information, pairwise_comparison};
+use grappolo_metrics::{connectivity_report, normalized_mutual_information, pairwise_comparison};
 use std::path::Path;
 use std::time::Instant;
 
@@ -39,6 +40,7 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             sweep,
             schedule,
             vertex_epsilon,
+            refine,
         } => detect(
             &path,
             scheme,
@@ -50,7 +52,9 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             sweep,
             schedule,
             vertex_epsilon,
+            refine,
         ),
+        Command::Audit { graph, assignments } => audit(&graph, &assignments),
         Command::Color { path, balanced } => color(&path, balanced),
         Command::Compare { a, b } => compare(&a, &b),
         Command::Convert { input, output } => convert(&input, &output),
@@ -152,24 +156,27 @@ fn detect(
     sweep: SweepMode,
     schedule: ScheduleMode,
     vertex_epsilon: f64,
+    refine: RefineMode,
 ) -> Result<(), String> {
     let g = load(path)?;
-    let mut config: LouvainConfig = scheme.config();
-    config.resolution = gamma;
-    config.colored_accounting = accounting;
-    config.sweep_mode = sweep;
-    config.vertex_epsilon = vertex_epsilon;
-    if schedule == ScheduleMode::Geometric {
-        // Per-vertex gains live on the 1/m scale; derive the gate
-        // parameters from this graph's total weight.
-        config = config.with_geometric_schedule(g.total_weight());
-    }
-    if let Some(t) = threads {
-        config.num_threads = Some(t);
-    }
-    // Surface bad parameters (e.g. a negative γ) as a clean CLI error
-    // instead of the library's panic.
-    config.validate()?;
+    // Per-vertex gains live on the 1/m scale; the geometric gate derives
+    // its parameters from this graph's total weight.
+    let schedule_spec = match schedule {
+        ScheduleMode::Fixed => ScheduleSpec::Fixed,
+        ScheduleMode::Geometric => geometric_for(g.total_weight()),
+    };
+    // The typed builder surfaces bad parameter combinations (a negative γ,
+    // rescan × scheduled, rescan × refine, …) as a clean CLI error instead
+    // of the library's panic.
+    let mut config = LouvainConfigBuilder::from_base(scheme.config())
+        .resolution(gamma)
+        .accounting(accounting)
+        .sweep(sweep)
+        .vertex_epsilon(vertex_epsilon)
+        .schedule(schedule_spec)
+        .refine(refine)
+        .threads(threads)
+        .build()?;
     // Scale the paper's 100 K coloring cutoff down for small inputs so the
     // colored scheme stays meaningful on laptop-sized graphs.
     config.coloring_vertex_cutoff = config
@@ -203,6 +210,59 @@ fn detect(
         std::fs::write(out, json).map_err(|e| format!("writing {}: {e}", out.display()))?;
         println!("trace → {}", out.display());
     }
+    if refine == RefineMode::Leiden {
+        let report = connectivity_report(&g, &result.assignment);
+        println!(
+            "refined: {} internally disconnected of {} communities ({:.2}%), \
+             min internal conductance {:.4}",
+            report.disconnected,
+            report.num_communities,
+            100.0 * report.disconnected_fraction,
+            report.min_internal_conductance,
+        );
+    }
+    Ok(())
+}
+
+/// The `audit` subcommand: the connectivity report for a stored
+/// `(graph, assignment)` pair, on the whole assignment.
+fn audit(graph: &Path, assignments: &Path) -> Result<(), String> {
+    let g = load(graph)?;
+    let assignment = read_assignments(assignments)?;
+    if assignment.len() > g.num_vertices() {
+        return Err(format!(
+            "assignment covers {} vertices but the graph has {}",
+            assignment.len(),
+            g.num_vertices()
+        ));
+    }
+    // Files may omit trailing isolated vertices; pad them as singletons
+    // with fresh labels so the audit covers the whole graph.
+    let mut assignment = assignment;
+    let mut next = assignment.iter().copied().max().map_or(0, |c| c + 1);
+    while assignment.len() < g.num_vertices() {
+        assignment.push(next);
+        next += 1;
+    }
+    let t = Instant::now();
+    let report = connectivity_report(&g, &assignment);
+    println!("graph                     {}", graph.display());
+    println!("assignment                {}", assignments.display());
+    println!("communities               {}", report.num_communities);
+    println!("internally disconnected   {}", report.disconnected);
+    println!(
+        "disconnected fraction     {:.6}",
+        report.disconnected_fraction
+    );
+    println!(
+        "min internal conductance  {:.6}{}",
+        report.min_internal_conductance,
+        match report.worst_community {
+            Some(c) => format!("  (community {c})"),
+            None => String::new(),
+        }
+    );
+    println!("audit time                {:.2?}", t.elapsed());
     Ok(())
 }
 
@@ -340,6 +400,7 @@ mod tests {
             sweep: SweepMode::Full,
             schedule: ScheduleMode::Fixed,
             vertex_epsilon: 0.0,
+            refine: RefineMode::None,
         })
         .unwrap();
 
@@ -380,6 +441,7 @@ mod tests {
                 sweep: SweepMode::Full,
                 schedule: ScheduleMode::Fixed,
                 vertex_epsilon: 0.0,
+                refine: RefineMode::None,
             })
             .unwrap();
         }
@@ -416,6 +478,7 @@ mod tests {
                 sweep: SweepMode::Active,
                 schedule: ScheduleMode::Fixed,
                 vertex_epsilon: 0.0,
+                refine: RefineMode::None,
             })
             .unwrap();
         }
@@ -453,6 +516,7 @@ mod tests {
                 sweep: SweepMode::Active,
                 schedule: ScheduleMode::Geometric,
                 vertex_epsilon: 0.0,
+                refine: RefineMode::None,
             })
             .unwrap();
         }
@@ -484,6 +548,7 @@ mod tests {
             sweep: SweepMode::Full,
             schedule: ScheduleMode::Fixed,
             vertex_epsilon: -1.0,
+            refine: RefineMode::None,
         })
         .unwrap_err();
         assert!(err.contains("vertex_epsilon"), "{err}");
@@ -560,6 +625,68 @@ mod tests {
         let q = tmp("bad.txt");
         std::fs::write(&q, "x y\n").unwrap();
         assert!(read_assignments(&q).is_err());
+    }
+
+    #[test]
+    fn detect_refine_and_audit_round_trip() {
+        // detect --refine leiden writes an assignment the audit subcommand
+        // accepts; the audit also runs on unrefined output.
+        let graph_path = tmp("refine.grb");
+        execute(Command::Generate {
+            input: "planted".into(),
+            scale: 0.05,
+            seed: 13,
+            output: graph_path.clone(),
+        })
+        .unwrap();
+        let out = tmp("refine_a.txt");
+        execute(Command::Detect {
+            path: graph_path.clone(),
+            scheme: Scheme::BaselineVfColor,
+            threads: Some(2),
+            gamma: 1.0,
+            assignments: Some(out.clone()),
+            trace: None,
+            accounting: ColoredAccounting::Incremental,
+            sweep: SweepMode::Active,
+            schedule: ScheduleMode::Geometric,
+            vertex_epsilon: 0.0,
+            refine: RefineMode::Leiden,
+        })
+        .unwrap();
+        execute(Command::Audit {
+            graph: graph_path,
+            assignments: out,
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn detect_rejects_refine_with_rescan() {
+        // The builder turns the invalid combination into a CLI error.
+        let graph_path = tmp("refres.grb");
+        execute(Command::Generate {
+            input: "planted".into(),
+            scale: 0.02,
+            seed: 3,
+            output: graph_path.clone(),
+        })
+        .unwrap();
+        let err = execute(Command::Detect {
+            path: graph_path,
+            scheme: Scheme::BaselineVfColor,
+            threads: Some(1),
+            gamma: 1.0,
+            assignments: None,
+            trace: None,
+            accounting: ColoredAccounting::Rescan,
+            sweep: SweepMode::Full,
+            schedule: ScheduleMode::Fixed,
+            vertex_epsilon: 0.0,
+            refine: RefineMode::Leiden,
+        })
+        .unwrap_err();
+        assert!(err.contains("refine") || err.contains("rescan"), "{err}");
     }
 
     #[test]

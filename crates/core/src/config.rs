@@ -119,6 +119,22 @@ pub enum SweepMode {
     Active,
 }
 
+/// Whether a Leiden-style refinement pass runs between local-moving and the
+/// inter-phase rebuild ([`crate::refine`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RefineMode {
+    /// No refinement — the paper's pipeline (default). Condensation may
+    /// merge internally disconnected vertex sets (Louvain's known flaw).
+    None,
+    /// Split every community into its connected components (labels = the
+    /// minimum member vertex, BFS over the stamped scratch) and then run a
+    /// serial ascending-order crumb-absorption sweep over singleton
+    /// communities before condensing. Guarantees every condensed community
+    /// is internally connected and never lowers modularity; bitwise
+    /// deterministic across thread counts.
+    Leiden,
+}
+
 /// How the inter-phase graph rebuild aggregates community edges (§5.5 step
 /// (iii) and the DESIGN.md ablation).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -172,6 +188,9 @@ pub struct LouvainConfig {
     /// Which vertices each sweep iteration re-examines (all sweeps: serial,
     /// unordered, colored).
     pub sweep_mode: SweepMode,
+    /// Leiden-style refinement between local-moving and rebuild
+    /// ([`crate::refine`]; applies to every phase, including the last).
+    pub refine: RefineMode,
     /// Net modularity gain threshold θ within colored phases (paper: 1e-2;
     /// Table 5 sweeps this).
     pub colored_threshold: f64,
@@ -225,6 +244,7 @@ impl Default for LouvainConfig {
             balanced_coloring: false,
             colored_accounting: ColoredAccounting::Incremental,
             sweep_mode: SweepMode::Full,
+            refine: RefineMode::None,
             colored_threshold: 1e-2,
             final_threshold: 1e-6,
             schedule: ScheduleMode::Fixed,
@@ -346,7 +366,163 @@ impl LouvainConfig {
                  vertex_epsilon = 0"
                 .into());
         }
+        if self.colored_accounting == ColoredAccounting::Rescan && self.refine == RefineMode::Leiden
+        {
+            return Err("rescan accounting is the historical differential \
+                 reference and predates refinement; combine refine = Leiden \
+                 with incremental accounting"
+                .into());
+        }
         Ok(())
+    }
+}
+
+/// Within-phase schedule selection for the [`LouvainConfigBuilder`]. Unlike
+/// the raw [`ScheduleMode`] + `schedule_*` fields, the geometric variant
+/// carries the graph's total weight so the builder can derive the edge-unit
+/// parameters itself — an unscaled geometric schedule is unconstructible.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ScheduleSpec {
+    /// The paper's aggregate net-gain stop at the phase threshold.
+    Fixed,
+    /// Geometric per-vertex gate scaled to a graph of total weight `m`
+    /// (`start = 4/m`, `factor = 0.5`, `floor = 0.5/m`). Build with
+    /// [`geometric_for`].
+    Geometric {
+        /// The target graph's total edge weight (`CsrGraph::total_weight`).
+        total_weight: f64,
+    },
+    /// Geometric gate with explicit parameters (already on the absolute
+    /// modularity-gain scale, not edge units).
+    GeometricRaw {
+        /// Iteration-0 gate.
+        start: f64,
+        /// Per-iteration tightening multiplier in (0, 1).
+        factor: f64,
+        /// Tightest gate reached (> 0).
+        floor: f64,
+    },
+}
+
+/// The geometric schedule scaled for a graph of total weight `m` — sugar for
+/// [`ScheduleSpec::Geometric`], reads well in builder chains:
+/// `.schedule(geometric_for(g.total_weight()))`.
+pub fn geometric_for(total_weight: f64) -> ScheduleSpec {
+    ScheduleSpec::Geometric { total_weight }
+}
+
+/// Typed builder for [`LouvainConfig`]. Finishing with [`build`]
+/// (`LouvainConfigBuilder::build`) runs [`LouvainConfig::validate`], so
+/// invalid combinations (rescan×active, rescan×geometric, rescan×refine,
+/// nonsensical schedule parameters) never escape as constructed configs.
+///
+/// ```
+/// use grappolo_core::{geometric_for, LouvainConfig, RefineMode, SweepMode};
+/// let config = LouvainConfig::builder()
+///     .sweep(SweepMode::Active)
+///     .schedule(geometric_for(40_000.0))
+///     .refine(RefineMode::Leiden)
+///     .build()
+///     .unwrap();
+/// assert_eq!(config.refine, RefineMode::Leiden);
+/// ```
+#[derive(Clone, Debug)]
+pub struct LouvainConfigBuilder {
+    config: LouvainConfig,
+}
+
+impl LouvainConfigBuilder {
+    /// Starts from an arbitrary base config (e.g. a [`Scheme`] preset).
+    pub fn from_base(config: LouvainConfig) -> Self {
+        Self { config }
+    }
+
+    /// Sweep mode (full vs dirty-vertex work lists).
+    pub fn sweep(mut self, sweep: SweepMode) -> Self {
+        self.config.sweep_mode = sweep;
+        self
+    }
+
+    /// Within-phase threshold schedule.
+    pub fn schedule(mut self, spec: ScheduleSpec) -> Self {
+        match spec {
+            ScheduleSpec::Fixed => self.config.schedule = ScheduleMode::Fixed,
+            ScheduleSpec::Geometric { total_weight } => {
+                self.config = self.config.with_geometric_schedule(total_weight);
+            }
+            ScheduleSpec::GeometricRaw {
+                start,
+                factor,
+                floor,
+            } => {
+                self.config.schedule = ScheduleMode::Geometric;
+                self.config.schedule_start = start;
+                self.config.schedule_factor = factor;
+                self.config.schedule_floor = floor;
+            }
+        }
+        self
+    }
+
+    /// Refinement mode (Leiden-style split + crumb absorption vs none).
+    pub fn refine(mut self, refine: RefineMode) -> Self {
+        self.config.refine = refine;
+        self
+    }
+
+    /// Colored-sweep accounting mode.
+    pub fn accounting(mut self, accounting: ColoredAccounting) -> Self {
+        self.config.colored_accounting = accounting;
+        self
+    }
+
+    /// Coloring schedule.
+    pub fn coloring(mut self, coloring: ColoringSchedule) -> Self {
+        self.config.coloring = coloring;
+        self
+    }
+
+    /// Parallel vs serial sweep.
+    pub fn parallel(mut self, parallel: bool) -> Self {
+        self.config.parallel = parallel;
+        self
+    }
+
+    /// Vertex-following preprocessing.
+    pub fn vertex_following(mut self, use_vf: bool) -> Self {
+        self.config.use_vf = use_vf;
+        self
+    }
+
+    /// Resolution parameter γ.
+    pub fn resolution(mut self, gamma: f64) -> Self {
+        self.config.resolution = gamma;
+        self
+    }
+
+    /// Per-vertex convergence epsilon.
+    pub fn vertex_epsilon(mut self, eps: f64) -> Self {
+        self.config.vertex_epsilon = eps;
+        self
+    }
+
+    /// Dedicated-pool thread count (None = ambient pool).
+    pub fn threads(mut self, t: Option<usize>) -> Self {
+        self.config.num_threads = t;
+        self
+    }
+
+    /// Validates and returns the finished config.
+    pub fn build(self) -> Result<LouvainConfig, String> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+impl LouvainConfig {
+    /// Starts a [`LouvainConfigBuilder`] from the default config.
+    pub fn builder() -> LouvainConfigBuilder {
+        LouvainConfigBuilder::from_base(LouvainConfig::default())
     }
 }
 
@@ -516,6 +692,61 @@ mod tests {
         );
         let fixed_conv = LouvainConfig::default().convergence(1e-2);
         assert_eq!(fixed_conv, Convergence::fixed(1e-2));
+    }
+
+    #[test]
+    fn builder_resolves_specs_and_validates() {
+        let c = LouvainConfig::builder()
+            .sweep(SweepMode::Active)
+            .schedule(geometric_for(2_000.0))
+            .refine(RefineMode::Leiden)
+            .build()
+            .unwrap();
+        assert_eq!(c.sweep_mode, SweepMode::Active);
+        assert_eq!(c.refine, RefineMode::Leiden);
+        assert_eq!(c.schedule, ScheduleMode::Geometric);
+        assert_eq!(c.schedule_start, GEOMETRIC_START_EDGE_UNITS / 2_000.0);
+        // Invalid combinations never escape the builder.
+        assert!(LouvainConfig::builder()
+            .accounting(ColoredAccounting::Rescan)
+            .sweep(SweepMode::Active)
+            .build()
+            .is_err());
+        assert!(LouvainConfig::builder()
+            .accounting(ColoredAccounting::Rescan)
+            .schedule(geometric_for(100.0))
+            .build()
+            .is_err());
+        assert!(LouvainConfig::builder()
+            .schedule(ScheduleSpec::GeometricRaw {
+                start: 1e-4,
+                factor: 1.5,
+                floor: 1e-6,
+            })
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn refine_rejects_rescan_accounting() {
+        let c = LouvainConfig {
+            colored_accounting: ColoredAccounting::Rescan,
+            refine: RefineMode::Leiden,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        assert!(LouvainConfig::builder()
+            .accounting(ColoredAccounting::Rescan)
+            .refine(RefineMode::Leiden)
+            .build()
+            .is_err());
+        // Default is refine-off, and Leiden with incremental accounting is
+        // fine everywhere else.
+        assert_eq!(LouvainConfig::default().refine, RefineMode::None);
+        assert!(LouvainConfig::builder()
+            .refine(RefineMode::Leiden)
+            .build()
+            .is_ok());
     }
 
     #[test]

@@ -2,15 +2,13 @@
 //! unordered or serial) → graph rebuild, repeated until the modularity
 //! converges.
 
-use crate::config::{ColoredAccounting, ColoringSchedule, LouvainConfig, Scheme};
+use crate::config::{ColoringSchedule, LouvainConfig, Scheme};
 use crate::dendrogram::{Dendrogram, DendrogramLevel};
 use crate::history::{IterationRecord, PhaseRecord, PhaseTimings, RunTrace};
 use crate::modularity::{modularity_with_resolution, Community};
-use crate::parallel::{parallel_phase_colored_scheduled, parallel_phase_unordered_scheduled};
-use crate::phase::PhaseOutcome;
+use crate::phase::{PhaseDriver, PhaseOutcome};
 use crate::rebuild::{rebuild, renumber_communities};
-use crate::reference::parallel_phase_colored_rescan;
-use crate::serial::{serial_modularity, serial_phase_scheduled};
+use crate::serial::serial_modularity;
 use crate::vf::{vf_preprocess_recursive, VfResult};
 use grappolo_coloring::{
     balance_colors, color_parallel, ColorBatches, ColoringStats, ParallelColoringConfig,
@@ -116,16 +114,18 @@ fn run_inner(g: &CsrGraph, config: &LouvainConfig) -> CommunityResult {
         };
         let coloring_time = t_color.elapsed();
 
-        // Step (3): the phase's iteration loop. The aggregate phase θ
-        // resolves through the config's schedule selection into the
-        // convergence policy the sweep runs under (`Fixed` keeps the paper's
-        // aggregate stop at θ; `Geometric` swaps in the per-vertex gate).
+        // Step (3): the phase's iteration loop, behind the unified
+        // PhaseDriver. The aggregate phase θ resolves through the config's
+        // schedule selection into the convergence policy the sweep runs
+        // under (`Fixed` keeps the paper's aggregate stop at θ; `Geometric`
+        // swaps in the per-vertex gate); the driver also applies the
+        // Leiden-style refinement pass when the config asks for one.
         let threshold = if colored {
             config.colored_threshold
         } else {
             config.final_threshold
         };
-        let conv = config.convergence(threshold);
+        let phase_driver = PhaseDriver::from_config(config, threshold);
         let start_q = if config.parallel {
             let identity: Vec<Community> = (0..n as Community).collect();
             modularity_with_resolution(&work, &identity, config.resolution)
@@ -134,43 +134,10 @@ fn run_inner(g: &CsrGraph, config: &LouvainConfig) -> CommunityResult {
             serial_modularity(&work, &identity, config.resolution)
         };
         let t_cluster = Instant::now();
-        let outcome: PhaseOutcome = if !config.parallel {
-            serial_phase_scheduled(
-                &work,
-                config.sweep_mode,
-                &conv,
-                config.max_iterations_per_phase,
-                config.resolution,
-            )
-        } else if colored {
-            match config.colored_accounting {
-                ColoredAccounting::Incremental => parallel_phase_colored_scheduled(
-                    &work,
-                    &batches,
-                    config.sweep_mode,
-                    &conv,
-                    config.max_iterations_per_phase,
-                    config.resolution,
-                ),
-                // The rescan reference is full-sweep, fixed-threshold, and
-                // ungated by definition; `LouvainConfig::validate` rejects
-                // Rescan + Active and Rescan + scheduled/gated configs.
-                ColoredAccounting::Rescan => parallel_phase_colored_rescan(
-                    &work,
-                    &batches,
-                    threshold,
-                    config.max_iterations_per_phase,
-                    config.resolution,
-                ),
-            }
+        let outcome: PhaseOutcome = if colored {
+            phase_driver.run_colored(&work, &batches)
         } else {
-            parallel_phase_unordered_scheduled(
-                &work,
-                config.sweep_mode,
-                &conv,
-                config.max_iterations_per_phase,
-                config.resolution,
-            )
+            phase_driver.run(&work)
         };
         let clustering_time = t_cluster.elapsed();
 
@@ -183,10 +150,13 @@ fn run_inner(g: &CsrGraph, config: &LouvainConfig) -> CommunityResult {
             });
         }
 
-        let end_q = if outcome.iterations.is_empty() {
-            start_q
-        } else {
-            outcome.final_modularity
+        // With refinement the phase's end Q is the refined value (never
+        // lower than the sweep's); without it, an iteration-less phase
+        // reports the identity partition's Q.
+        let end_q = match &outcome.refinement {
+            Some(stats) => stats.refined_modularity,
+            None if outcome.iterations.is_empty() => start_q,
+            None => outcome.final_modularity,
         };
 
         // Step (4): graph rebuild — also executed for the terminal phase so
@@ -639,6 +609,43 @@ mod tests {
             assert!(!p.colored, "only phase 0 may be colored");
         }
         assert!(result.modularity > 0.5);
+    }
+
+    #[test]
+    fn leiden_refinement_end_to_end() {
+        // Refinement never lowers a phase's modularity, the driver reports
+        // the refined value, and the whole refined pipeline stays bitwise
+        // stable across thread counts — colored and unordered alike.
+        let (g, _) = planted();
+        for base in [colored_config(), Scheme::Baseline.config()] {
+            let plain = detect_communities(&g, &base);
+            let mut cfg = base;
+            cfg.refine = crate::config::RefineMode::Leiden;
+            let refined = detect_communities(&g, &cfg);
+            assert!(
+                refined.modularity >= 0.999 * plain.modularity,
+                "refined Q {} vs plain Q {}",
+                refined.modularity,
+                plain.modularity
+            );
+            for p in &refined.trace.phases {
+                assert!(
+                    p.end_modularity >= p.start_modularity - 1e-12,
+                    "phase {} lost modularity under refinement",
+                    p.phase
+                );
+            }
+            cfg.num_threads = Some(1);
+            let r1 = detect_communities(&g, &cfg);
+            cfg.num_threads = Some(2);
+            let r2 = detect_communities(&g, &cfg);
+            cfg.num_threads = Some(8);
+            let r8 = detect_communities(&g, &cfg);
+            assert_eq!(r1.assignment, r2.assignment);
+            assert_eq!(r1.assignment, r8.assignment);
+            assert_eq!(r1.modularity.to_bits(), r2.modularity.to_bits());
+            assert_eq!(r1.modularity.to_bits(), r8.modularity.to_bits());
+        }
     }
 
     #[test]

@@ -12,9 +12,16 @@
 //! * **Vertex following** (§5.3) — [`vf`] merges single-degree vertices into
 //!   their neighbor before the iterations (Lemma 3 guarantees optimality of
 //!   the merge), with a recursive chain-compression extension.
-//! * **Coloring** (§5.2) — [`parallel::parallel_phase_colored`] processes
+//! * **Coloring** (§5.2) — [`PhaseDriver::run_colored`] processes
 //!   distance-1 color classes so no two adjacent vertices decide
 //!   concurrently.
+//!
+//! Beyond the paper, [`refine`] adds an optional Leiden-style refinement
+//! pass ([`RefineMode::Leiden`]) that splits internally disconnected
+//! communities and re-absorbs the sub-`1/m` "crumb" singletons the
+//! geometric gate forfeits, before each rebuild. All phase variants run
+//! through one entry point, [`PhaseDriver`]; configs are best built with
+//! [`LouvainConfig::builder`].
 //!
 //! Quick start:
 //!
@@ -40,19 +47,21 @@ pub mod parallel;
 pub mod phase;
 pub mod rebuild;
 pub mod reference;
+pub mod refine;
 pub mod schedule;
 pub mod serial;
 pub mod vf;
 
 pub use active::ActiveSet;
 pub use config::{
-    ColoredAccounting, ColoringSchedule, LouvainConfig, RebuildStrategy, RenumberStrategy, Scheme,
-    SweepMode,
+    geometric_for, ColoredAccounting, ColoringSchedule, LouvainConfig, LouvainConfigBuilder,
+    RebuildStrategy, RefineMode, RenumberStrategy, ScheduleSpec, Scheme, SweepMode,
 };
 pub use dendrogram::{Dendrogram, DendrogramLevel};
 pub use driver::{detect_communities, detect_with_scheme, CommunityResult};
 pub use history::{IterationRecord, PhaseRecord, PhaseTimings, RunTrace};
 pub use modularity::{modularity, modularity_with_resolution, Community};
-pub use phase::{IterationStats, PhaseOutcome};
+pub use phase::{IterationStats, PhaseDriver, PhaseOutcome};
+pub use refine::{refine_phase, RefineStats};
 pub use schedule::{Convergence, ScheduleMode, ThresholdSchedule};
 pub use vf::{vf_preprocess, vf_preprocess_recursive, VfResult};

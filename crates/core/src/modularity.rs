@@ -519,6 +519,19 @@ impl ModularityTracker {
         }
     }
 
+    /// Assembles a tracker from externally accumulated sums — for callers
+    /// that already hold `Σ e_{i→C(i)}` and `Σ a_C²` (e.g. the refinement
+    /// pass, which accumulates both during its component traversal) and
+    /// must not pay another full rescan.
+    pub fn from_parts(g: &CsrGraph, e_in: f64, null_sum: f64, gamma: f64) -> Self {
+        Self {
+            e_in,
+            null_sum,
+            two_m: 2.0 * g.total_weight(),
+            gamma,
+        }
+    }
+
     /// Current modularity, O(1).
     #[inline]
     pub fn modularity(&self) -> f64 {

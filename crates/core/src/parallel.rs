@@ -1,13 +1,15 @@
 //! The parallel Louvain phase (Algorithm 1) with the minimum-label
-//! heuristics (§5.1) — in both flavors the paper evaluates:
+//! heuristics (§5.1) — in both flavors the paper evaluates. Both are run
+//! through [`crate::PhaseDriver`] (the historical free-function entry
+//! points survive as deprecated wrappers in [`crate::reference`]):
 //!
-//! * [`parallel_phase_unordered`] — no coloring: one lock-free parallel sweep
-//!   per iteration, every decision reading the *previous* iteration's
+//! * [`unordered_scheduled_impl`] — no coloring: one lock-free parallel
+//!   sweep per iteration, every decision reading the *previous* iteration's
 //!   assignment and community degrees (Algorithm 1 lines 8–14 with a single
 //!   color set). Deterministic for any thread count: writes go to
 //!   `C_curr[i]`, reads to `C_prev`, and all reductions are
 //!   order-deterministic (§5.4's stability property).
-//! * [`parallel_phase_colored`] — vertices are processed one color batch at
+//! * [`colored_scheduled_impl`] — vertices are processed one color batch at
 //!   a time; each batch is decided in parallel against the state frozen at
 //!   its barrier, then committed in ascending vertex order. Later batches
 //!   observe earlier commits — the colored analogue of serial freshness.
@@ -18,8 +20,7 @@
 //!   is bitwise deterministic across thread counts — unlike the historical
 //!   atomic-commit scheme (`__sync_fetch_and_add`, §5.5), whose
 //!   schedule-dependent float commits forced an O(m) modularity rescan per
-//!   iteration (retained as
-//!   [`crate::reference::parallel_phase_colored_rescan`]).
+//!   iteration (retained as [`crate::reference::colored_rescan_impl`]).
 
 use crate::active::ActiveSet;
 use crate::config::SweepMode;
@@ -33,18 +34,9 @@ use grappolo_coloring::ColorBatches;
 use grappolo_graph::{CsrGraph, VertexId};
 use rayon::prelude::*;
 
-/// Runs one **unordered** (non-colored) parallel phase to convergence with
-/// the full-sweep schedule — see [`parallel_phase_unordered_sweep`].
-pub fn parallel_phase_unordered(
-    g: &CsrGraph,
-    threshold: f64,
-    max_iterations: usize,
-    resolution: f64,
-) -> PhaseOutcome {
-    parallel_phase_unordered_sweep(g, SweepMode::Full, threshold, max_iterations, resolution)
-}
-
-/// Runs one **unordered** (non-colored) parallel phase to convergence.
+/// Runs one **unordered** (non-colored) parallel phase to convergence under
+/// an explicit [`Convergence`] policy — the full convergence engine behind
+/// [`crate::PhaseDriver::run`].
 ///
 /// Per-iteration bookkeeping is incremental: community degrees, sizes, and
 /// the `Σ e_in` / `Σ a_C²` modularity terms are carried across iterations
@@ -65,24 +57,6 @@ pub fn parallel_phase_unordered(
 /// zero overhead) until an iteration's move count first drops to the
 /// [`ActiveSet::engages`] bound, because a frontier derived from a dense
 /// move set would be near-saturated and save nothing.
-pub fn parallel_phase_unordered_sweep(
-    g: &CsrGraph,
-    sweep: SweepMode,
-    threshold: f64,
-    max_iterations: usize,
-    resolution: f64,
-) -> PhaseOutcome {
-    parallel_phase_unordered_scheduled(
-        g,
-        sweep,
-        &Convergence::fixed(threshold),
-        max_iterations,
-        resolution,
-    )
-}
-
-/// [`parallel_phase_unordered_sweep`] under an explicit [`Convergence`]
-/// policy — the full convergence engine.
 ///
 /// Each iteration decides under the policy's per-vertex gain gate
 /// ([`Convergence::gate`]): a vertex whose best move gains less than the
@@ -94,7 +68,7 @@ pub fn parallel_phase_unordered_sweep(
 /// instead of the aggregate-gain stop ([`Convergence::should_stop`]). The
 /// gate sequence is a pure function of the iteration index, so scheduled
 /// sweeps remain bitwise deterministic across thread counts.
-pub fn parallel_phase_unordered_scheduled(
+pub(crate) fn unordered_scheduled_impl(
     g: &CsrGraph,
     sweep: SweepMode,
     conv: &Convergence,
@@ -262,6 +236,7 @@ pub fn parallel_phase_unordered_scheduled(
         iterations,
         stats,
         final_modularity,
+        refinement: None,
     }
 }
 
@@ -414,7 +389,9 @@ pub(crate) fn colored_collect_moves(
     converged
 }
 
-/// Runs one **colored** parallel phase to convergence.
+/// Runs one **colored** parallel phase to convergence under an explicit
+/// [`Convergence`] policy — the colored side of the convergence engine,
+/// behind [`crate::PhaseDriver::run_colored`].
 ///
 /// `batches` partitions the vertices into independent sets (distance-1 color
 /// classes) under [`ColorBatches`]' stable-ordering guarantee. Within an
@@ -425,32 +402,14 @@ pub(crate) fn colored_collect_moves(
 /// the whole phase stays bitwise deterministic across thread counts.
 ///
 /// Per-iteration bookkeeping is incremental, as in
-/// [`parallel_phase_unordered`]: community degrees, sizes, and the
+/// [`unordered_scheduled_impl`]: community degrees, sizes, and the
 /// `Σ e_in` / `Σ a_C²` terms are carried across batches and updated only for
 /// committed moves ([`ModularityTracker::apply_independent_batch`], exact
 /// precisely because a batch's movers form an independent set), replacing
 /// the historical per-iteration O(m) modularity rescan with O(#moves)
 /// accounting. The rescan survives as a `debug_assert` cross-check here and
-/// as the retained [`crate::reference::parallel_phase_colored_rescan`]
-/// differential baseline.
-pub fn parallel_phase_colored(
-    g: &CsrGraph,
-    batches: &ColorBatches,
-    threshold: f64,
-    max_iterations: usize,
-    resolution: f64,
-) -> PhaseOutcome {
-    parallel_phase_colored_sweep(
-        g,
-        batches,
-        SweepMode::Full,
-        threshold,
-        max_iterations,
-        resolution,
-    )
-}
-
-/// [`parallel_phase_colored`] with an explicit sweep schedule.
+/// as the retained [`crate::reference::colored_rescan_impl`] differential
+/// baseline.
 ///
 /// Under [`SweepMode::Active`] each color batch is filtered to its active
 /// vertices ([`ColorBatches::filter_batch_into`]) before the batch decision
@@ -463,26 +422,6 @@ pub fn parallel_phase_colored(
 /// frontier. As in the unordered sweep, pruning is deferred until an
 /// iteration's move count drops to the [`ActiveSet::engages`] bound — dense
 /// iterations run the plain path, bitwise identical to `Full`.
-pub fn parallel_phase_colored_sweep(
-    g: &CsrGraph,
-    batches: &ColorBatches,
-    sweep: SweepMode,
-    threshold: f64,
-    max_iterations: usize,
-    resolution: f64,
-) -> PhaseOutcome {
-    parallel_phase_colored_scheduled(
-        g,
-        batches,
-        sweep,
-        &Convergence::fixed(threshold),
-        max_iterations,
-        resolution,
-    )
-}
-
-/// [`parallel_phase_colored_sweep`] under an explicit [`Convergence`]
-/// policy — the colored side of the convergence engine.
 ///
 /// The per-vertex gain gate is applied inside each batch's decision pass
 /// ([`colored_decide_batch`]): a gated vertex stays put, so it neither
@@ -493,7 +432,7 @@ pub fn parallel_phase_colored_sweep(
 /// index) keeps the whole phase bitwise deterministic across thread counts.
 /// `Convergence::fixed(θ)` reproduces the fixed-threshold colored sweep
 /// bit-for-bit.
-pub fn parallel_phase_colored_scheduled(
+pub(crate) fn colored_scheduled_impl(
     g: &CsrGraph,
     batches: &ColorBatches,
     sweep: SweepMode,
@@ -622,6 +561,7 @@ pub fn parallel_phase_colored_scheduled(
         iterations,
         stats,
         final_modularity,
+        refinement: None,
     }
 }
 
@@ -637,6 +577,69 @@ mod tests {
     fn classes_of(g: &CsrGraph) -> ColorBatches {
         let coloring = color_parallel(g, &ParallelColoringConfig::default());
         ColorBatches::from_coloring(&coloring)
+    }
+
+    // The historical fixed-threshold entry signatures, kept local so the
+    // tests keep reading like the paper's experiments; production callers go
+    // through `crate::PhaseDriver`.
+    fn parallel_phase_unordered(
+        g: &CsrGraph,
+        threshold: f64,
+        max_iterations: usize,
+        resolution: f64,
+    ) -> PhaseOutcome {
+        parallel_phase_unordered_sweep(g, SweepMode::Full, threshold, max_iterations, resolution)
+    }
+
+    fn parallel_phase_unordered_sweep(
+        g: &CsrGraph,
+        sweep: SweepMode,
+        threshold: f64,
+        max_iterations: usize,
+        resolution: f64,
+    ) -> PhaseOutcome {
+        unordered_scheduled_impl(
+            g,
+            sweep,
+            &Convergence::fixed(threshold),
+            max_iterations,
+            resolution,
+        )
+    }
+
+    fn parallel_phase_colored(
+        g: &CsrGraph,
+        batches: &ColorBatches,
+        threshold: f64,
+        max_iterations: usize,
+        resolution: f64,
+    ) -> PhaseOutcome {
+        parallel_phase_colored_sweep(
+            g,
+            batches,
+            SweepMode::Full,
+            threshold,
+            max_iterations,
+            resolution,
+        )
+    }
+
+    fn parallel_phase_colored_sweep(
+        g: &CsrGraph,
+        batches: &ColorBatches,
+        sweep: SweepMode,
+        threshold: f64,
+        max_iterations: usize,
+        resolution: f64,
+    ) -> PhaseOutcome {
+        colored_scheduled_impl(
+            g,
+            batches,
+            sweep,
+            &Convergence::fixed(threshold),
+            max_iterations,
+            resolution,
+        )
     }
 
     #[test]

@@ -1,7 +1,14 @@
 //! Shared types and helpers for one Louvain phase (the iteration loop of
-//! Algorithm 1 on a fixed graph).
+//! Algorithm 1 on a fixed graph), and the [`PhaseDriver`] — the single
+//! public entry point that resolves sweep mode × schedule × accounting ×
+//! refinement from a [`LouvainConfig`] and runs one phase.
 
+use crate::config::{ColoredAccounting, LouvainConfig, RefineMode, SweepMode};
 use crate::modularity::Community;
+use crate::refine::RefineStats;
+use crate::schedule::Convergence;
+use grappolo_coloring::ColorBatches;
+use grappolo_graph::CsrGraph;
 
 /// Per-iteration convergence-engine telemetry: what the schedule gated and
 /// what the sweep actually examined. Parallel to
@@ -31,8 +38,13 @@ pub struct PhaseOutcome {
     pub iterations: Vec<(f64, usize)>,
     /// Per-iteration schedule telemetry, parallel to `iterations`.
     pub stats: Vec<IterationStats>,
-    /// Modularity after the last iteration.
+    /// Modularity after the last iteration — and after refinement, when the
+    /// driver ran one (refinement never lowers it).
     pub final_modularity: f64,
+    /// What the Leiden-style refinement pass did, when the driver ran one
+    /// ([`RefineMode::Leiden`]); `None` under [`RefineMode::None`] and for
+    /// outcomes produced by the deprecated direct entry points.
+    pub refinement: Option<RefineStats>,
 }
 
 impl PhaseOutcome {
@@ -49,6 +61,133 @@ impl PhaseOutcome {
             iterations: Vec::new(),
             stats: Vec::new(),
             final_modularity: 0.0,
+            refinement: None,
+        }
+    }
+}
+
+/// The unified phase entry point: one configured runner for every sweep
+/// variant the crate ships. Replaces the historical
+/// `parallel_phase_unordered` / `parallel_phase_colored` / `serial_phase`
+/// `*_sweep` / `*_scheduled` / `*_rescan` ladder (now thin deprecated
+/// wrappers in [`crate::reference`]).
+///
+/// A driver is resolved once per phase from the [`LouvainConfig`] — sweep
+/// mode, threshold schedule, colored accounting, and refinement — via
+/// [`PhaseDriver::from_config`], then run with [`PhaseDriver::run`]
+/// (serial or unordered, per the config) or [`PhaseDriver::run_colored`]
+/// (colored batches). When the config selects [`RefineMode::Leiden`], the
+/// runner applies [`crate::refine::refine_phase`] to the converged assignment before
+/// returning, records the [`RefineStats`] in
+/// [`PhaseOutcome::refinement`], and reports the refined modularity as
+/// [`PhaseOutcome::final_modularity`].
+///
+/// Every path preserves the repo's determinism contract: outcomes are
+/// bitwise identical across thread counts. Note the serial path is
+/// rayon-free only in its sweep; refinement and the colored/unordered paths
+/// use the ambient pool (the multi-phase driver pins serial runs to a
+/// 1-thread pool).
+#[derive(Clone, Debug)]
+pub struct PhaseDriver {
+    serial: bool,
+    sweep: SweepMode,
+    accounting: ColoredAccounting,
+    refine: RefineMode,
+    conv: Convergence,
+    threshold: f64,
+    max_iterations: usize,
+    resolution: f64,
+}
+
+impl PhaseDriver {
+    /// Resolves a driver from `config` and the phase's aggregate threshold
+    /// θ (`colored_threshold` for colored phases, `final_threshold`
+    /// otherwise — the multi-phase driver picks; standalone callers usually
+    /// pass `config.final_threshold`). The caller is expected to have run
+    /// [`LouvainConfig::validate`] (the builder does); invalid combinations
+    /// like rescan×active never reach this point through validated configs.
+    pub fn from_config(config: &LouvainConfig, phase_threshold: f64) -> Self {
+        Self {
+            serial: !config.parallel,
+            sweep: config.sweep_mode,
+            accounting: config.colored_accounting,
+            refine: config.refine,
+            conv: config.convergence(phase_threshold),
+            threshold: phase_threshold,
+            max_iterations: config.max_iterations_per_phase,
+            resolution: config.resolution,
+        }
+    }
+
+    /// Runs one uncolored phase to convergence: the faithful serial sweep
+    /// when the config selected `parallel = false`, the unordered parallel
+    /// sweep otherwise. Applies refinement per the config.
+    pub fn run(&self, g: &CsrGraph) -> PhaseOutcome {
+        let mut outcome = if self.serial {
+            crate::serial::serial_scheduled_impl(
+                g,
+                self.sweep,
+                &self.conv,
+                self.max_iterations,
+                self.resolution,
+            )
+        } else {
+            crate::parallel::unordered_scheduled_impl(
+                g,
+                self.sweep,
+                &self.conv,
+                self.max_iterations,
+                self.resolution,
+            )
+        };
+        self.finish(g, &mut outcome);
+        outcome
+    }
+
+    /// Runs one colored phase to convergence over `batches` (distance-1
+    /// color classes): the incremental barrier-batch sweep, or the
+    /// historical O(m)-rescan reference under
+    /// [`ColoredAccounting::Rescan`]. Applies refinement per the config.
+    pub fn run_colored(&self, g: &CsrGraph, batches: &ColorBatches) -> PhaseOutcome {
+        let mut outcome = match self.accounting {
+            ColoredAccounting::Incremental => crate::parallel::colored_scheduled_impl(
+                g,
+                batches,
+                self.sweep,
+                &self.conv,
+                self.max_iterations,
+                self.resolution,
+            ),
+            // The rescan reference is full-sweep, fixed-threshold, ungated,
+            // and unrefined-compatible by definition; `validate()` rejects
+            // every other combination.
+            ColoredAccounting::Rescan => crate::reference::colored_rescan_impl(
+                g,
+                batches,
+                self.threshold,
+                self.max_iterations,
+                self.resolution,
+            ),
+        };
+        self.finish(g, &mut outcome);
+        outcome
+    }
+
+    /// The post-sweep refinement hook — the one place refinement slots into
+    /// every phase variant.
+    fn finish(&self, g: &CsrGraph, outcome: &mut PhaseOutcome) {
+        if self.refine == RefineMode::Leiden {
+            // The phase already tracked the converged assignment's
+            // modularity — hand it over so refinement skips its standalone
+            // entry point's full rescan.
+            let stats = crate::refine::refine_phase_from(
+                g,
+                &mut outcome.assignment,
+                self.resolution,
+                outcome.final_modularity,
+            );
+            outcome.final_modularity = stats.refined_modularity;
+            outcome.refinement = Some(stats);
         }
     }
 }
@@ -122,7 +261,51 @@ mod tests {
             iterations: vec![(0.1, 2), (0.2, 1)],
             stats: Vec::new(),
             final_modularity: 0.2,
+            refinement: None,
         };
         assert_eq!(o.num_iterations(), 2);
+    }
+
+    #[test]
+    fn driver_matrix_runs_and_refines() {
+        use crate::config::RefineMode;
+        use grappolo_graph::gen::{ring_of_cliques, CliqueRingConfig};
+
+        let (g, _) = ring_of_cliques(&CliqueRingConfig {
+            num_cliques: 6,
+            clique_size: 5,
+            ..Default::default()
+        });
+        for parallel in [false, true] {
+            for refine in [RefineMode::None, RefineMode::Leiden] {
+                let config = LouvainConfig {
+                    parallel,
+                    refine,
+                    ..LouvainConfig::default()
+                };
+                let driver = PhaseDriver::from_config(&config, 1e-6);
+                let out = driver.run(&g);
+                assert!(out.final_modularity > 0.7, "parallel={parallel}");
+                assert_eq!(out.refinement.is_some(), refine == RefineMode::Leiden);
+                if let Some(stats) = out.refinement {
+                    assert!(stats.refined_modularity >= stats.pre_modularity);
+                }
+            }
+        }
+        // Colored path, both accounting modes, through the same driver.
+        let coloring = grappolo_coloring::color_parallel(
+            &g,
+            &grappolo_coloring::ParallelColoringConfig::default(),
+        );
+        let batches = ColorBatches::from_coloring(&coloring);
+        for accounting in [ColoredAccounting::Incremental, ColoredAccounting::Rescan] {
+            let config = LouvainConfig {
+                colored_accounting: accounting,
+                ..LouvainConfig::default()
+            };
+            let driver = PhaseDriver::from_config(&config, 1e-6);
+            let out = driver.run_colored(&g, &batches);
+            assert!(out.final_modularity > 0.7, "{accounting:?}");
+        }
     }
 }

@@ -22,18 +22,8 @@ use crate::phase::{IterationStats, PhaseOutcome};
 use crate::schedule::Convergence;
 use grappolo_graph::{CsrGraph, VertexId};
 
-/// Runs one serial phase to convergence with net-gain `threshold` and the
-/// full-sweep schedule — see [`serial_phase_sweep`].
-pub fn serial_phase(
-    g: &CsrGraph,
-    threshold: f64,
-    max_iterations: usize,
-    resolution: f64,
-) -> PhaseOutcome {
-    serial_phase_sweep(g, SweepMode::Full, threshold, max_iterations, resolution)
-}
-
-/// Runs one serial phase to convergence with net-gain `threshold`.
+/// Runs one serial phase to convergence under an explicit [`Convergence`]
+/// policy — the serial arm of [`crate::PhaseDriver::run`].
 ///
 /// `max_iterations` caps the loop (safety); `resolution` is γ in Q_γ.
 /// `sweep` selects the iteration schedule: [`SweepMode::Full`] scans all
@@ -45,23 +35,6 @@ pub fn serial_phase(
 /// [`ActiveSet::engages`] bound (dense iterations are identical to `Full`);
 /// the [`ActiveSet`] rebuild is the only extra work, and this module stays
 /// rayon-free either way.
-pub fn serial_phase_sweep(
-    g: &CsrGraph,
-    sweep: SweepMode,
-    threshold: f64,
-    max_iterations: usize,
-    resolution: f64,
-) -> PhaseOutcome {
-    serial_phase_scheduled(
-        g,
-        sweep,
-        &Convergence::fixed(threshold),
-        max_iterations,
-        resolution,
-    )
-}
-
-/// [`serial_phase_sweep`] under an explicit [`Convergence`] policy.
 ///
 /// The per-vertex gain gate applies to each immediately-committed decision:
 /// a gated vertex stays put and counts as locally converged, exactly as in
@@ -69,7 +42,7 @@ pub fn serial_phase_sweep(
 /// test itself is identical). `Convergence::fixed(θ)` reproduces the
 /// historical serial sweep bit-for-bit; this module stays rayon-free under
 /// every policy.
-pub fn serial_phase_scheduled(
+pub(crate) fn serial_scheduled_impl(
     g: &CsrGraph,
     sweep: SweepMode,
     conv: &Convergence,
@@ -185,6 +158,7 @@ pub fn serial_phase_scheduled(
         iterations,
         stats,
         final_modularity,
+        refinement: None,
     }
 }
 
@@ -223,6 +197,33 @@ mod tests {
     use crate::modularity::modularity;
     use grappolo_graph::from_unweighted_edges;
     use grappolo_graph::gen::{ring_of_cliques, CliqueRingConfig};
+
+    // The historical fixed-threshold serial entry signatures, kept local for
+    // the tests; production callers go through `crate::PhaseDriver`.
+    fn serial_phase(
+        g: &CsrGraph,
+        threshold: f64,
+        max_iterations: usize,
+        resolution: f64,
+    ) -> PhaseOutcome {
+        serial_phase_sweep(g, SweepMode::Full, threshold, max_iterations, resolution)
+    }
+
+    fn serial_phase_sweep(
+        g: &CsrGraph,
+        sweep: SweepMode,
+        threshold: f64,
+        max_iterations: usize,
+        resolution: f64,
+    ) -> PhaseOutcome {
+        serial_scheduled_impl(
+            g,
+            sweep,
+            &Convergence::fixed(threshold),
+            max_iterations,
+            resolution,
+        )
+    }
 
     #[test]
     fn serial_modularity_matches_parallel_kernel() {

@@ -11,13 +11,22 @@
 //!   tests).
 //! * [`nmi`] — normalized mutual information, a standard independent check.
 //! * [`perf_profile`] — the ratio-to-best performance profiles of Fig. 10.
+//! * [`connectivity`] — the internal-connectivity audit (disconnected-
+//!   community fraction, per-community internal conductance) behind the
+//!   Leiden-style refinement's acceptance tests and the CLI `audit`
+//!   subcommand.
 
 #![warn(missing_docs)]
 
+pub mod connectivity;
 pub mod nmi;
 pub mod pairwise;
 pub mod perf_profile;
 
+pub use connectivity::{
+    audit_communities, connectivity_report, dendrogram_report, CommunityConnectivity,
+    ConnectivityReport,
+};
 pub use nmi::normalized_mutual_information;
 pub use pairwise::{pairwise_comparison, pairwise_comparison_bruteforce, PairwiseMetrics};
 pub use perf_profile::{PerfProfile, ProfileCurve};

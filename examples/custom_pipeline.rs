@@ -4,7 +4,6 @@
 //! Run with: `cargo run --release --example custom_pipeline`
 
 use grappolo::coloring::is_valid_distance1;
-use grappolo::core::parallel::parallel_phase_colored;
 use grappolo::prelude::*;
 
 fn main() {
@@ -27,7 +26,11 @@ fn main() {
 
     // --- 2. Drive a single colored phase directly. ------------------------
     let batches = ColorBatches::from_coloring(&coloring);
-    let phase = parallel_phase_colored(&graph, &batches, 1e-2, 100, 1.0);
+    let phase_config = LouvainConfig {
+        max_iterations_per_phase: 100,
+        ..LouvainConfig::default()
+    };
+    let phase = PhaseDriver::from_config(&phase_config, 1e-2).run_colored(&graph, &batches);
     println!(
         "one colored phase: Q = {:.4} after {} iterations",
         phase.final_modularity,

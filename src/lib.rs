@@ -58,9 +58,11 @@ pub mod prelude {
         ColoringStats, ParallelColoringConfig,
     };
     pub use crate::core::{
-        detect_communities, detect_with_scheme, modularity, modularity_with_resolution,
-        ColoredAccounting, ColoringSchedule, CommunityResult, Dendrogram, LouvainConfig,
-        RebuildStrategy, RenumberStrategy, RunTrace, Scheme, SweepMode,
+        detect_communities, detect_with_scheme, geometric_for, modularity,
+        modularity_with_resolution, ColoredAccounting, ColoringSchedule, CommunityResult,
+        Dendrogram, LouvainConfig, LouvainConfigBuilder, PhaseDriver, PhaseOutcome,
+        RebuildStrategy, RefineMode, RefineStats, RenumberStrategy, RunTrace, ScheduleSpec, Scheme,
+        SweepMode,
     };
     pub use crate::graph::gen::paper_suite::{PaperInput, PaperReference};
     pub use crate::graph::gen::{
@@ -73,6 +75,7 @@ pub mod prelude {
         MergePolicy, VertexId,
     };
     pub use crate::metrics::{
-        normalized_mutual_information, pairwise_comparison, PairwiseMetrics, PerfProfile,
+        connectivity_report, normalized_mutual_information, pairwise_comparison,
+        ConnectivityReport, PairwiseMetrics, PerfProfile,
     };
 }

@@ -1,13 +1,18 @@
 //! Edge cases and failure injection across the public API: degenerate
 //! graphs, malformed inputs, extreme configurations, and panic contracts.
+//!
+//! The colored differential cases pin the historical fixed-threshold entry
+//! points (deprecated wrappers in `grappolo::core::reference`) against the
+//! rescan reference on purpose — those exact call shapes are the contract
+//! the wrappers keep.
+#![allow(deprecated)]
 
 use grappolo::coloring::color_parallel;
 use grappolo::core::config::LouvainConfig;
 use grappolo::core::modularity::{
     community_degrees, community_sizes, IndependentMove, ModularityTracker, NeighborScratch,
 };
-use grappolo::core::parallel::parallel_phase_colored;
-use grappolo::core::reference::parallel_phase_colored_rescan;
+use grappolo::core::reference::{parallel_phase_colored, parallel_phase_colored_rescan};
 use grappolo::graph::io;
 use grappolo::prelude::*;
 
