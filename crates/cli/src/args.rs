@@ -38,6 +38,17 @@ USAGE:
       pipeline) or `leiden` (split internally disconnected communities into
       connected sub-communities and re-absorb profitable singletons before
       each rebuild; deterministic, never lowers modularity)
+  grappolo update <graph-file> <assignments-file> <batch-file>
+                  [--assignments-out FILE] [--graph-out FILE]
+                  [--threads N] [--gamma F] [--fallback F]
+      apply a batch of edge deltas and re-converge the communities locally
+      around the changed edges (incremental; untouched regions keep their
+      labels bitwise). Batch file, one delta per line (`#` comments):
+        + u v [w]   insert edge (default weight 1; duplicates merge by sum)
+        - u v       delete edge
+        = u v w     reweight edge
+      --fallback: fraction of changed edges above which the update reruns
+      detection from scratch instead (default 0.25)
   grappolo audit <graph-file> <assignments-file>
       print the connectivity report for an assignment: communities,
       internally disconnected count/fraction, min internal conductance
@@ -94,6 +105,26 @@ pub enum Command {
         /// Post-sweep refinement mode.
         refine: RefineMode,
     },
+    /// Apply a batch of edge deltas and re-converge incrementally.
+    Update {
+        /// Graph path.
+        graph: PathBuf,
+        /// Previous assignment path (`vertex community` lines).
+        assignments: PathBuf,
+        /// Edge-delta batch path (`+ u v [w]` / `- u v` / `= u v w` lines).
+        batch: PathBuf,
+        /// Where to write the updated assignment.
+        assignments_out: Option<PathBuf>,
+        /// Where to write the updated graph.
+        graph_out: Option<PathBuf>,
+        /// Thread count (None = default).
+        threads: Option<usize>,
+        /// Resolution γ.
+        gamma: f64,
+        /// Changed-edge fraction above which the update falls back to
+        /// from-scratch detection.
+        fallback: f64,
+    },
     /// Audit an assignment's internal connectivity.
     Audit {
         /// Graph path.
@@ -139,6 +170,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             Ok(Command::Stats { path: path.into() })
         }
         "detect" => parse_detect(&rest),
+        "update" => parse_update(&rest),
         "audit" => {
             let graph = positional(&rest, 0, "graph-file")?;
             let assignments = positional(&rest, 1, "assignments-file")?;
@@ -274,6 +306,35 @@ fn parse_detect(rest: &[&str]) -> Result<Command, String> {
     })
 }
 
+fn parse_update(rest: &[&str]) -> Result<Command, String> {
+    let graph = positional(rest, 0, "graph-file")?;
+    let assignments = positional(rest, 1, "assignments-file")?;
+    let batch = positional(rest, 2, "batch-file")?;
+    let assignments_out = flag_value(rest, "--assignments-out")?.map(PathBuf::from);
+    let graph_out = flag_value(rest, "--graph-out")?.map(PathBuf::from);
+    let threads = flag_value(rest, "--threads")?
+        .map(|v| v.parse().map_err(|e| format!("bad --threads: {e}")))
+        .transpose()?;
+    let gamma: f64 = flag_value(rest, "--gamma")?
+        .map(|v| v.parse().map_err(|e| format!("bad --gamma: {e}")))
+        .transpose()?
+        .unwrap_or(1.0);
+    let fallback: f64 = flag_value(rest, "--fallback")?
+        .map(|v| v.parse().map_err(|e| format!("bad --fallback: {e}")))
+        .transpose()?
+        .unwrap_or(grappolo_core::config::DYNAMIC_FALLBACK_FRACTION);
+    Ok(Command::Update {
+        graph: graph.into(),
+        assignments: assignments.into(),
+        batch: batch.into(),
+        assignments_out,
+        graph_out,
+        threads,
+        gamma,
+        fallback,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -360,6 +421,49 @@ mod tests {
         }
         assert!(parse(&args("detect g.bin --refine louvain")).is_err());
         assert!(parse(&args("detect g.bin --refine")).is_err());
+    }
+
+    #[test]
+    fn parses_update() {
+        let cmd = parse(&args(
+            "update g.grb prev.txt batch.txt --assignments-out next.txt --threads 8 \
+             --gamma 1.5 --fallback 0.5",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Update {
+                graph: "g.grb".into(),
+                assignments: "prev.txt".into(),
+                batch: "batch.txt".into(),
+                assignments_out: Some("next.txt".into()),
+                graph_out: None,
+                threads: Some(8),
+                gamma: 1.5,
+                fallback: 0.5,
+            }
+        );
+        // Defaults.
+        match parse(&args("update g.grb prev.txt batch.txt")).unwrap() {
+            Command::Update {
+                gamma,
+                fallback,
+                threads,
+                assignments_out,
+                graph_out,
+                ..
+            } => {
+                assert_eq!(gamma, 1.0);
+                assert_eq!(fallback, grappolo_core::config::DYNAMIC_FALLBACK_FRACTION);
+                assert_eq!(threads, None);
+                assert_eq!(assignments_out, None);
+                assert_eq!(graph_out, None);
+            }
+            _ => panic!(),
+        }
+        // All three positionals are required.
+        assert!(parse(&args("update g.grb prev.txt")).is_err());
+        assert!(parse(&args("update g.grb prev.txt batch.txt --threads")).is_err());
     }
 
     #[test]

@@ -3,14 +3,14 @@
 use crate::args::{Command, USAGE};
 use grappolo_coloring::{balance_colors, color_parallel, ColoringStats, ParallelColoringConfig};
 use grappolo_core::{
-    detect_communities, geometric_for, ColoredAccounting, LouvainConfigBuilder, RefineMode,
-    ScheduleMode, ScheduleSpec, Scheme, SweepMode,
+    detect_communities, geometric_for, update_communities, ColoredAccounting, LouvainConfig,
+    LouvainConfigBuilder, RefineMode, ScheduleMode, ScheduleSpec, Scheme, SweepMode,
 };
 use grappolo_graph::gen::paper_suite::PaperInput;
 use grappolo_graph::gen::{
     erdos_renyi, planted_partition, rmat, ErConfig, PlantedConfig, RmatConfig,
 };
-use grappolo_graph::{io, CsrGraph, GraphStats};
+use grappolo_graph::{io, CsrGraph, EdgeDelta, GraphStats};
 use grappolo_metrics::{connectivity_report, normalized_mutual_information, pairwise_comparison};
 use std::path::Path;
 use std::time::Instant;
@@ -55,6 +55,25 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             refine,
         ),
         Command::Audit { graph, assignments } => audit(&graph, &assignments),
+        Command::Update {
+            graph,
+            assignments,
+            batch,
+            assignments_out,
+            graph_out,
+            threads,
+            gamma,
+            fallback,
+        } => update(
+            &graph,
+            &assignments,
+            &batch,
+            assignments_out.as_deref(),
+            graph_out.as_deref(),
+            threads,
+            gamma,
+            fallback,
+        ),
         Command::Color { path, balanced } => color(&path, balanced),
         Command::Compare { a, b } => compare(&a, &b),
         Command::Convert { input, output } => convert(&input, &output),
@@ -231,18 +250,22 @@ fn audit(graph: &Path, assignments: &Path) -> Result<(), String> {
     let assignment = read_assignments(assignments)?;
     if assignment.len() > g.num_vertices() {
         return Err(format!(
-            "assignment covers {} vertices but the graph has {}",
+            "assignment has {} entries, graph has {} vertices",
             assignment.len(),
             g.num_vertices()
         ));
     }
     // Files may omit trailing isolated vertices; pad them as singletons
-    // with fresh labels so the audit covers the whole graph.
+    // with fresh labels so the audit covers the whole graph, and say so.
     let mut assignment = assignment;
+    let padded = g.num_vertices() - assignment.len();
     let mut next = assignment.iter().copied().max().map_or(0, |c| c + 1);
     while assignment.len() < g.num_vertices() {
         assignment.push(next);
         next += 1;
+    }
+    if padded > 0 {
+        println!("note: padded {padded} trailing vertices as singletons");
     }
     let t = Instant::now();
     let report = connectivity_report(&g, &assignment);
@@ -263,6 +286,135 @@ fn audit(graph: &Path, assignments: &Path) -> Result<(), String> {
         }
     );
     println!("audit time                {:.2?}", t.elapsed());
+    Ok(())
+}
+
+/// Parses an edge-delta batch file: one operation per line, `#` comments.
+///
+/// ```text
+/// + u v [w]   insert (weight defaults to 1; duplicates of an existing
+///             edge merge by summation, like builder input)
+/// - u v       delete an existing edge
+/// = u v w     set the weight of an existing edge
+/// ```
+///
+/// Errors carry `file:line:` prefixes so a bad batch points at itself.
+fn read_edge_batch(path: &Path) -> Result<Vec<EdgeDelta>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let mut batch = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let lineno = idx + 1;
+        let at = |msg: String| format!("{}:{}: {msg}", path.display(), lineno);
+        let mut it = line.split_whitespace();
+        let op = it.next().unwrap();
+        let mut vertex = |name: &str| -> Result<u32, String> {
+            it.next()
+                .ok_or_else(|| at(format!("missing {name} vertex")))?
+                .parse()
+                .map_err(|e| at(format!("bad {name} vertex: {e}")))
+        };
+        let u = vertex("source")?;
+        let v = vertex("target")?;
+        let mut weight = |required: bool| -> Result<Option<f64>, String> {
+            match it.next() {
+                Some(tok) => tok
+                    .parse()
+                    .map(Some)
+                    .map_err(|e| at(format!("bad weight: {e}"))),
+                None if required => Err(at("missing weight".into())),
+                None => Ok(None),
+            }
+        };
+        let delta = match op {
+            "+" => EdgeDelta::Insert {
+                u,
+                v,
+                weight: weight(false)?.unwrap_or(1.0),
+            },
+            "-" => EdgeDelta::Delete { u, v },
+            "=" => EdgeDelta::Reweight {
+                u,
+                v,
+                weight: weight(true)?.unwrap(),
+            },
+            other => {
+                return Err(at(format!(
+                    "unknown operation `{other}` (expected `+`, `-`, or `=`)"
+                )))
+            }
+        };
+        if it.next().is_some() {
+            return Err(at("trailing tokens after operation".into()));
+        }
+        batch.push(delta);
+    }
+    Ok(batch)
+}
+
+/// The `update` subcommand: apply a batch of edge deltas to a stored
+/// graph and incrementally re-converge the stored assignment.
+#[allow(clippy::too_many_arguments)]
+fn update(
+    graph: &Path,
+    assignments: &Path,
+    batch: &Path,
+    assignments_out: Option<&Path>,
+    graph_out: Option<&Path>,
+    threads: Option<usize>,
+    gamma: f64,
+    fallback: f64,
+) -> Result<(), String> {
+    let g = load(graph)?;
+    let assignment = read_assignments(assignments)?;
+    if assignment.len() != g.num_vertices() {
+        return Err(format!(
+            "assignment has {} entries, graph has {} vertices",
+            assignment.len(),
+            g.num_vertices()
+        ));
+    }
+    let deltas = read_edge_batch(batch)?;
+    let config = LouvainConfig::builder()
+        .sweep(SweepMode::Active)
+        .resolution(gamma)
+        .threads(threads)
+        .dynamic_fallback(fallback)
+        .build()?;
+    let t = Instant::now();
+    let outcome = update_communities(&g, &assignment, None, &deltas, &config)?;
+    println!(
+        "update: {} changed edges, {} seed vertices → {} communities, Q = {:.6}, \
+         {} iterations{}, {:.2?}",
+        outcome.changed_edges,
+        outcome.seed_vertices,
+        outcome.num_communities,
+        outcome.modularity,
+        outcome.iterations,
+        if outcome.fell_back {
+            " (dense batch; fell back to full detection)"
+        } else {
+            ""
+        },
+        t.elapsed()
+    );
+    if let Some(out) = assignments_out {
+        let mut text = String::with_capacity(outcome.assignment.len() * 8);
+        for (v, c) in outcome.assignment.iter().enumerate() {
+            text.push_str(&format!("{v} {c}\n"));
+        }
+        std::fs::write(out, text).map_err(|e| format!("writing {}: {e}", out.display()))?;
+        println!("assignments → {}", out.display());
+    }
+    if let Some(out) = graph_out {
+        io::save_path(&outcome.graph, out)
+            .map_err(|e| format!("writing {}: {e}", out.display()))?;
+        println!("graph → {}", out.display());
+    }
     Ok(())
 }
 
@@ -293,10 +445,15 @@ fn color(path: &Path, balanced: bool) -> Result<(), String> {
 }
 
 /// Reads a `vertex community` assignment file into a dense vector.
+///
+/// The file must name every vertex `0..n` exactly once (`n` is one past
+/// the largest id that appears). A duplicate vertex line or a hole in
+/// the id space is a formatting error reported with line numbers, not
+/// something to paper over with a sentinel label.
 pub fn read_assignments(path: &Path) -> Result<Vec<u32>, String> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
-    let mut pairs: Vec<(usize, u32)> = Vec::new();
+    let mut pairs: Vec<(usize, u32, usize)> = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
@@ -313,15 +470,30 @@ pub fn read_assignments(path: &Path) -> Result<Vec<u32>, String> {
             .ok_or_else(|| format!("{}:{}: missing community", path.display(), lineno + 1))?
             .parse()
             .map_err(|e| format!("{}:{}: bad community: {e}", path.display(), lineno + 1))?;
-        pairs.push((v, c));
+        pairs.push((v, c, lineno + 1));
     }
-    let n = pairs.iter().map(|&(v, _)| v + 1).max().unwrap_or(0);
-    let mut out = vec![u32::MAX; n];
-    for (v, c) in pairs {
+    let n = pairs.iter().map(|&(v, _, _)| v + 1).max().unwrap_or(0);
+    let mut out = vec![0u32; n];
+    // Line number that assigned each vertex; 0 marks "not yet seen".
+    let mut seen_at = vec![0usize; n];
+    for (v, c, lineno) in pairs {
+        if seen_at[v] != 0 {
+            return Err(format!(
+                "{}:{}: duplicate assignment for vertex {v} (first assigned at line {})",
+                path.display(),
+                lineno,
+                seen_at[v]
+            ));
+        }
+        seen_at[v] = lineno;
         out[v] = c;
     }
-    if let Some(v) = out.iter().position(|&c| c == u32::MAX) {
-        return Err(format!("{}: vertex {v} has no assignment", path.display()));
+    if let Some(v) = seen_at.iter().position(|&l| l == 0) {
+        return Err(format!(
+            "{}: vertex {v} has no assignment (the file names vertices up to {})",
+            path.display(),
+            n - 1
+        ));
     }
     Ok(out)
 }
@@ -621,10 +793,188 @@ mod tests {
     fn read_assignments_validates() {
         let p = tmp("holes.txt");
         std::fs::write(&p, "0 1\n2 1\n").unwrap(); // vertex 1 missing
-        assert!(read_assignments(&p).is_err());
+        let err = read_assignments(&p).unwrap_err();
+        assert!(err.contains("vertex 1 has no assignment"), "{err}");
         let q = tmp("bad.txt");
         std::fs::write(&q, "x y\n").unwrap();
         assert!(read_assignments(&q).is_err());
+    }
+
+    #[test]
+    fn read_assignments_rejects_duplicate_vertex_lines() {
+        let p = tmp("dups.txt");
+        std::fs::write(&p, "0 1\n1 2\n# comment\n1 3\n2 0\n").unwrap();
+        let err = read_assignments(&p).unwrap_err();
+        // Both the offending line and the original are named.
+        assert!(err.contains(":4:"), "{err}");
+        assert!(err.contains("duplicate assignment for vertex 1"), "{err}");
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn audit_reports_length_mismatch() {
+        let graph_path = tmp("audlen.grb");
+        execute(Command::Generate {
+            input: "planted".into(),
+            scale: 0.02,
+            seed: 7,
+            output: graph_path.clone(),
+        })
+        .unwrap();
+        let g = io::load_path(&graph_path).unwrap();
+        let n = g.num_vertices();
+        // One entry more than the graph has vertices.
+        let assign_path = tmp("audlen_a.txt");
+        let mut text = String::new();
+        for v in 0..=n {
+            text.push_str(&format!("{v} 0\n"));
+        }
+        std::fs::write(&assign_path, text).unwrap();
+        let err = execute(Command::Audit {
+            graph: graph_path,
+            assignments: assign_path,
+        })
+        .unwrap_err();
+        assert!(
+            err.contains(&format!("assignment has {} entries", n + 1))
+                && err.contains(&format!("graph has {n} vertices")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn read_edge_batch_parses_and_reports_line_errors() {
+        let p = tmp("batch_ok.txt");
+        std::fs::write(&p, "# comment\n+ 0 1\n+ 1 2 2.5\n- 3 4\n= 5 6 0.5\n").unwrap();
+        let batch = read_edge_batch(&p).unwrap();
+        assert_eq!(
+            batch,
+            vec![
+                EdgeDelta::Insert {
+                    u: 0,
+                    v: 1,
+                    weight: 1.0
+                },
+                EdgeDelta::Insert {
+                    u: 1,
+                    v: 2,
+                    weight: 2.5
+                },
+                EdgeDelta::Delete { u: 3, v: 4 },
+                EdgeDelta::Reweight {
+                    u: 5,
+                    v: 6,
+                    weight: 0.5
+                },
+            ]
+        );
+        for (name, content, needle) in [
+            (
+                "batch_op.txt",
+                "+ 0 1\n* 2 3\n",
+                ":2: unknown operation `*`",
+            ),
+            ("batch_missing.txt", "+ 0\n", ":1: missing target vertex"),
+            ("batch_weight.txt", "= 0 1\n", ":1: missing weight"),
+            ("batch_trail.txt", "- 0 1 9\n", ":1: trailing tokens"),
+            ("batch_vertex.txt", "+ x 1\n", ":1: bad source vertex"),
+        ] {
+            let p = tmp(name);
+            std::fs::write(&p, content).unwrap();
+            let err = read_edge_batch(&p).unwrap_err();
+            assert!(err.contains(needle), "{name}: {err}");
+        }
+    }
+
+    #[test]
+    fn update_round_trip() {
+        // detect → write assignments → apply a small batch with `update`
+        // → the rewritten assignment and graph load back cleanly and the
+        // audit accepts the pair.
+        let graph_path = tmp("upd.grb");
+        execute(Command::Generate {
+            input: "planted".into(),
+            scale: 0.02,
+            seed: 21,
+            output: graph_path.clone(),
+        })
+        .unwrap();
+        let assign_path = tmp("upd_a.txt");
+        execute(Command::Detect {
+            path: graph_path.clone(),
+            scheme: Scheme::Baseline,
+            threads: Some(2),
+            gamma: 1.0,
+            assignments: Some(assign_path.clone()),
+            trace: None,
+            accounting: ColoredAccounting::Incremental,
+            sweep: SweepMode::Active,
+            schedule: ScheduleMode::Fixed,
+            vertex_epsilon: 0.0,
+            refine: RefineMode::None,
+        })
+        .unwrap();
+        let g = io::load_path(&graph_path).unwrap();
+        let (u, v, _) = g.undirected_edges().next().unwrap();
+        let batch_path = tmp("upd_b.txt");
+        std::fs::write(
+            &batch_path,
+            format!("# small perturbation\n= {u} {v} 3.0\n+ 0 1 0.5\n"),
+        )
+        .unwrap();
+        let out_assign = tmp("upd_a2.txt");
+        let out_graph = tmp("upd_g2.grb");
+        execute(Command::Update {
+            graph: graph_path,
+            assignments: assign_path,
+            batch: batch_path,
+            assignments_out: Some(out_assign.clone()),
+            graph_out: Some(out_graph.clone()),
+            threads: Some(2),
+            gamma: 1.0,
+            fallback: grappolo_core::config::DYNAMIC_FALLBACK_FRACTION,
+        })
+        .unwrap();
+        let updated = read_assignments(&out_assign).unwrap();
+        let g2 = io::load_path(&out_graph).unwrap();
+        assert_eq!(updated.len(), g2.num_vertices());
+        assert_eq!(g2.edge_weight(u, v), Some(3.0));
+        execute(Command::Audit {
+            graph: out_graph,
+            assignments: out_assign,
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn update_rejects_mismatched_assignment() {
+        let graph_path = tmp("updmis.grb");
+        execute(Command::Generate {
+            input: "planted".into(),
+            scale: 0.02,
+            seed: 23,
+            output: graph_path.clone(),
+        })
+        .unwrap();
+        let assign_path = tmp("updmis_a.txt");
+        std::fs::write(&assign_path, "0 0\n1 0\n2 1\n").unwrap();
+        let batch_path = tmp("updmis_b.txt");
+        std::fs::write(&batch_path, "+ 0 1\n").unwrap();
+        let err = execute(Command::Update {
+            graph: graph_path,
+            assignments: assign_path,
+            batch: batch_path,
+            assignments_out: None,
+            graph_out: None,
+            threads: Some(1),
+            gamma: 1.0,
+            fallback: grappolo_core::config::DYNAMIC_FALLBACK_FRACTION,
+        })
+        .unwrap_err();
+        assert!(
+            err.contains("assignment has 3 entries") && err.contains("graph has"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -227,6 +227,13 @@ pub struct LouvainConfig {
     pub renumber: RenumberStrategy,
     /// Resolution parameter γ (1.0 = the paper's Eq. 3/4).
     pub resolution: f64,
+    /// Dynamic updates ([`crate::dynamic`]): when a batch's net edge changes
+    /// exceed this fraction of the updated graph's edge count, incremental
+    /// re-convergence falls back to a from-scratch
+    /// [`crate::detect_communities`] run — a dense batch invalidates most of
+    /// the carried state, so local re-optimization would cost full-sweep
+    /// work for worse quality. Must be in [0, 1]; 1.0 disables the fallback.
+    pub dynamic_fallback_fraction: f64,
     /// If set, run inside a dedicated rayon pool with this many threads;
     /// otherwise use the ambient pool.
     pub num_threads: Option<usize>,
@@ -257,6 +264,7 @@ impl Default for LouvainConfig {
             rebuild: RebuildStrategy::StampAggregate,
             renumber: RenumberStrategy::Serial,
             resolution: 1.0,
+            dynamic_fallback_fraction: DYNAMIC_FALLBACK_FRACTION,
             num_threads: None,
         }
     }
@@ -272,6 +280,9 @@ pub const GEOMETRIC_FACTOR: f64 = 0.5;
 /// below the single-unit-edge gain quantum, so at the floor only true
 /// sub-edge noise stays suppressed.
 pub const GEOMETRIC_FLOOR_EDGE_UNITS: f64 = 0.5;
+/// Dynamic-update default: fall back to from-scratch detection once a batch
+/// changes more than a quarter of the graph's edges.
+pub const DYNAMIC_FALLBACK_FRACTION: f64 = 0.25;
 
 impl LouvainConfig {
     /// Convenience: sets the thread count.
@@ -340,6 +351,12 @@ impl LouvainConfig {
                  combine it with sweep_mode = Full"
                     .into(),
             );
+        }
+        if !(self.dynamic_fallback_fraction >= 0.0 && self.dynamic_fallback_fraction <= 1.0) {
+            return Err(format!(
+                "dynamic_fallback_fraction must be in [0, 1], got {}",
+                self.dynamic_fallback_fraction
+            ));
         }
         if !(self.vertex_epsilon >= 0.0) {
             return Err(format!(
@@ -509,6 +526,13 @@ impl LouvainConfigBuilder {
     /// Dedicated-pool thread count (None = ambient pool).
     pub fn threads(mut self, t: Option<usize>) -> Self {
         self.config.num_threads = t;
+        self
+    }
+
+    /// Dynamic-update fallback fraction (see
+    /// [`LouvainConfig::dynamic_fallback_fraction`]).
+    pub fn dynamic_fallback(mut self, fraction: f64) -> Self {
+        self.config.dynamic_fallback_fraction = fraction;
         self
     }
 
@@ -747,6 +771,27 @@ mod tests {
             .refine(RefineMode::Leiden)
             .build()
             .is_ok());
+    }
+
+    #[test]
+    fn dynamic_fallback_fraction_is_validated() {
+        for bad in [-0.1, 1.5, f64::NAN] {
+            let c = LouvainConfig {
+                dynamic_fallback_fraction: bad,
+                ..Default::default()
+            };
+            let err = c.validate().unwrap_err();
+            assert!(err.contains("dynamic_fallback_fraction"), "{bad}: {err}");
+        }
+        let c = LouvainConfig::builder()
+            .dynamic_fallback(1.0)
+            .build()
+            .unwrap();
+        assert_eq!(c.dynamic_fallback_fraction, 1.0);
+        assert_eq!(
+            LouvainConfig::default().dynamic_fallback_fraction,
+            DYNAMIC_FALLBACK_FRACTION
+        );
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod active;
 pub mod config;
 pub mod dendrogram;
 pub mod driver;
+pub mod dynamic;
 pub mod history;
 pub mod modularity;
 pub mod parallel;
@@ -59,6 +60,7 @@ pub use config::{
 };
 pub use dendrogram::{Dendrogram, DendrogramLevel};
 pub use driver::{detect_communities, detect_with_scheme, CommunityResult};
+pub use dynamic::{update_communities, DynamicOutcome};
 pub use history::{IterationRecord, PhaseRecord, PhaseTimings, RunTrace};
 pub use modularity::{modularity, modularity_with_resolution, Community};
 pub use phase::{IterationStats, PhaseDriver, PhaseOutcome};

@@ -240,6 +240,129 @@ pub(crate) fn unordered_scheduled_impl(
     }
 }
 
+/// Carried-forward sweep state for [`unordered_resume_impl`]: a converged
+/// (or at least meaningful) prior assignment plus its incremental
+/// bookkeeping, as the dynamic driver reconstructs it after an edge batch.
+pub(crate) struct ResumeState {
+    /// Prior community labels, one per vertex of the *updated* graph
+    /// (labels `< n`, not necessarily dense).
+    pub assignment: Vec<Community>,
+    /// Per-community weighted degree sums on the updated graph.
+    pub a: Vec<f64>,
+    /// Per-community member counts.
+    pub sizes: Vec<u32>,
+    /// Tracker already seeded for (`assignment`, updated graph).
+    pub tracker: ModularityTracker,
+    /// Vertices whose incident edges changed — the dirty seed set
+    /// (ascending, deduplicated).
+    pub seeds: Vec<VertexId>,
+}
+
+/// Resumes the **unordered** parallel sweep from carried-forward state
+/// instead of the singleton partition — the dynamic-update analogue of
+/// [`unordered_scheduled_impl`].
+///
+/// The [`ActiveSet`] engages *immediately*, seeded from `state.seeds` (the
+/// endpoints of changed edges) via the same movers ∪ neighbors closure used
+/// mid-phase, so iteration 0 already examines only the dirty frontier.
+/// Vertices outside the frontier are never examined and therefore keep
+/// their labels bitwise — the quiesced-region guarantee — and every
+/// per-iteration mechanism (snapshot decisions, ascending-order commits,
+/// incremental tracker accounting, frontier rebuild from the committed move
+/// list) is shared with the static phase, so the resumed sweep stays
+/// bitwise deterministic across thread counts.
+pub(crate) fn unordered_resume_impl(
+    g: &CsrGraph,
+    state: ResumeState,
+    conv: &Convergence,
+    max_iterations: usize,
+    resolution: f64,
+) -> PhaseOutcome {
+    let n = g.num_vertices();
+    let m = g.total_weight();
+    let ResumeState {
+        assignment: mut c_prev,
+        mut a,
+        mut sizes,
+        mut tracker,
+        seeds,
+    } = state;
+    if n == 0 || m <= 0.0 {
+        return PhaseOutcome {
+            assignment: c_prev,
+            iterations: Vec::new(),
+            stats: Vec::new(),
+            final_modularity: 0.0,
+            refinement: None,
+        };
+    }
+
+    let mut set = ActiveSet::empty(n);
+    set.rebuild_from_moves(g, &seeds);
+    let mut c_curr = c_prev.clone();
+
+    let mut iterations: Vec<(f64, usize)> = Vec::new();
+    let mut stats: Vec<IterationStats> = Vec::new();
+    let mut q_prev = tracker.modularity();
+    let scratches = ScratchPool::global();
+
+    for iter in 0..max_iterations {
+        if set.is_empty() {
+            break;
+        }
+        let gate = conv.gate(iter);
+        let frontier = set.frontier();
+        let decisions: Vec<(Community, bool)> = frontier
+            .par_iter()
+            .map_init(
+                || scratches.take(),
+                |scratch, &v| decide(g, &c_prev, &a, &sizes, m, resolution, gate, scratch, v),
+            )
+            .collect();
+
+        c_curr.copy_from_slice(&c_prev);
+        let mut moved: Vec<VertexId> = Vec::new();
+        let mut converged = 0usize;
+        for (&v, &(to, gated)) in frontier.iter().zip(&decisions) {
+            if to != c_prev[v as usize] {
+                c_curr[v as usize] = to;
+                moved.push(v);
+            }
+            converged += gated as usize;
+        }
+        let moves = moved.len();
+        let frontier_len = frontier.len();
+        tracker.apply_batch(g, &c_prev, &c_curr, &moved, &mut a, &mut sizes);
+        set.rebuild_from_moves(g, &moved);
+        std::mem::swap(&mut c_prev, &mut c_curr);
+        stats.push(IterationStats {
+            gate,
+            frontier: frontier_len,
+            converged,
+        });
+        let q_curr = tracker.modularity();
+        debug_assert!(
+            tracker.drift_from_full(g, &c_prev) < TRACKER_DRIFT_TOLERANCE,
+            "resumed incremental modularity drifted: {} vs full recompute",
+            tracker.drift_from_full(g, &c_prev),
+        );
+        iterations.push((q_curr, moves));
+        if conv.should_stop(iter, q_prev, q_curr, moves, converged) {
+            break;
+        }
+        q_prev = q_curr;
+    }
+
+    let final_modularity = iterations.last().map(|&(q, _)| q).unwrap_or(q_prev);
+    PhaseOutcome {
+        assignment: c_prev,
+        iterations,
+        stats,
+        final_modularity,
+        refinement: None,
+    }
+}
+
 /// One vertex's migration decision against snapshot state, gated by the
 /// iteration's per-vertex gain threshold. Returns `(target, gated)`:
 /// `gated` is true iff the vertex had a strictly positive best gain that

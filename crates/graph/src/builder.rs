@@ -489,8 +489,9 @@ fn validate_edges(edges: &[(VertexId, VertexId, f64)], n: usize) -> Result<(), B
 }
 
 /// Applies the duplicate policy to an accumulator; `Err(())` means the
-/// policy rejects duplicates.
-fn merge_weight(acc: &mut f64, w: f64, policy: MergePolicy) -> Result<(), ()> {
+/// policy rejects duplicates. Shared with the delta path so batched
+/// inserts merge exactly like builder input.
+pub(crate) fn merge_weight(acc: &mut f64, w: f64, policy: MergePolicy) -> Result<(), ()> {
     match policy {
         MergePolicy::Sum => *acc += w,
         MergePolicy::Max => *acc = acc.max(w),

@@ -453,12 +453,8 @@ pub fn from_binary(data: &[u8]) -> Result<CsrGraph, IoError> {
     for _ in 0..entries {
         weights.push(buf.get_f64_le());
     }
-    if *offsets.last().unwrap_or(&usize::MAX) != entries || offsets[0] != 0 {
-        return Err(parse_err(0, "binary graph offsets corrupt"));
-    }
-    let g = CsrGraph::from_sorted_adjacency(offsets, targets, weights);
-    g.validate().map_err(|m| parse_err(0, m))?;
-    Ok(g)
+    CsrGraph::try_from_sorted_adjacency(offsets, targets, weights)
+        .map_err(|m| parse_err(0, format!("binary graph offsets corrupt: {m}")))
 }
 
 // ---------------------------------------------------------------------------
@@ -684,6 +680,51 @@ mod tests {
         let g2 = read_grb(&buf[..]).unwrap();
         assert_eq!(g2.num_vertices(), 3);
         assert_eq!(g2.num_edges(), 0);
+    }
+
+    #[test]
+    fn grb_zero_vertex_graph_round_trip() {
+        let g = CsrGraph::empty(0);
+        let mut buf = Vec::new();
+        write_grb(&g, &mut buf).unwrap();
+        let g2 = read_grb(&buf[..]).unwrap();
+        assert_eq!(g2.num_vertices(), 0);
+        assert_eq!(g2.num_edges(), 0);
+        assert_grb_bitwise_equal(&g, &g2);
+        // Truncating any prefix of the (header + single offset) payload
+        // errors instead of panicking.
+        for keep in 0..buf.len() {
+            assert!(read_grb(&buf[..keep]).is_err(), "keep={keep}");
+        }
+        // Trailing garbage is rejected: the format is exact-size even at n=0.
+        let mut padded = buf.clone();
+        padded.push(0);
+        assert!(read_grb(&padded[..]).is_err());
+    }
+
+    #[test]
+    fn binary_zero_vertex_graph_round_trip() {
+        let g = CsrGraph::empty(0);
+        let bytes = to_binary(&g);
+        let g2 = from_binary(&bytes).unwrap();
+        assert_eq!(g2.num_vertices(), 0);
+        assert_eq!(g2.num_edges(), 0);
+        for keep in 0..bytes.len() {
+            assert!(from_binary(&bytes[..keep]).is_err(), "keep={keep}");
+        }
+    }
+
+    #[test]
+    fn binary_rejects_nonmonotonic_offsets_without_panicking() {
+        // Decreasing interior offsets pass the old first/last sentinel check;
+        // the reader must return a parse error, not panic downstream.
+        let g = from_weighted_edges(3, [(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        let mut bytes = to_binary(&g);
+        // Offsets section starts after the 8-byte magic + two u64 counts.
+        let offsets_at = 8 + 16;
+        bytes[offsets_at + 8..offsets_at + 16].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = from_binary(&bytes).unwrap_err();
+        assert!(err.to_string().contains("offsets"), "{err}");
     }
 
     #[test]

@@ -22,6 +22,7 @@
 
 pub mod builder;
 pub mod csr;
+pub mod delta;
 pub mod gen;
 pub mod io;
 pub mod kcore;
@@ -33,5 +34,6 @@ pub use builder::{
     from_unweighted_edges, from_weighted_edges, BuildError, GraphBuilder, MergePolicy,
 };
 pub use csr::{CsrGraph, VertexId, DEFAULT_WEIGHT};
+pub use delta::{DeltaError, EdgeChange, EdgeDelta};
 pub use shared::SharedSlice;
 pub use stats::GraphStats;
