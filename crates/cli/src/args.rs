@@ -12,13 +12,18 @@ USAGE:
   grappolo generate <input-id> [--scale F] [--seed N] -o FILE
       input-id: cnr | copapersdblp | channel | europe-osm | soc-livejournal |
                 mg1 | rgg | uk-2002 | nlpkkt240 | mg2 | friendster
-      synthetic families (CI scenario matrix): er | planted | rmat
+      synthetic families (CI scenario matrix): er | planted | rmat | blocks
+      (`blocks` is a disconnected union of planted-partition blocks plus
+      isolated vertices — the component-splitter workload)
   grappolo stats <graph-file>
+  grappolo components <graph-file>
+      print the weakly-connected-component profile: component count, largest
+      component, isolated vertices, top component sizes
   grappolo detect <graph-file> [--scheme serial|baseline|vf|color]
                   [--threads N] [--gamma F] [--assignments FILE] [--trace FILE]
                   [--accounting incremental|rescan] [--sweep full|active]
                   [--schedule fixed|geometric] [--vertex-epsilon F]
-                  [--refine leiden|none]
+                  [--refine leiden|none] [--split-components]
       --accounting: colored-sweep modularity accounting — `incremental`
       (default; O(#moves) deltas at each color-batch barrier) or `rescan`
       (the historical full-recompute baseline, for differential runs)
@@ -38,6 +43,10 @@ USAGE:
       pipeline) or `leiden` (split internally disconnected communities into
       connected sub-communities and re-absorb profitable singletons before
       each rebuild; deterministic, never lowers modularity)
+      --split-components: detect each weakly connected component as an
+      independent run dispatched across the thread pool (no Louvain move
+      ever crosses a component), then stitch labels in component-id order —
+      bitwise independent of thread count
   grappolo update <graph-file> <assignments-file> <batch-file>
                   [--assignments-out FILE] [--graph-out FILE]
                   [--threads N] [--gamma F] [--fallback F]
@@ -56,7 +65,9 @@ USAGE:
   grappolo compare <assignments-a> <assignments-b>
   grappolo convert <in-file> <out-file>
       e.g. `grappolo convert web.edges web.grb` caches a parsed graph in the
-      binary .grb format, which later loads in O(read) (no re-parse/re-sort)
+      binary .grb format, which later loads in O(read) (no re-parse/re-sort);
+      `grappolo convert old.grb old.grb` upgrades a legacy v1 file to the
+      sectioned v2 layout (chunk table + parallel decode) in place
 
 Graph files: .edges/.txt (edge list), .graph/.metis (METIS),
              .grb (versioned binary, fastest to load), .bin (legacy binary).";
@@ -77,6 +88,11 @@ pub enum Command {
     },
     /// Print graph statistics (Table 1 columns).
     Stats {
+        /// Graph path.
+        path: PathBuf,
+    },
+    /// Print the weakly-connected-component profile.
+    Components {
         /// Graph path.
         path: PathBuf,
     },
@@ -104,6 +120,8 @@ pub enum Command {
         vertex_epsilon: f64,
         /// Post-sweep refinement mode.
         refine: RefineMode,
+        /// Run each connected component as an independent detection.
+        split_components: bool,
     },
     /// Apply a batch of edge deltas and re-converge incrementally.
     Update {
@@ -168,6 +186,10 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         "stats" => {
             let path = positional(&rest, 0, "graph-file")?;
             Ok(Command::Stats { path: path.into() })
+        }
+        "components" => {
+            let path = positional(&rest, 0, "graph-file")?;
+            Ok(Command::Components { path: path.into() })
         }
         "detect" => parse_detect(&rest),
         "update" => parse_update(&rest),
@@ -291,6 +313,7 @@ fn parse_detect(rest: &[&str]) -> Result<Command, String> {
         "leiden" => RefineMode::Leiden,
         other => return Err(format!("unknown --refine `{other}`")),
     };
+    let split_components = rest.contains(&"--split-components");
     Ok(Command::Detect {
         path: path.into(),
         scheme,
@@ -303,6 +326,7 @@ fn parse_detect(rest: &[&str]) -> Result<Command, String> {
         schedule,
         vertex_epsilon,
         refine,
+        split_components,
     })
 }
 
@@ -392,6 +416,7 @@ mod tests {
                 schedule,
                 vertex_epsilon,
                 refine,
+                split_components,
                 ..
             } => {
                 assert_eq!(scheme, Scheme::BaselineVf);
@@ -404,6 +429,7 @@ mod tests {
                 assert_eq!(schedule, ScheduleMode::Fixed);
                 assert_eq!(vertex_epsilon, 0.0);
                 assert_eq!(refine, RefineMode::None);
+                assert!(!split_components);
             }
             _ => panic!(),
         }
@@ -512,6 +538,32 @@ mod tests {
         }
         assert!(parse(&args("detect g.bin --sweep lazy")).is_err());
         assert!(parse(&args("detect g.bin --sweep")).is_err());
+    }
+
+    #[test]
+    fn detect_split_components_flag() {
+        match parse(&args("detect g.grb --split-components --threads 8")).unwrap() {
+            Command::Detect {
+                split_components,
+                threads,
+                ..
+            } => {
+                assert!(split_components);
+                assert_eq!(threads, Some(8));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_components() {
+        assert_eq!(
+            parse(&args("components g.grb")).unwrap(),
+            Command::Components {
+                path: "g.grb".into()
+            }
+        );
+        assert!(parse(&args("components")).is_err());
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             output,
         } => generate(&input, scale, seed, &output),
         Command::Stats { path } => stats(&path),
+        Command::Components { path } => components(&path),
         Command::Detect {
             path,
             scheme,
@@ -41,6 +42,7 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             schedule,
             vertex_epsilon,
             refine,
+            split_components,
         } => detect(
             &path,
             scheme,
@@ -53,6 +55,7 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             schedule,
             vertex_epsilon,
             refine,
+            split_components,
         ),
         Command::Audit { graph, assignments } => audit(&graph, &assignments),
         Command::Update {
@@ -84,14 +87,55 @@ fn load(path: &Path) -> Result<CsrGraph, String> {
     io::load_path(path).map_err(|e| format!("loading {}: {e}", path.display()))
 }
 
+/// A disconnected union of planted-partition blocks plus trailing isolated
+/// vertices — the component-splitter workload (`blocks` family). Blocks
+/// occupy ascending contiguous vertex ranges, which makes `--split-components`
+/// output *byte*-identical to the unsplit run (component-id order coincides
+/// with the unsplit label order), not merely partition-equal.
+fn planted_blocks(n: usize, seed: u64) -> CsrGraph {
+    // One dominant block plus many small ones: the shape where per-component
+    // dispatch beats a single driver (small converged components drop out of
+    // the schedule instead of being re-swept every iteration).
+    let isolated = (n / 200).min(64);
+    let body = n - isolated;
+    let big = body / 4;
+    let small_total = body - big;
+    let num_small = (small_total / 400).max(3);
+    let mut sizes = vec![big];
+    let base_small = small_total / num_small;
+    let mut rem = small_total - base_small * num_small;
+    for _ in 0..num_small {
+        let extra = usize::from(rem > 0);
+        rem -= extra;
+        sizes.push(base_small + extra);
+    }
+    let mut b = grappolo_graph::GraphBuilder::new(n);
+    let mut base = 0u32;
+    for (i, &size) in sizes.iter().enumerate() {
+        let (block, _) = planted_partition(&PlantedConfig {
+            num_vertices: size,
+            num_communities: (size / 100).max(2),
+            seed: seed.wrapping_add(i as u64),
+            ..Default::default()
+        });
+        for (u, v, w) in block.undirected_edges() {
+            b = b.add_edge(base + u, base + v, w);
+        }
+        base += size as u32;
+    }
+    b.build().expect("planted_blocks edges are in range")
+}
+
 /// Synthetic base-family generation for ids outside the paper suite — the
-/// three graph classes the differential tests and the CI scenario matrix
-/// sweep: ER (no community structure, negative control), planted partition
-/// (community-rich), RMAT (skewed degrees). `scale` multiplies the base
-/// sizes (n = 40 K at scale 1.0).
+/// graph classes the differential tests and the CI scenario matrix sweep:
+/// ER (no community structure, negative control), planted partition
+/// (community-rich), RMAT (skewed degrees), planted blocks (disconnected
+/// multi-component). `scale` multiplies the base sizes (n = 40 K at
+/// scale 1.0).
 fn generate_family(input: &str, scale: f64, seed: u64) -> Option<(&'static str, CsrGraph)> {
     let n = ((40_000.0 * scale) as usize).max(16);
     match input {
+        "blocks" => Some(("planted blocks", planted_blocks(n.max(64), seed))),
         "er" => Some((
             "Erdős–Rényi",
             erdos_renyi(&ErConfig {
@@ -130,7 +174,7 @@ fn generate(input: &str, scale: f64, seed: u64, output: &Path) -> Result<(), Str
     } else {
         let proxy = PaperInput::from_id(input).ok_or_else(|| {
             format!(
-                "unknown input id `{input}`; valid: er, planted, rmat, {}",
+                "unknown input id `{input}`; valid: er, planted, rmat, blocks, {}",
                 PaperInput::ALL.map(|p| p.id()).join(", ")
             )
         })?;
@@ -163,6 +207,38 @@ fn stats(path: &Path) -> Result<(), String> {
     Ok(())
 }
 
+/// The `components` subcommand: the weakly-connected-component profile of a
+/// stored graph — the numbers that decide whether `--split-components` is
+/// worth switching on.
+fn components(path: &Path) -> Result<(), String> {
+    let g = load(path)?;
+    let t = Instant::now();
+    let labeling = grappolo_graph::connected_components(&g);
+    let elapsed = t.elapsed();
+    let mut sizes: Vec<usize> = labeling.sizes().to_vec();
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    let top: Vec<String> = sizes.iter().take(5).map(|s| s.to_string()).collect();
+    println!("graph          {}", path.display());
+    println!("vertices       {}", g.num_vertices());
+    println!("edges          {}", g.num_edges());
+    println!("components     {}", labeling.num_components());
+    match labeling.largest() {
+        Some((id, size)) => {
+            let frac = if g.num_vertices() > 0 {
+                100.0 * size as f64 / g.num_vertices() as f64
+            } else {
+                0.0
+            };
+            println!("largest        {size} vertices ({frac:.2}%, component {id})");
+        }
+        None => println!("largest        -"),
+    }
+    println!("isolated       {}", labeling.num_isolated());
+    println!("top sizes      {}", top.join(" "));
+    println!("label time     {elapsed:.2?}");
+    Ok(())
+}
+
 #[allow(clippy::too_many_arguments)]
 fn detect(
     path: &Path,
@@ -176,6 +252,7 @@ fn detect(
     schedule: ScheduleMode,
     vertex_epsilon: f64,
     refine: RefineMode,
+    split_components: bool,
 ) -> Result<(), String> {
     let g = load(path)?;
     // Per-vertex gains live on the 1/m scale; the geometric gate derives
@@ -202,6 +279,7 @@ fn detect(
         .coloring_vertex_cutoff
         .min(g.num_vertices() / 8)
         .max(64);
+    config.split_components = split_components;
 
     let t = Instant::now();
     let result = detect_communities(&g, &config);
@@ -573,6 +651,7 @@ mod tests {
             schedule: ScheduleMode::Fixed,
             vertex_epsilon: 0.0,
             refine: RefineMode::None,
+            split_components: false,
         })
         .unwrap();
 
@@ -614,6 +693,7 @@ mod tests {
                 schedule: ScheduleMode::Fixed,
                 vertex_epsilon: 0.0,
                 refine: RefineMode::None,
+                split_components: false,
             })
             .unwrap();
         }
@@ -651,6 +731,7 @@ mod tests {
                 schedule: ScheduleMode::Fixed,
                 vertex_epsilon: 0.0,
                 refine: RefineMode::None,
+                split_components: false,
             })
             .unwrap();
         }
@@ -689,6 +770,7 @@ mod tests {
                 schedule: ScheduleMode::Geometric,
                 vertex_epsilon: 0.0,
                 refine: RefineMode::None,
+                split_components: false,
             })
             .unwrap();
         }
@@ -721,6 +803,7 @@ mod tests {
             schedule: ScheduleMode::Fixed,
             vertex_epsilon: -1.0,
             refine: RefineMode::None,
+            split_components: false,
         })
         .unwrap_err();
         assert!(err.contains("vertex_epsilon"), "{err}");
@@ -741,6 +824,88 @@ mod tests {
             assert!(g.num_vertices() > 0, "{family}");
             assert!(g.num_edges() > 0, "{family}");
         }
+    }
+
+    #[test]
+    fn detect_split_components_matches_unsplit_bytes() {
+        // The splitter's headline contract at CLI level: on the `blocks`
+        // family (ascending contiguous component ranges) --split-components
+        // writes a byte-identical assignment file, for both the serial and
+        // the parallel baseline scheme.
+        let graph_path = tmp("split.grb");
+        execute(Command::Generate {
+            input: "blocks".into(),
+            scale: 0.08,
+            seed: 17,
+            output: graph_path.clone(),
+        })
+        .unwrap();
+        for (scheme, tag) in [(Scheme::Baseline, "base"), (Scheme::Serial, "serial")] {
+            let plain_out = tmp(&format!("split_plain_{tag}.txt"));
+            let split_out = tmp(&format!("split_split_{tag}.txt"));
+            for (out, split) in [(&plain_out, false), (&split_out, true)] {
+                execute(Command::Detect {
+                    path: graph_path.clone(),
+                    scheme,
+                    threads: Some(2),
+                    gamma: 1.0,
+                    assignments: Some(out.clone()),
+                    trace: None,
+                    accounting: ColoredAccounting::Incremental,
+                    sweep: SweepMode::Full,
+                    schedule: ScheduleMode::Fixed,
+                    vertex_epsilon: 0.0,
+                    refine: RefineMode::None,
+                    split_components: split,
+                })
+                .unwrap();
+            }
+            assert_eq!(
+                std::fs::read(&plain_out).unwrap(),
+                std::fs::read(&split_out).unwrap(),
+                "{tag}: split assignment bytes differ from unsplit"
+            );
+        }
+    }
+
+    #[test]
+    fn components_command_profiles_blocks() {
+        let graph_path = tmp("compprof.grb");
+        execute(Command::Generate {
+            input: "blocks".into(),
+            scale: 0.05,
+            seed: 3,
+            output: graph_path.clone(),
+        })
+        .unwrap();
+        execute(Command::Components { path: graph_path }).unwrap();
+        // And on a connected input.
+        let one = tmp("comp_one.grb");
+        execute(Command::Generate {
+            input: "planted".into(),
+            scale: 0.02,
+            seed: 3,
+            output: one.clone(),
+        })
+        .unwrap();
+        execute(Command::Components { path: one }).unwrap();
+    }
+
+    #[test]
+    fn blocks_family_is_multi_component() {
+        let g = planted_blocks(4_000, 9);
+        let l = grappolo_graph::connected_components(&g);
+        assert!(
+            l.num_components() > 4,
+            "blocks must be multi-component, got {}",
+            l.num_components()
+        );
+        assert!(
+            l.num_isolated() > 0,
+            "blocks must include isolated vertices"
+        );
+        let (_, largest) = l.largest().unwrap();
+        assert!(largest < g.num_vertices(), "one component swallowed all");
     }
 
     #[test]
@@ -772,6 +937,23 @@ mod tests {
         let g2 = io::load_path(&grb).unwrap();
         assert_eq!(g2.num_edges(), 2);
         assert_eq!(g2.edge_weight(0, 1), Some(2.0));
+    }
+
+    #[test]
+    fn convert_upgrades_v1_grb_in_place() {
+        // A legacy v1 file converted onto its own path comes back as a
+        // sectioned v2 file holding the bitwise-identical graph.
+        let g = grappolo_graph::gen::planted_partition(&Default::default()).0;
+        let path = tmp("upgrade.grb");
+        io::write_grb(&g, std::fs::File::create(&path).unwrap()).unwrap();
+        execute(Command::Convert {
+            input: path.clone(),
+            output: path.clone(),
+        })
+        .unwrap();
+        let head = std::fs::read(&path).unwrap();
+        assert_eq!(u16::from_le_bytes(head[8..10].try_into().unwrap()), 2);
+        assert!(io::load_path(&path).unwrap().bitwise_eq(&g));
     }
 
     #[test]
@@ -912,6 +1094,7 @@ mod tests {
             schedule: ScheduleMode::Fixed,
             vertex_epsilon: 0.0,
             refine: RefineMode::None,
+            split_components: false,
         })
         .unwrap();
         let g = io::load_path(&graph_path).unwrap();
@@ -1002,6 +1185,7 @@ mod tests {
             schedule: ScheduleMode::Geometric,
             vertex_epsilon: 0.0,
             refine: RefineMode::Leiden,
+            split_components: false,
         })
         .unwrap();
         execute(Command::Audit {
@@ -1034,6 +1218,7 @@ mod tests {
             schedule: ScheduleMode::Fixed,
             vertex_epsilon: 0.0,
             refine: RefineMode::Leiden,
+            split_components: false,
         })
         .unwrap_err();
         assert!(err.contains("refine") || err.contains("rescan"), "{err}");

@@ -234,6 +234,21 @@ pub struct LouvainConfig {
     /// the carried state, so local re-optimization would cost full-sweep
     /// work for worse quality. Must be in [0, 1]; 1.0 disables the fallback.
     pub dynamic_fallback_fraction: f64,
+    /// Component splitting (CLI: `--split-components`): label the weakly
+    /// connected components first and run detection **per component**
+    /// ([`crate::split`]), largest first, dispatching the small components
+    /// across the resident pool as independent jobs. Modularity is still
+    /// evaluated against the full graph's `2m` normalization, and the
+    /// stitched labels are canonically renumbered, so on inputs whose
+    /// components converge independently the result is identical to the
+    /// unsplit run — and always bitwise stable across thread counts. A
+    /// single-component graph falls through to the plain driver.
+    pub split_components: bool,
+    /// Components with at least this many vertices run one at a time with
+    /// the full intra-run parallel pipeline; smaller components become
+    /// pool-dispatched jobs whose inner regions execute inline on their
+    /// worker ([`crate::split::SPLIT_SERIAL_THRESHOLD`] is the default).
+    pub split_serial_threshold: usize,
     /// If set, run inside a dedicated rayon pool with this many threads;
     /// otherwise use the ambient pool.
     pub num_threads: Option<usize>,
@@ -265,6 +280,8 @@ impl Default for LouvainConfig {
             renumber: RenumberStrategy::Serial,
             resolution: 1.0,
             dynamic_fallback_fraction: DYNAMIC_FALLBACK_FRACTION,
+            split_components: false,
+            split_serial_threshold: crate::split::SPLIT_SERIAL_THRESHOLD,
             num_threads: None,
         }
     }
@@ -533,6 +550,12 @@ impl LouvainConfigBuilder {
     /// [`LouvainConfig::dynamic_fallback_fraction`]).
     pub fn dynamic_fallback(mut self, fraction: f64) -> Self {
         self.config.dynamic_fallback_fraction = fraction;
+        self
+    }
+
+    /// Component splitting (see [`LouvainConfig::split_components`]).
+    pub fn split_components(mut self, split: bool) -> Self {
+        self.config.split_components = split;
         self
     }
 

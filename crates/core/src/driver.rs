@@ -47,16 +47,26 @@ pub fn detect_communities(g: &CsrGraph, config: &LouvainConfig) -> CommunityResu
                 .num_threads(t.max(1))
                 .build()
                 .expect("failed to build rayon pool");
-            pool.install(|| run_inner(g, config))
+            pool.install(|| run_entry(g, config))
         }
         None if !config.parallel => {
             let pool = rayon::ThreadPoolBuilder::new()
                 .num_threads(1)
                 .build()
                 .expect("failed to build rayon pool");
-            pool.install(|| run_inner(g, config))
+            pool.install(|| run_entry(g, config))
         }
-        None => run_inner(g, config),
+        None => run_entry(g, config),
+    }
+}
+
+/// Entry point inside the chosen pool: component splitting when requested,
+/// the plain multi-phase driver otherwise.
+fn run_entry(g: &CsrGraph, config: &LouvainConfig) -> CommunityResult {
+    if config.split_components {
+        crate::split::detect_split(g, config)
+    } else {
+        run_inner(g, config)
     }
 }
 
@@ -65,14 +75,24 @@ pub fn detect_with_scheme(g: &CsrGraph, scheme: Scheme) -> CommunityResult {
     detect_communities(g, &scheme.config())
 }
 
-fn run_inner(g: &CsrGraph, config: &LouvainConfig) -> CommunityResult {
+pub(crate) fn run_inner(g: &CsrGraph, config: &LouvainConfig) -> CommunityResult {
     let t_start = Instant::now();
     let mut trace = RunTrace::default();
+
+    // m is an invariant of the whole hierarchy — VF and rebuilds only move
+    // weight between edges and self-loops — so the input graph's total
+    // weight is carried through every level instead of re-summed. For
+    // ordinary runs the two are identical (re-summing the same quantity);
+    // under component splitting the input's total weight is the *parent*
+    // graph's m and must survive VF and every rebuild.
+    let m0 = g.total_weight();
 
     // Step (1): optional VF preprocessing (§5.4).
     let t_vf = Instant::now();
     let vf: VfResult = if config.use_vf {
-        vf_preprocess_recursive(g, config.vf_rounds)
+        let mut vf = vf_preprocess_recursive(g, config.vf_rounds);
+        vf.graph = std::mem::take(&mut vf.graph).with_total_weight_override(m0);
+        vf
     } else {
         VfResult::identity(g.clone())
     };
@@ -179,7 +199,11 @@ fn run_inner(g: &CsrGraph, config: &LouvainConfig) -> CommunityResult {
         let next_graph = if is_last {
             None
         } else {
-            Some(rebuild(&work, &outcome.assignment, config.rebuild, config.renumber).graph)
+            Some(
+                rebuild(&work, &outcome.assignment, config.rebuild, config.renumber)
+                    .graph
+                    .with_total_weight_override(m0),
+            )
         };
         let mut rebuild_time = t_rebuild.elapsed();
         if phase_idx == 0 {

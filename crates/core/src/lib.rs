@@ -51,6 +51,7 @@ pub mod reference;
 pub mod refine;
 pub mod schedule;
 pub mod serial;
+pub mod split;
 pub mod vf;
 
 pub use active::ActiveSet;

@@ -1,0 +1,402 @@
+//! Component-split detection: independent Louvain runs per weakly connected
+//! component, dispatched across the resident pool.
+//!
+//! The paper's parallelism is all intra-sweep (coloring, vertex-parallel
+//! moves). Disconnected inputs expose a coarser grain: no edge crosses a
+//! component boundary, so no Louvain move, modularity term, or rebuild ever
+//! couples two components — each component is an embarrassingly parallel
+//! whole-detection job (the strategy Staudt & Meyerhenke's engineering work
+//! exploits). The splitter:
+//!
+//! 1. labels components ([`grappolo_graph::connected_components`],
+//!    ascending-min-vertex ids) and extracts per-component subgraphs with
+//!    vertex remap tables ([`grappolo_graph::extract_components`]);
+//! 2. runs full detection per component in **largest-first** order — big
+//!    components one at a time with the whole pool inside the run, small
+//!    ones (below [`LouvainConfig::split_serial_threshold`]) fanned out as
+//!    independent pool jobs whose inner regions execute inline on their
+//!    worker;
+//! 3. stitches per-component assignments back into global labels, with
+//!    label blocks laid out in **component-id order** — never completion
+//!    order — so the result is bitwise independent of thread count.
+//!
+//! Every per-component run evaluates modularity against the **parent**
+//! graph's `2m` normalization (`CsrGraph::with_total_weight_override`,
+//! carried through VF and rebuilds by the driver), so per-vertex decisions
+//! are exactly the unsplit run's. The only remaining coupling to the
+//! unsplit trajectory is the aggregate convergence tests (a component that
+//! alone falls below θ stops, where the unsplit run would keep iterating it
+//! while *other* components still gain): on inputs whose components reach
+//! their local optima independently — the common case — split and unsplit
+//! detection produce the identical partition, which CI pins on the
+//! scenario-matrix inputs.
+
+use crate::config::LouvainConfig;
+use crate::dendrogram::{Dendrogram, DendrogramLevel};
+use crate::driver::{run_inner, CommunityResult};
+use crate::history::RunTrace;
+use crate::modularity::{modularity_with_resolution, Community};
+use crate::serial::serial_modularity;
+use grappolo_graph::{connected_components, extract_components, CsrGraph};
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// Default vertex count at or above which a component runs alone with the
+/// full intra-run parallel pipeline instead of as one pool-dispatched job.
+pub const SPLIT_SERIAL_THRESHOLD: usize = 8192;
+
+/// Detects communities per weakly connected component and stitches the
+/// results (see the module docs). Falls through to the plain driver when the
+/// graph has one component (or none).
+pub(crate) fn detect_split(g: &CsrGraph, config: &LouvainConfig) -> CommunityResult {
+    let t_start = Instant::now();
+    let labeling = connected_components(g);
+    let k = labeling.num_components();
+    if k <= 1 {
+        return run_inner(g, config);
+    }
+
+    let m = g.total_weight();
+    let n = g.num_vertices();
+    let mut subs = extract_components(g, &labeling);
+    for sub in &mut subs {
+        // Every component run scores moves against the parent graph's 2m.
+        sub.graph = std::mem::take(&mut sub.graph).with_total_weight_override(m);
+    }
+
+    let mut comp_config = config.clone();
+    comp_config.num_threads = None; // already inside the chosen pool
+    comp_config.split_components = false; // no recursive splitting
+
+    // Largest-first order (ties to the lower component id): the longest
+    // jobs start first, so the tail of the schedule is short jobs that pack
+    // tightly — classic LPT. The order only affects scheduling; label
+    // stitching below is by component id.
+    let threshold = config.split_serial_threshold.max(2);
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by_key(|&c| (std::cmp::Reverse(labeling.sizes()[c]), c));
+
+    let mut results: Vec<Option<CommunityResult>> = (0..k).map(|_| None).collect();
+    let mut small: Vec<usize> = Vec::new();
+    for &c in &order {
+        let size = labeling.sizes()[c];
+        if size >= threshold {
+            // Large component: run alone; its inner sweeps use the whole
+            // pool.
+            results[c] = Some(run_inner(&subs[c].graph, &comp_config));
+        } else if size > 1 || subs[c].graph.num_adjacency_entries() > 0 {
+            small.push(c);
+        }
+        // Isolated vertices (no self-loop) stay trivial singletons — no run.
+    }
+    // Small components: one pool job each, in the same largest-first order.
+    // Nested parallel regions inside a job execute on the shared pool (the
+    // claiming worker drains them), and per-component detection is bitwise
+    // deterministic, so the fan-out cannot perturb any result.
+    let small_results: Vec<(usize, CommunityResult)> = small
+        .par_iter()
+        .map(|&c| (c, run_inner(&subs[c].graph, &comp_config)))
+        .collect();
+    for (c, r) in small_results {
+        results[c] = Some(r);
+    }
+
+    // Stitch: label blocks in component-id order (component ids are
+    // ascending-min-vertex, a pure function of the graph), local labels
+    // mapped through each component's remap table.
+    let mut bases = vec![0 as Community; k];
+    let mut total = 0usize;
+    for c in 0..k {
+        bases[c] = total as Community;
+        total += results[c].as_ref().map_or(1, |r| r.num_communities);
+    }
+    let mut assignment = vec![0 as Community; n];
+    let mut trace = RunTrace::default();
+    for c in 0..k {
+        match &results[c] {
+            Some(r) => {
+                for (local, &global) in subs[c].vertices.iter().enumerate() {
+                    assignment[global as usize] = bases[c] + r.assignment[local];
+                }
+                let phase_base = trace.phases.len();
+                for rec in &r.trace.iterations {
+                    let mut rec = rec.clone();
+                    rec.phase += phase_base;
+                    trace.iterations.push(rec);
+                }
+                for rec in &r.trace.phases {
+                    let mut rec = rec.clone();
+                    rec.phase += phase_base;
+                    trace.phases.push(rec);
+                }
+                trace.vf_time += r.trace.vf_time;
+                trace.vf_merged += r.trace.vf_merged;
+            }
+            None => {
+                // Trivial singleton: its one vertex keeps its own label.
+                assignment[subs[c].vertices[0] as usize] = bases[c];
+            }
+        }
+    }
+
+    let modularity = if config.parallel {
+        modularity_with_resolution(g, &assignment, config.resolution)
+    } else {
+        serial_modularity(g, &assignment, config.resolution)
+    };
+    trace.total_time = t_start.elapsed();
+
+    // A single synthetic dendrogram level keeps the flatten invariant
+    // (`dendrogram.flatten() == assignment`); per-component hierarchies are
+    // not merged.
+    let dendrogram = Dendrogram {
+        vf_mapping: (0..n as Community).collect(),
+        levels: vec![DendrogramLevel {
+            assignment: assignment.clone(),
+            renumber: (0..total as Community).collect(),
+            num_communities: total,
+        }],
+    };
+
+    CommunityResult {
+        assignment,
+        num_communities: total,
+        modularity,
+        trace,
+        dendrogram,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Scheme;
+    use crate::driver::detect_communities;
+    use grappolo_graph::builder::GraphBuilder;
+    use grappolo_graph::gen::{planted_partition, PlantedConfig};
+    use grappolo_graph::VertexId;
+
+    /// Canonical first-appearance relabeling: two assignments describe the
+    /// same partition iff their canonical forms are equal.
+    fn canonical(assignment: &[Community]) -> Vec<Community> {
+        let mut map = std::collections::HashMap::new();
+        assignment
+            .iter()
+            .map(|&c| {
+                let next = map.len() as Community;
+                *map.entry(c).or_insert(next)
+            })
+            .collect()
+    }
+
+    /// A multi-component input: several planted-partition blocks of varying
+    /// sizes plus isolated vertices, disjointly offset into one graph.
+    fn multi_component(block_sizes: &[usize], isolated: usize, seed: u64) -> CsrGraph {
+        let total: usize = block_sizes.iter().sum::<usize>() + isolated;
+        let mut b = GraphBuilder::new(total);
+        let mut base = 0u32;
+        for (i, &size) in block_sizes.iter().enumerate() {
+            let (block, _) = planted_partition(&PlantedConfig {
+                num_vertices: size,
+                num_communities: (size / 64).max(2),
+                avg_intra_degree: 12.0,
+                avg_inter_degree: 1.0,
+                seed: seed + i as u64,
+                ..Default::default()
+            });
+            for (u, v, w) in block.undirected_edges() {
+                b = b.add_edge(base + u, base + v, w);
+            }
+            base += size as u32;
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn split_matches_unsplit_partition_baseline() {
+        let g = multi_component(&[600, 400, 300], 5, 7);
+        for scheme in [Scheme::Baseline, Scheme::Serial] {
+            let mut cfg = scheme.config();
+            let plain = detect_communities(&g, &cfg);
+            cfg.split_components = true;
+            let split = detect_communities(&g, &cfg);
+            assert_eq!(
+                canonical(&split.assignment),
+                canonical(&plain.assignment),
+                "{}: split and unsplit partitions differ",
+                scheme.name()
+            );
+            // Raw labels (not just the partition) agree because the input's
+            // components occupy ascending vertex ranges: the unsplit run's
+            // ascending-label renumber then orders communities exactly in
+            // component-block order. Interleaved components are only
+            // guaranteed partition equality.
+            assert_eq!(
+                split.assignment,
+                plain.assignment,
+                "{}: raw labels differ despite equal partitions",
+                scheme.name()
+            );
+            assert!(
+                (split.modularity - plain.modularity).abs() < 1e-12,
+                "{}: Q {} vs {}",
+                scheme.name(),
+                split.modularity,
+                plain.modularity
+            );
+            assert_eq!(split.num_communities, plain.num_communities);
+        }
+    }
+
+    #[test]
+    fn split_single_component_falls_through() {
+        let (g, _) = planted_partition(&PlantedConfig {
+            num_vertices: 500,
+            num_communities: 5,
+            avg_intra_degree: 12.0,
+            avg_inter_degree: 1.0,
+            ..Default::default()
+        });
+        let mut cfg = Scheme::Baseline.config();
+        let plain = detect_communities(&g, &cfg);
+        cfg.split_components = true;
+        let split = detect_communities(&g, &cfg);
+        assert_eq!(split.assignment, plain.assignment);
+        assert_eq!(split.modularity.to_bits(), plain.modularity.to_bits());
+    }
+
+    #[test]
+    fn split_stable_across_thread_counts() {
+        let g = multi_component(&[500, 350, 200, 150], 3, 11);
+        let mut cfg = Scheme::Baseline.config();
+        cfg.split_components = true;
+        cfg.num_threads = Some(1);
+        let r1 = detect_communities(&g, &cfg);
+        cfg.num_threads = Some(2);
+        let r2 = detect_communities(&g, &cfg);
+        cfg.num_threads = Some(8);
+        let r8 = detect_communities(&g, &cfg);
+        assert_eq!(r1.assignment, r2.assignment);
+        assert_eq!(r1.assignment, r8.assignment);
+        assert_eq!(r1.modularity.to_bits(), r2.modularity.to_bits());
+        assert_eq!(r1.modularity.to_bits(), r8.modularity.to_bits());
+    }
+
+    #[test]
+    fn split_respects_serial_threshold_paths() {
+        // Force both dispatch paths: threshold 1 sends everything through
+        // the "large" path, usize::MAX through the small fan-out; results
+        // must be bitwise identical.
+        let g = multi_component(&[400, 300], 2, 3);
+        let mut cfg = Scheme::Baseline.config();
+        cfg.split_components = true;
+        cfg.split_serial_threshold = 2;
+        let large_path = detect_communities(&g, &cfg);
+        cfg.split_serial_threshold = usize::MAX;
+        let small_path = detect_communities(&g, &cfg);
+        assert_eq!(large_path.assignment, small_path.assignment);
+        assert_eq!(
+            large_path.modularity.to_bits(),
+            small_path.modularity.to_bits()
+        );
+    }
+
+    #[test]
+    fn split_reported_modularity_matches_assignment() {
+        let g = multi_component(&[300, 250], 4, 5);
+        let mut cfg = Scheme::Baseline.config();
+        cfg.split_components = true;
+        let r = detect_communities(&g, &cfg);
+        let q = modularity_with_resolution(&g, &r.assignment, 1.0);
+        assert!((q - r.modularity).abs() < 1e-12);
+        let max = *r.assignment.iter().max().unwrap() as usize;
+        assert_eq!(max + 1, r.num_communities, "labels must be dense");
+        assert_eq!(r.dendrogram.flatten(), r.assignment);
+    }
+
+    #[test]
+    fn split_handles_edgeless_and_tiny_graphs() {
+        let mut cfg = LouvainConfig {
+            split_components: true,
+            ..Scheme::Baseline.config()
+        };
+        let g = CsrGraph::empty(5);
+        let r = detect_communities(&g, &cfg);
+        assert_eq!(r.assignment, vec![0, 1, 2, 3, 4]);
+        assert_eq!(r.num_communities, 5);
+
+        // Tiny two-edge graph with a self-loop singleton.
+        let g = GraphBuilder::new(4)
+            .add_edge(0, 1, 1.0)
+            .add_edge(2, 2, 3.0)
+            .build()
+            .unwrap();
+        cfg.split_serial_threshold = 2;
+        let r = detect_communities(&g, &cfg);
+        assert_eq!(r.assignment.len(), 4);
+        assert_eq!(r.assignment[0], r.assignment[1], "edge endpoints merge");
+        assert_ne!(r.assignment[2], r.assignment[3]);
+    }
+
+    #[test]
+    fn split_colored_scheme_is_valid_and_stable() {
+        // Colored split runs are valid detections (coloring is
+        // component-local, so quality holds) and bitwise thread-stable;
+        // exact equality with the unsplit colored run is not part of the
+        // contract (the colored θ couples components through the aggregate
+        // stop).
+        let g = multi_component(&[600, 400], 2, 13);
+        let mut cfg = LouvainConfig {
+            coloring_vertex_cutoff: 64,
+            split_components: true,
+            ..Scheme::BaselineVfColor.config()
+        };
+        let plain_cfg = LouvainConfig {
+            split_components: false,
+            ..cfg.clone()
+        };
+        let plain = detect_communities(&g, &plain_cfg);
+        let split = detect_communities(&g, &cfg);
+        assert!(
+            split.modularity >= 0.98 * plain.modularity,
+            "split colored Q {} vs unsplit {}",
+            split.modularity,
+            plain.modularity
+        );
+        cfg.num_threads = Some(1);
+        let r1 = detect_communities(&g, &cfg);
+        cfg.num_threads = Some(8);
+        let r8 = detect_communities(&g, &cfg);
+        assert_eq!(r1.assignment, r8.assignment);
+        assert_eq!(r1.modularity.to_bits(), r8.modularity.to_bits());
+    }
+
+    #[test]
+    fn stitched_labels_follow_component_id_order() {
+        // Component ids are ascending-min-vertex; label blocks must follow.
+        let g = GraphBuilder::new(6)
+            .add_edge(0, 5, 1.0)
+            .add_edge(1, 2, 1.0)
+            .add_edge(3, 4, 1.0)
+            .build()
+            .unwrap();
+        let cfg = LouvainConfig {
+            split_components: true,
+            split_serial_threshold: 2,
+            ..Scheme::Baseline.config()
+        };
+        let r = detect_communities(&g, &cfg);
+        // {0,5} is component 0, {1,2} component 1, {3,4} component 2.
+        assert!(r.assignment[0] < r.assignment[1]);
+        assert!(r.assignment[1] < r.assignment[3]);
+    }
+
+    #[test]
+    fn vertex_id_type_is_consistent() {
+        // Compile-time guard that remap tables use the graph's VertexId.
+        let g = multi_component(&[64], 1, 1);
+        let l = connected_components(&g);
+        let subs = extract_components(&g, &l);
+        let _: &Vec<VertexId> = &subs[0].vertices;
+    }
+}

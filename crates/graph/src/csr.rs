@@ -96,6 +96,17 @@ impl CsrGraph {
         Ok(g)
     }
 
+    /// Replaces the cached total edge weight `m`, leaving every stored array
+    /// untouched. This intentionally breaks the `m = ½ Σ k_i` identity: it
+    /// exists for component-split detection, where modularity on an extracted
+    /// component subgraph must be evaluated against the **parent** graph's
+    /// `2m` normalization so per-component decisions reproduce the unsplit
+    /// run's. Do not persist or merge a graph carrying an override.
+    pub fn with_total_weight_override(mut self, total_weight: f64) -> Self {
+        self.total_weight = total_weight;
+        self
+    }
+
     /// Computes the cached degree/weight fields without checking invariants.
     fn new_unchecked(offsets: Vec<usize>, targets: Vec<VertexId>, weights: Vec<f64>) -> Self {
         let n = offsets.len() - 1;

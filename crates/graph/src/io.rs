@@ -11,7 +11,9 @@
 
 use crate::builder::{BuildError, GraphBuilder};
 use crate::csr::{CsrGraph, VertexId, DEFAULT_WEIGHT};
+use crate::shared::SharedSlice;
 use bytes::{Buf, BufMut, BytesMut};
+use rayon::prelude::*;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
@@ -262,11 +264,49 @@ pub fn write_metis<W: Write>(g: &CsrGraph, writer: W) -> Result<(), IoError> {
 
 /// Magic prefix of a `.grb` file.
 pub const GRB_MAGIC: &[u8; 8] = b"GRPLGRB\0";
-/// Current `.grb` format version.
-pub const GRB_VERSION: u16 = 1;
-/// Fixed header size: magic (8) + version (2) + flags (2) + n (8) +
+/// The legacy single-section `.grb` layout (one contiguous run per array).
+pub const GRB_VERSION_V1: u16 = 1;
+/// The sectioned `.grb` layout: vertex-range chunks behind a chunk table,
+/// written streamed and decoded in parallel.
+pub const GRB_VERSION_V2: u16 = 2;
+/// The version [`save_binary`] writes.
+pub const GRB_VERSION: u16 = GRB_VERSION_V2;
+/// Fixed v1 header size: magic (8) + version (2) + flags (2) + n (8) +
 /// entries (8).
 const GRB_HEADER_LEN: usize = 28;
+/// Fixed v2 header size: the v1 header + chunk size (8) + chunk count (8).
+const GRB_V2_HEADER_LEN: usize = 44;
+/// Bytes per chunk-table record: first vertex, vertex count, first adjacency
+/// entry, entry count, payload checksum — each `u64`.
+const GRB_V2_TABLE_RECORD: usize = 40;
+
+/// Incremental FNV-1a-64 over `u64` words — the v2 per-chunk checksum.
+///
+/// Hashing the chunk's *decoded logical words* (each `offsets[v+1]`, each
+/// neighbor id zero-extended, each weight's bit pattern) rather than raw
+/// bytes lets the writer fold the hash over the CSR arrays directly and the
+/// reader fold it into its decode loop; the two are equivalent because every
+/// word maps bijectively to its little-endian byte run.
+#[derive(Clone, Copy)]
+struct GrbChecksum(u64);
+
+impl GrbChecksum {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Self(Self::OFFSET_BASIS)
+    }
+
+    #[inline]
+    fn push(&mut self, word: u64) {
+        self.0 = (self.0 ^ word).wrapping_mul(Self::PRIME);
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
 
 /// Serializes the CSR arrays into the versioned `.grb` layout — all
 /// little-endian:
@@ -284,12 +324,16 @@ const GRB_HEADER_LEN: usize = 28;
 ///
 /// Loading is O(read): the arrays deserialize straight back into CSR form
 /// with no re-parsing, re-sorting, or duplicate merging.
+///
+/// This writes the **legacy v1** layout, kept for compatibility tests and
+/// for pinning the v1 read path; [`save_binary`] writes the sectioned v2
+/// layout ([`write_grb_v2`]).
 pub fn write_grb<W: Write>(g: &CsrGraph, writer: W) -> Result<(), IoError> {
     let n = g.num_vertices();
     let entries = g.num_adjacency_entries();
     let mut out = Vec::with_capacity(GRB_HEADER_LEN + (n + 1) * 8 + entries * 12);
     out.extend_from_slice(GRB_MAGIC);
-    out.extend_from_slice(&GRB_VERSION.to_le_bytes());
+    out.extend_from_slice(&GRB_VERSION_V1.to_le_bytes());
     out.extend_from_slice(&0u16.to_le_bytes());
     out.extend_from_slice(&(n as u64).to_le_bytes());
     out.extend_from_slice(&(entries as u64).to_le_bytes());
@@ -308,9 +352,11 @@ pub fn write_grb<W: Write>(g: &CsrGraph, writer: W) -> Result<(), IoError> {
     Ok(())
 }
 
-/// Deserializes a `.grb` buffer produced by [`write_grb`]; the resulting
-/// graph is bitwise identical to the one serialized (offsets, neighbor ids
-/// and weight bits round-trip exactly, under test).
+/// Deserializes a `.grb` buffer in either layout — the version field
+/// selects the decoder, so v1 files written before the sectioned format stay
+/// fully readable (and bitwise stable, under test). The resulting graph is
+/// bitwise identical to the one serialized (offsets, neighbor ids and weight
+/// bits round-trip exactly).
 pub fn read_grb<R: Read>(reader: R) -> Result<CsrGraph, IoError> {
     let mut data = Vec::new();
     BufReader::new(reader).read_to_end(&mut data)?;
@@ -325,12 +371,19 @@ fn parse_grb(data: &[u8]) -> Result<CsrGraph, IoError> {
         return Err(parse_err(0, "bad magic; not a .grb graph file"));
     }
     let version = u16::from_le_bytes(data[8..10].try_into().unwrap());
-    if version != GRB_VERSION {
-        return Err(parse_err(
+    match version {
+        GRB_VERSION_V1 => parse_grb_v1(data),
+        GRB_VERSION_V2 => parse_grb_v2(data),
+        _ => Err(parse_err(
             0,
-            format!(".grb version {version} unsupported (expected {GRB_VERSION})"),
-        ));
+            format!(
+                ".grb version {version} unsupported (expected {GRB_VERSION_V1} or {GRB_VERSION_V2})"
+            ),
+        )),
     }
+}
+
+fn parse_grb_v1(data: &[u8]) -> Result<CsrGraph, IoError> {
     let n = u64::from_le_bytes(data[12..20].try_into().unwrap()) as usize;
     let entries = u64::from_le_bytes(data[20..28].try_into().unwrap()) as usize;
     // Fully checked size arithmetic: a crafted header (e.g. n = u64::MAX)
@@ -372,12 +425,400 @@ fn parse_grb(data: &[u8]) -> Result<CsrGraph, IoError> {
         .map_err(|m| parse_err(0, format!(".grb payload invalid: {m}")))
 }
 
-/// Saves `g` to `path` in the `.grb` binary format (see [`write_grb`]).
-pub fn save_binary(g: &CsrGraph, path: impl AsRef<Path>) -> Result<(), IoError> {
-    write_grb(g, std::fs::File::create(path)?)
+/// Vertices per chunk [`write_grb_v2`] sections a graph into: about 64
+/// chunks on large graphs (plenty of parallel decode slack for any realistic
+/// pool, with stealing absorbing degree skew between vertex ranges), floored
+/// so tiny graphs don't pay table overhead per handful of vertices.
+pub fn grb_v2_chunk_vertices(n: usize) -> usize {
+    n.div_ceil(64).max(4096)
 }
 
-/// Loads a `.grb` file written by [`save_binary`] in O(read) time.
+/// Serializes the CSR arrays into the sectioned v2 `.grb` layout — all
+/// little-endian:
+///
+/// | bytes          | field                                        |
+/// |----------------|----------------------------------------------|
+/// | 0..8           | magic `"GRPLGRB\0"`                          |
+/// | 8..10          | version (`u16`, 2)                           |
+/// | 10..12         | flags (`u16`, reserved, 0)                   |
+/// | 12..20         | vertex count `n` (`u64`)                     |
+/// | 20..28         | adjacency entry count (`u64`)                |
+/// | 28..36         | vertices per chunk (`u64`)                   |
+/// | 36..44         | chunk count (`u64`)                          |
+/// | …              | chunk table: per chunk, 5 × `u64` —          |
+/// |                | first vertex, vertex count, first entry,     |
+/// |                | entry count, payload checksum (FNV-1a-64     |
+/// |                | over the chunk's decoded words)              |
+/// | …              | per chunk, in order: offsets (`count × u64`, |
+/// |                | the absolute `offsets[v+1]` run), neighbor   |
+/// |                | ids (`entries × u32`), weights (`entries ×   |
+/// |                | f64` bit patterns)                           |
+///
+/// The write is **streamed**: header and table first, then one chunk's
+/// sections at a time through a reused buffer, so peak transient memory is
+/// one chunk rather than the whole serialized graph. The chunk table gives
+/// the reader an independent byte range and entry range per chunk, which is
+/// what lets [`read_grb`] decode and bounds-check chunks in parallel.
+///
+/// The per-chunk checksum carries the writer's validity guarantee across the
+/// round-trip: only already-validated [`CsrGraph`]s are ever serialized, so a
+/// checksum-verified chunk needs just the linear structural checks on load
+/// (offsets monotone and range-closing, neighbor ids in range and strictly
+/// ascending per vertex, weights finite and positive) — the O(m log deg)
+/// mirror-symmetry search the v1 loader must re-run is skipped. Corrupted
+/// bytes that survive the linear checks fail the checksum with a
+/// chunk-indexed error.
+pub fn write_grb_v2<W: Write>(g: &CsrGraph, writer: W) -> Result<(), IoError> {
+    write_grb_v2_chunked(g, writer, grb_v2_chunk_vertices(g.num_vertices()))
+}
+
+/// [`write_grb_v2`] with an explicit chunk granularity (exposed for tests;
+/// any `chunk_vertices ≥ 1` produces a valid, bitwise round-tripping file).
+pub fn write_grb_v2_chunked<W: Write>(
+    g: &CsrGraph,
+    writer: W,
+    chunk_vertices: usize,
+) -> Result<(), IoError> {
+    let n = g.num_vertices();
+    let entries = g.num_adjacency_entries();
+    let chunk_vertices = chunk_vertices.max(1);
+    let num_chunks = n.div_ceil(chunk_vertices);
+    let offsets = g.adjacency_offsets();
+
+    let mut w = BufWriter::new(writer);
+    let mut head = Vec::with_capacity(GRB_V2_HEADER_LEN + num_chunks * GRB_V2_TABLE_RECORD);
+    head.extend_from_slice(GRB_MAGIC);
+    head.extend_from_slice(&GRB_VERSION_V2.to_le_bytes());
+    head.extend_from_slice(&0u16.to_le_bytes());
+    head.extend_from_slice(&(n as u64).to_le_bytes());
+    head.extend_from_slice(&(entries as u64).to_le_bytes());
+    head.extend_from_slice(&(chunk_vertices as u64).to_le_bytes());
+    head.extend_from_slice(&(num_chunks as u64).to_le_bytes());
+    for c in 0..num_chunks {
+        let first_v = c * chunk_vertices;
+        let last_v = (first_v + chunk_vertices).min(n);
+        let (e_lo, e_hi) = (offsets[first_v], offsets[last_v]);
+        head.extend_from_slice(&(first_v as u64).to_le_bytes());
+        head.extend_from_slice(&((last_v - first_v) as u64).to_le_bytes());
+        head.extend_from_slice(&(e_lo as u64).to_le_bytes());
+        head.extend_from_slice(&((e_hi - e_lo) as u64).to_le_bytes());
+        let mut sum = GrbChecksum::new();
+        for &off in &offsets[first_v + 1..=last_v] {
+            sum.push(off as u64);
+        }
+        for &t in &g.adjacency_targets()[e_lo..e_hi] {
+            sum.push(t as u64);
+        }
+        for &wt in &g.adjacency_weights()[e_lo..e_hi] {
+            sum.push(wt.to_bits());
+        }
+        head.extend_from_slice(&sum.finish().to_le_bytes());
+    }
+    w.write_all(&head)?;
+
+    let mut buf = Vec::new();
+    for c in 0..num_chunks {
+        let first_v = c * chunk_vertices;
+        let last_v = (first_v + chunk_vertices).min(n);
+        let (e_lo, e_hi) = (offsets[first_v], offsets[last_v]);
+        buf.clear();
+        buf.reserve((last_v - first_v) * 8 + (e_hi - e_lo) * 12);
+        for &off in &offsets[first_v + 1..=last_v] {
+            buf.extend_from_slice(&(off as u64).to_le_bytes());
+        }
+        for &t in &g.adjacency_targets()[e_lo..e_hi] {
+            buf.extend_from_slice(&t.to_le_bytes());
+        }
+        for &wt in &g.adjacency_weights()[e_lo..e_hi] {
+            buf.extend_from_slice(&wt.to_bits().to_le_bytes());
+        }
+        w.write_all(&buf)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// One parsed chunk-table record of a v2 file.
+#[derive(Clone, Copy)]
+struct GrbChunk {
+    first_vertex: usize,
+    num_vertices: usize,
+    first_entry: usize,
+    num_entries: usize,
+    /// Stored payload checksum ([`GrbChecksum`] over the decoded words).
+    checksum: u64,
+    /// Byte offset of this chunk's payload within the file.
+    payload_at: usize,
+}
+
+impl GrbChunk {
+    fn payload_len(&self) -> Option<usize> {
+        let v = self.num_vertices.checked_mul(8)?;
+        let e = self.num_entries.checked_mul(12)?;
+        v.checked_add(e)
+    }
+}
+
+fn parse_grb_v2(data: &[u8]) -> Result<CsrGraph, IoError> {
+    let chunk_err = |c: usize, msg: String| parse_err(0, format!(".grb v2 chunk {c}: {msg}"));
+    if data.len() < GRB_V2_HEADER_LEN {
+        return Err(parse_err(0, ".grb v2 truncated: incomplete header"));
+    }
+    let n = u64::from_le_bytes(data[12..20].try_into().unwrap()) as usize;
+    let entries = u64::from_le_bytes(data[20..28].try_into().unwrap()) as usize;
+    let chunk_vertices = u64::from_le_bytes(data[28..36].try_into().unwrap()) as usize;
+    let num_chunks = u64::from_le_bytes(data[36..44].try_into().unwrap()) as usize;
+    if n > 0 && chunk_vertices == 0 {
+        return Err(parse_err(0, ".grb v2 chunk size must be positive"));
+    }
+    if num_chunks != n.div_ceil(chunk_vertices.max(1)) {
+        return Err(parse_err(
+            0,
+            format!(
+                ".grb v2 chunk count {num_chunks} inconsistent with {n} vertices / {chunk_vertices} per chunk"
+            ),
+        ));
+    }
+    // Fully checked size arithmetic, as in v1: a crafted header must come
+    // back as an error, never an overflow panic.
+    let need = num_chunks
+        .checked_mul(GRB_V2_TABLE_RECORD)
+        .and_then(|t| t.checked_add(GRB_V2_HEADER_LEN))
+        .and_then(|h| n.checked_mul(8).and_then(|o| h.checked_add(o)))
+        .and_then(|h| entries.checked_mul(12).and_then(|e| h.checked_add(e)))
+        .ok_or_else(|| parse_err(0, ".grb v2 header sizes overflow"))?;
+    if data.len() != need {
+        return Err(parse_err(
+            0,
+            format!(
+                ".grb v2 truncated or oversized: have {} bytes, need {need}",
+                data.len()
+            ),
+        ));
+    }
+
+    // The chunk table must tile 0..n and 0..entries contiguously; every
+    // violation names the offending chunk.
+    let mut chunks = Vec::with_capacity(num_chunks);
+    let mut payload_at = GRB_V2_HEADER_LEN + num_chunks * GRB_V2_TABLE_RECORD;
+    let (mut next_vertex, mut next_entry) = (0usize, 0usize);
+    for c in 0..num_chunks {
+        let at = GRB_V2_HEADER_LEN + c * GRB_V2_TABLE_RECORD;
+        let field =
+            |i: usize| u64::from_le_bytes(data[at + i * 8..at + (i + 1) * 8].try_into().unwrap());
+        let chunk = GrbChunk {
+            first_vertex: field(0) as usize,
+            num_vertices: field(1) as usize,
+            first_entry: field(2) as usize,
+            num_entries: field(3) as usize,
+            checksum: field(4),
+            payload_at,
+        };
+        if chunk.first_vertex != next_vertex {
+            return Err(chunk_err(
+                c,
+                format!(
+                    "first vertex {} does not continue the previous chunk (expected {next_vertex})",
+                    chunk.first_vertex
+                ),
+            ));
+        }
+        if chunk.first_entry != next_entry {
+            return Err(chunk_err(
+                c,
+                format!(
+                    "first entry {} does not continue the previous chunk (expected {next_entry})",
+                    chunk.first_entry
+                ),
+            ));
+        }
+        if chunk.num_vertices == 0 || chunk.num_vertices > chunk_vertices {
+            return Err(chunk_err(
+                c,
+                format!(
+                    "vertex count {} outside 1..={chunk_vertices}",
+                    chunk.num_vertices
+                ),
+            ));
+        }
+        next_vertex = chunk
+            .first_vertex
+            .checked_add(chunk.num_vertices)
+            .ok_or_else(|| chunk_err(c, "vertex range overflows".into()))?;
+        next_entry = chunk
+            .first_entry
+            .checked_add(chunk.num_entries)
+            .ok_or_else(|| chunk_err(c, "entry range overflows".into()))?;
+        let len = chunk
+            .payload_len()
+            .ok_or_else(|| chunk_err(c, "payload size overflows".into()))?;
+        payload_at = payload_at
+            .checked_add(len)
+            .ok_or_else(|| chunk_err(c, "payload offset overflows".into()))?;
+        if payload_at > data.len() {
+            return Err(chunk_err(
+                c,
+                format!(
+                    "payload truncated: section ends at byte {payload_at}, file has {}",
+                    data.len()
+                ),
+            ));
+        }
+        chunks.push(chunk);
+    }
+    if next_vertex != n {
+        return Err(parse_err(
+            0,
+            format!(".grb v2 chunk table covers {next_vertex} of {n} vertices"),
+        ));
+    }
+    if next_entry != entries {
+        return Err(parse_err(
+            0,
+            format!(".grb v2 chunk table covers {next_entry} of {entries} adjacency entries"),
+        ));
+    }
+
+    // Parallel chunk decode: every chunk owns a disjoint slice of each CSR
+    // array (its vertex range / entry range from the validated table), so
+    // workers scatter through raw views and any thread may decode any chunk.
+    let mut offsets = vec![0usize; n + 1];
+    let mut targets = vec![0 as VertexId; entries];
+    let mut weights = vec![0.0f64; entries];
+    let offsets_view = SharedSlice::new(&mut offsets);
+    let targets_view = SharedSlice::new(&mut targets);
+    let weights_view = SharedSlice::new(&mut weights);
+    let errors: Vec<Option<(usize, String)>> = (0..num_chunks)
+        .into_par_iter()
+        .map(|c| {
+            let chunk = &chunks[c];
+            let mut at = chunk.payload_at;
+            let mut sum = GrbChecksum::new();
+            // Chunk-local offsets (closing boundary of each vertex's
+            // adjacency run) — kept so the target scan below can check
+            // per-vertex sorted order without re-reading the shared array.
+            let mut local_off = Vec::with_capacity(chunk.num_vertices + 1);
+            local_off.push(chunk.first_entry);
+            let mut prev = chunk.first_entry;
+            for i in 0..chunk.num_vertices {
+                let off = u64::from_le_bytes(data[at..at + 8].try_into().unwrap()) as usize;
+                sum.push(off as u64);
+                if off < prev || off > chunk.first_entry + chunk.num_entries {
+                    return Some((
+                        c,
+                        format!(
+                            "offset {off} for vertex {} outside its entry range \
+                             {}..={} or non-monotonic",
+                            chunk.first_vertex + i,
+                            chunk.first_entry,
+                            chunk.first_entry + chunk.num_entries,
+                        ),
+                    ));
+                }
+                // SAFETY: slot first_vertex+i+1 belongs to this chunk alone
+                // (the table tiles vertex ranges disjointly).
+                unsafe { offsets_view.write(chunk.first_vertex + i + 1, off) };
+                local_off.push(off);
+                prev = off;
+                at += 8;
+            }
+            if prev != chunk.first_entry + chunk.num_entries {
+                return Some((
+                    c,
+                    format!(
+                        "last offset {prev} does not close the chunk's entry range at {}",
+                        chunk.first_entry + chunk.num_entries
+                    ),
+                ));
+            }
+            let mut v_idx = 0usize;
+            let mut prev_t: Option<VertexId> = None;
+            for i in 0..chunk.num_entries {
+                let e = chunk.first_entry + i;
+                while e >= local_off[v_idx + 1] {
+                    v_idx += 1;
+                    prev_t = None;
+                }
+                let t = u32::from_le_bytes(data[at..at + 4].try_into().unwrap());
+                sum.push(t as u64);
+                if t as usize >= n {
+                    return Some((
+                        c,
+                        format!(
+                            "neighbor id {t} of vertex {} out of range (n = {n})",
+                            chunk.first_vertex + v_idx
+                        ),
+                    ));
+                }
+                if prev_t.is_some_and(|p| t <= p) {
+                    return Some((
+                        c,
+                        format!(
+                            "adjacency of vertex {} not strictly ascending at entry {e}",
+                            chunk.first_vertex + v_idx
+                        ),
+                    ));
+                }
+                prev_t = Some(t);
+                // SAFETY: entry slot belongs to this chunk alone.
+                unsafe { targets_view.write(e, t) };
+                at += 4;
+            }
+            for i in 0..chunk.num_entries {
+                let bits = u64::from_le_bytes(data[at..at + 8].try_into().unwrap());
+                sum.push(bits);
+                let w = f64::from_bits(bits);
+                if !(w.is_finite() && w > 0.0) {
+                    return Some((
+                        c,
+                        format!(
+                            "weight {w} at entry {} not finite and positive",
+                            chunk.first_entry + i
+                        ),
+                    ));
+                }
+                // SAFETY: entry slot belongs to this chunk alone.
+                unsafe { weights_view.write(chunk.first_entry + i, w) };
+                at += 8;
+            }
+            if sum.finish() != chunk.checksum {
+                return Some((
+                    c,
+                    format!(
+                        "payload checksum mismatch (stored {:#018x}, computed {:#018x})",
+                        chunk.checksum,
+                        sum.finish()
+                    ),
+                ));
+            }
+            None
+        })
+        .collect();
+    if let Some((c, msg)) = errors.into_iter().flatten().min_by_key(|(c, _)| *c) {
+        return Err(chunk_err(c, msg));
+    }
+
+    // Trust model: the decode above already enforced every CSR invariant a
+    // linear scan can see (offsets tile and close, neighbor ids in range and
+    // strictly ascending per vertex, weights finite and positive), and the
+    // per-chunk checksums tie the payload back to the writer — which only
+    // ever serializes validated graphs. The one remaining v1-loader check,
+    // the O(m log deg) mirror-symmetry search, is therefore skipped here; it
+    // dominates the v1 load path and is exactly what makes checksum-verified
+    // v2 loads fast. All downstream access is bounds-checked, so even an
+    // adversarial file that forged its checksums stays memory-safe.
+    Ok(CsrGraph::from_sorted_adjacency(offsets, targets, weights))
+}
+
+/// Saves `g` to `path` in the current sectioned `.grb` format (see
+/// [`write_grb_v2`]); [`load_binary`] reads either version.
+pub fn save_binary(g: &CsrGraph, path: impl AsRef<Path>) -> Result<(), IoError> {
+    write_grb_v2(g, std::fs::File::create(path)?)
+}
+
+/// Loads a `.grb` file in O(read) time — v2 sections decode in parallel
+/// across the resident pool; legacy v1 files use the original single-shot
+/// decoder unchanged.
 pub fn load_binary(path: impl AsRef<Path>) -> Result<CsrGraph, IoError> {
     read_grb(std::fs::File::open(path)?)
 }
@@ -484,7 +925,7 @@ pub fn save_path(g: &CsrGraph, path: impl AsRef<Path>) -> Result<(), IoError> {
     let f = std::fs::File::create(path)?;
     match path.extension().and_then(|e| e.to_str()) {
         Some("graph") | Some("metis") => write_metis(g, f),
-        Some("grb") => write_grb(g, f),
+        Some("grb") => write_grb_v2(g, f),
         Some("bin") => {
             let mut w = BufWriter::new(f);
             w.write_all(&to_binary(g))?;
@@ -765,12 +1206,154 @@ mod tests {
         // not overflow-panic (debug builds) or allocate absurdly.
         let mut buf = Vec::new();
         buf.extend_from_slice(GRB_MAGIC);
-        buf.extend_from_slice(&GRB_VERSION.to_le_bytes());
+        buf.extend_from_slice(&GRB_VERSION_V1.to_le_bytes());
         buf.extend_from_slice(&0u16.to_le_bytes());
         buf.extend_from_slice(&u64::MAX.to_le_bytes());
         buf.extend_from_slice(&u64::MAX.to_le_bytes());
         let err = read_grb(&buf[..]).unwrap_err();
         assert!(err.to_string().contains("overflow"), "{err}");
+    }
+
+    #[test]
+    fn grb_v2_rejects_overflowing_header_sizes() {
+        // A v2 header whose chunk table alone would overflow usize.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(GRB_MAGIC);
+        buf.extend_from_slice(&GRB_VERSION_V2.to_le_bytes());
+        buf.extend_from_slice(&0u16.to_le_bytes());
+        buf.extend_from_slice(&u64::MAX.to_le_bytes()); // n
+        buf.extend_from_slice(&u64::MAX.to_le_bytes()); // entries
+        buf.extend_from_slice(&1u64.to_le_bytes()); // chunk_vertices
+        buf.extend_from_slice(&u64::MAX.to_le_bytes()); // num_chunks
+        let err = read_grb(&buf[..]).unwrap_err();
+        assert!(err.to_string().contains("overflow"), "{err}");
+    }
+
+    /// A multi-chunk v2 sample: enough vertices that `chunk_vertices = 3`
+    /// sections it into several chunks with uneven entry counts.
+    fn chain(n: usize) -> CsrGraph {
+        let edges: Vec<(VertexId, VertexId, f64)> = (0..n - 1)
+            .map(|i| (i as VertexId, (i + 1) as VertexId, 1.0 + i as f64 * 0.25))
+            .collect();
+        from_weighted_edges(n, edges).unwrap()
+    }
+
+    #[test]
+    fn grb_v2_round_trip_is_bitwise_exact() {
+        let g = chain(11);
+        for chunk_vertices in [1, 2, 3, 11, 64] {
+            let mut buf = Vec::new();
+            write_grb_v2_chunked(&g, &mut buf, chunk_vertices).unwrap();
+            let g2 = read_grb(&buf[..]).unwrap();
+            assert_grb_bitwise_equal(&g, &g2);
+            assert_eq!(g.total_weight().to_bits(), g2.total_weight().to_bits());
+        }
+    }
+
+    #[test]
+    fn grb_v2_matches_v1_bitwise() {
+        // The same graph through either writer decodes to bitwise-identical
+        // storage — the convert-upgrade guarantee.
+        let g = chain(10);
+        let (mut v1, mut v2) = (Vec::new(), Vec::new());
+        write_grb(&g, &mut v1).unwrap();
+        write_grb_v2_chunked(&g, &mut v2, 4).unwrap();
+        let g1 = read_grb(&v1[..]).unwrap();
+        let g2 = read_grb(&v2[..]).unwrap();
+        assert_grb_bitwise_equal(&g1, &g2);
+        assert_eq!(g1.total_weight().to_bits(), g2.total_weight().to_bits());
+    }
+
+    #[test]
+    fn grb_v2_zero_vertex_round_trip() {
+        let g = CsrGraph::empty(0);
+        let mut buf = Vec::new();
+        write_grb_v2(&g, &mut buf).unwrap();
+        let g2 = read_grb(&buf[..]).unwrap();
+        assert_eq!(g2.num_vertices(), 0);
+        for keep in 0..buf.len() {
+            assert!(read_grb(&buf[..keep]).is_err(), "keep={keep}");
+        }
+    }
+
+    #[test]
+    fn grb_v2_rejects_truncation_at_every_length() {
+        let mut buf = Vec::new();
+        write_grb_v2_chunked(&chain(9), &mut buf, 3).unwrap();
+        for keep in 0..buf.len() {
+            assert!(read_grb(&buf[..keep]).is_err(), "keep={keep}");
+        }
+        let mut padded = buf.clone();
+        padded.extend_from_slice(&[0u8; 5]);
+        assert!(read_grb(&padded[..]).is_err());
+    }
+
+    #[test]
+    fn grb_v2_corrupt_chunk_errors_name_the_chunk() {
+        let g = chain(9); // chunk_vertices = 3 → chunks 0, 1, 2
+        let mut buf = Vec::new();
+        write_grb_v2_chunked(&g, &mut buf, 3).unwrap();
+
+        // Corrupt chunk 1's table record: its first-vertex no longer
+        // continues chunk 0.
+        let mut bad = buf.clone();
+        let table1 = GRB_V2_HEADER_LEN + GRB_V2_TABLE_RECORD;
+        bad[table1..table1 + 8].copy_from_slice(&7u64.to_le_bytes());
+        let err = read_grb(&bad[..]).unwrap_err();
+        assert!(err.to_string().contains("chunk 1"), "{err}");
+
+        // Corrupt an offset inside chunk 2's payload: error names chunk 2.
+        let offsets = g.adjacency_offsets();
+        let chunk2_payload = GRB_V2_HEADER_LEN
+            + 3 * GRB_V2_TABLE_RECORD
+            + (3 * 8 + (offsets[3] - offsets[0]) * 12)
+            + (3 * 8 + (offsets[6] - offsets[3]) * 12);
+        let mut bad = buf.clone();
+        bad[chunk2_payload..chunk2_payload + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = read_grb(&bad[..]).unwrap_err();
+        assert!(err.to_string().contains("chunk 2"), "{err}");
+
+        // A well-framed but structurally broken payload (weight bits zeroed,
+        // so a non-positive weight) is rejected by the chunk's linear checks,
+        // again naming the chunk.
+        let mut bad = buf.clone();
+        let len = bad.len();
+        bad[len - 8..].copy_from_slice(&0u64.to_le_bytes());
+        let err = read_grb(&bad[..]).unwrap_err();
+        assert!(err.to_string().contains("chunk 2"), "{err}");
+    }
+
+    #[test]
+    fn grb_v2_checksum_catches_structurally_plausible_corruption() {
+        // Flip the lowest mantissa bit of the final weight: still a finite
+        // positive weight and framing stays intact, so only the per-chunk
+        // checksum can tell the payload no longer matches what was written.
+        let mut buf = Vec::new();
+        write_grb_v2_chunked(&chain(9), &mut buf, 3).unwrap();
+        let len = buf.len();
+        buf[len - 8] ^= 0x01;
+        let err = read_grb(&buf[..]).unwrap_err();
+        assert!(err.to_string().contains("chunk 2"), "{err}");
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+    }
+
+    #[test]
+    fn save_binary_writes_v2_load_reads_both() {
+        let dir = std::env::temp_dir().join("grappolo_io_v2_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = chain(12);
+        let v2_path = dir.join("g.grb");
+        save_binary(&g, &v2_path).unwrap();
+        let head = std::fs::read(&v2_path).unwrap();
+        assert_eq!(
+            u16::from_le_bytes(head[8..10].try_into().unwrap()),
+            GRB_VERSION_V2
+        );
+        let v1_path = dir.join("g_v1.grb");
+        write_grb(&g, std::fs::File::create(&v1_path).unwrap()).unwrap();
+        let from_v2 = load_binary(&v2_path).unwrap();
+        let from_v1 = load_binary(&v1_path).unwrap();
+        assert_grb_bitwise_equal(&from_v1, &from_v2);
     }
 
     #[test]

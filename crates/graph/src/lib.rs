@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod components;
 pub mod csr;
 pub mod delta;
 pub mod gen;
@@ -32,6 +33,9 @@ pub mod stats;
 
 pub use builder::{
     from_unweighted_edges, from_weighted_edges, BuildError, GraphBuilder, MergePolicy,
+};
+pub use components::{
+    connected_components, extract_components, ComponentLabeling, ComponentSubgraph,
 };
 pub use csr::{CsrGraph, VertexId, DEFAULT_WEIGHT};
 pub use delta::{DeltaError, EdgeChange, EdgeDelta};
