@@ -60,7 +60,33 @@ USAGE:
       detection from scratch instead (default 0.25)
   grappolo audit <graph-file> <assignments-file>
       print the connectivity report for an assignment: communities,
-      internally disconnected count/fraction, min internal conductance
+      internally disconnected count/fraction, min internal conductance.
+      exit code 5 (distinct from could-not-run) when internally
+      disconnected communities are found
+  grappolo serve <graph-file> [--addr HOST:PORT] [--server-threads N]
+                 [--queue-depth N] [--deadline-ms N] [--retry N]
+                 [--backoff-ms N] [--threads N] [--gamma F] [--faults SPEC]
+      resident partition service: load the graph, detect communities,
+      answer line-oriented TCP queries (`ping`, `community-of <v>`,
+      `members <c>`, `stats`, `metrics`, `update <batch-file>`,
+      `snapshot-save <path>`, `quit`). Prints `listening HOST:PORT` when
+      ready (--addr defaults to 127.0.0.1:0 = pick a free port). SIGTERM
+      or SIGINT drains gracefully: in-flight work is cancelled
+      cooperatively, queued requests finish, no partial files remain.
+      --server-threads: request worker threads (default 4)
+      --queue-depth: bounded request queue; overload answers `err busy`
+      (default 128)
+      --deadline-ms: per-request response deadline (default 2000)
+      --retry / --backoff-ms: persistence retry attempts and base backoff
+      (default 3 / 10)
+      --threads / --gamma: detection thread count and resolution
+      --faults: failpoint spec, e.g. `detect=panic:1,persist=err:2`
+      (overrides the GRAPPOLO_FAULTS environment variable)
+  grappolo query --addr HOST:PORT [--script FILE] [command…]
+      one-shot client: send a single protocol command (the trailing
+      words) or every non-comment line of --script FILE over one
+      connection, printing each response line. Exits 0 when every
+      response is `ok`, 1 if any is `err`, 3 on connection failure
   grappolo color <graph-file> [--balanced]
   grappolo compare <assignments-a> <assignments-b>
   grappolo convert <in-file> <out-file>
@@ -150,6 +176,38 @@ pub enum Command {
         /// Assignment path (`vertex community` lines).
         assignments: PathBuf,
     },
+    /// Run the resident partition service.
+    Serve {
+        /// Graph path.
+        graph: PathBuf,
+        /// Bind address (port 0 picks a free port).
+        addr: String,
+        /// Request worker threads.
+        server_threads: usize,
+        /// Bounded request queue capacity.
+        queue_depth: usize,
+        /// Per-request deadline in milliseconds.
+        deadline_ms: u64,
+        /// Persistence retry attempts.
+        retry: u32,
+        /// Base persistence backoff in milliseconds.
+        backoff_ms: u64,
+        /// Detection thread count (None = default).
+        threads: Option<usize>,
+        /// Resolution γ.
+        gamma: f64,
+        /// Failpoint spec (overrides `GRAPPOLO_FAULTS`).
+        faults: Option<String>,
+    },
+    /// Send protocol commands to a running service.
+    Query {
+        /// Server address.
+        addr: String,
+        /// File of protocol lines to send (`#` comments skipped).
+        script: Option<PathBuf>,
+        /// Single inline protocol command.
+        command: Option<String>,
+    },
     /// Color a graph and report class statistics.
     Color {
         /// Graph path.
@@ -193,6 +251,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         }
         "detect" => parse_detect(&rest),
         "update" => parse_update(&rest),
+        "serve" => parse_serve(&rest),
+        "query" => parse_query(&rest),
         "audit" => {
             let graph = positional(&rest, 0, "graph-file")?;
             let assignments = positional(&rest, 1, "assignments-file")?;
@@ -356,6 +416,87 @@ fn parse_update(rest: &[&str]) -> Result<Command, String> {
         threads,
         gamma,
         fallback,
+    })
+}
+
+fn parse_serve(rest: &[&str]) -> Result<Command, String> {
+    let graph = positional(rest, 0, "graph-file")?;
+    let addr = flag_value(rest, "--addr")?
+        .unwrap_or("127.0.0.1:0")
+        .to_string();
+    let server_threads: usize = flag_value(rest, "--server-threads")?
+        .map(|v| v.parse().map_err(|e| format!("bad --server-threads: {e}")))
+        .transpose()?
+        .unwrap_or(4);
+    let queue_depth: usize = flag_value(rest, "--queue-depth")?
+        .map(|v| v.parse().map_err(|e| format!("bad --queue-depth: {e}")))
+        .transpose()?
+        .unwrap_or(128);
+    let deadline_ms: u64 = flag_value(rest, "--deadline-ms")?
+        .map(|v| v.parse().map_err(|e| format!("bad --deadline-ms: {e}")))
+        .transpose()?
+        .unwrap_or(2000);
+    let retry: u32 = flag_value(rest, "--retry")?
+        .map(|v| v.parse().map_err(|e| format!("bad --retry: {e}")))
+        .transpose()?
+        .unwrap_or(3);
+    let backoff_ms: u64 = flag_value(rest, "--backoff-ms")?
+        .map(|v| v.parse().map_err(|e| format!("bad --backoff-ms: {e}")))
+        .transpose()?
+        .unwrap_or(10);
+    let threads = flag_value(rest, "--threads")?
+        .map(|v| v.parse().map_err(|e| format!("bad --threads: {e}")))
+        .transpose()?;
+    let gamma: f64 = flag_value(rest, "--gamma")?
+        .map(|v| v.parse().map_err(|e| format!("bad --gamma: {e}")))
+        .transpose()?
+        .unwrap_or(1.0);
+    let faults = flag_value(rest, "--faults")?.map(String::from);
+    Ok(Command::Serve {
+        graph: graph.into(),
+        addr,
+        server_threads,
+        queue_depth,
+        deadline_ms,
+        retry,
+        backoff_ms,
+        threads,
+        gamma,
+        faults,
+    })
+}
+
+fn parse_query(rest: &[&str]) -> Result<Command, String> {
+    // The trailing protocol command may contain words that look like
+    // positionals, so walk the tokens explicitly: known flags consume a
+    // value, everything else joins the command.
+    let mut addr = None;
+    let mut script = None;
+    let mut words: Vec<&str> = Vec::new();
+    let mut it = rest.iter();
+    while let Some(&tok) = it.next() {
+        match tok {
+            "--addr" => addr = Some(it.next().ok_or("--addr needs a value")?.to_string()),
+            "--script" => script = Some(PathBuf::from(*it.next().ok_or("--script needs a value")?)),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown query flag `{other}`"))
+            }
+            word => words.push(word),
+        }
+    }
+    let addr = addr.ok_or("query requires --addr HOST:PORT")?;
+    let command = if words.is_empty() {
+        None
+    } else {
+        Some(words.join(" "))
+    };
+    if command.is_none() && script.is_none() {
+        return Err("query needs a protocol command or --script FILE".to_string());
+    }
+    Ok(Command::Query {
+        addr,
+        script,
+        command,
     })
 }
 
@@ -634,5 +775,91 @@ mod tests {
     #[test]
     fn flag_needs_value() {
         assert!(parse(&args("generate cnr --scale")).is_err());
+    }
+
+    #[test]
+    fn parses_serve_with_defaults_and_overrides() {
+        match parse(&args("serve g.grb")).unwrap() {
+            Command::Serve {
+                graph,
+                addr,
+                server_threads,
+                queue_depth,
+                deadline_ms,
+                retry,
+                backoff_ms,
+                threads,
+                gamma,
+                faults,
+            } => {
+                assert_eq!(graph, PathBuf::from("g.grb"));
+                assert_eq!(addr, "127.0.0.1:0");
+                assert_eq!(server_threads, 4);
+                assert_eq!(queue_depth, 128);
+                assert_eq!(deadline_ms, 2000);
+                assert_eq!(retry, 3);
+                assert_eq!(backoff_ms, 10);
+                assert_eq!(threads, None);
+                assert_eq!(gamma, 1.0);
+                assert_eq!(faults, None);
+            }
+            _ => panic!(),
+        }
+        match parse(&args(
+            "serve g.grb --addr 127.0.0.1:7101 --server-threads 8 --queue-depth 2 \
+             --deadline-ms 500 --retry 5 --backoff-ms 2 --threads 4 --gamma 1.5 \
+             --faults detect=panic:1",
+        ))
+        .unwrap()
+        {
+            Command::Serve {
+                addr,
+                server_threads,
+                queue_depth,
+                deadline_ms,
+                retry,
+                backoff_ms,
+                threads,
+                gamma,
+                faults,
+                ..
+            } => {
+                assert_eq!(addr, "127.0.0.1:7101");
+                assert_eq!(server_threads, 8);
+                assert_eq!(queue_depth, 2);
+                assert_eq!(deadline_ms, 500);
+                assert_eq!(retry, 5);
+                assert_eq!(backoff_ms, 2);
+                assert_eq!(threads, Some(4));
+                assert_eq!(gamma, 1.5);
+                assert_eq!(faults.as_deref(), Some("detect=panic:1"));
+            }
+            _ => panic!(),
+        }
+        assert!(parse(&args("serve")).is_err());
+        assert!(parse(&args("serve g.grb --server-threads x")).is_err());
+    }
+
+    #[test]
+    fn parses_query_inline_and_script() {
+        assert_eq!(
+            parse(&args("query --addr 127.0.0.1:7101 community-of 42")).unwrap(),
+            Command::Query {
+                addr: "127.0.0.1:7101".into(),
+                script: None,
+                command: Some("community-of 42".into()),
+            }
+        );
+        assert_eq!(
+            parse(&args("query --addr h:1 --script qs.txt")).unwrap(),
+            Command::Query {
+                addr: "h:1".into(),
+                script: Some("qs.txt".into()),
+                command: None,
+            }
+        );
+        assert!(parse(&args("query community-of 1")).is_err(), "no --addr");
+        assert!(parse(&args("query --addr h:1")).is_err(), "nothing to send");
+        assert!(parse(&args("query --addr h:1 --frob x")).is_err());
     }
 }

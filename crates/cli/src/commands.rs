@@ -1,6 +1,7 @@
 //! Command implementations.
 
 use crate::args::{Command, USAGE};
+use crate::error::CliError;
 use grappolo_coloring::{balance_colors, color_parallel, ColoringStats, ParallelColoringConfig};
 use grappolo_core::{
     detect_communities, geometric_for, update_communities, ColoredAccounting, LouvainConfig,
@@ -12,11 +13,12 @@ use grappolo_graph::gen::{
 };
 use grappolo_graph::{io, CsrGraph, EdgeDelta, GraphStats};
 use grappolo_metrics::{connectivity_report, normalized_mutual_information, pairwise_comparison};
+use grappolo_serve::{signal, BackoffPolicy, FaultPlan, ServeConfig, ServeError, Server};
 use std::path::Path;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Executes a parsed command.
-pub fn execute(cmd: Command) -> Result<(), String> {
+pub fn execute(cmd: Command) -> Result<(), CliError> {
     match cmd {
         Command::Help => {
             println!("{USAGE}");
@@ -77,14 +79,43 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             gamma,
             fallback,
         ),
+        Command::Serve {
+            graph,
+            addr,
+            server_threads,
+            queue_depth,
+            deadline_ms,
+            retry,
+            backoff_ms,
+            threads,
+            gamma,
+            faults,
+        } => serve(
+            &graph,
+            addr,
+            server_threads,
+            queue_depth,
+            deadline_ms,
+            retry,
+            backoff_ms,
+            threads,
+            gamma,
+            faults.as_deref(),
+        ),
+        Command::Query {
+            addr,
+            script,
+            command,
+        } => query(&addr, script.as_deref(), command.as_deref()),
         Command::Color { path, balanced } => color(&path, balanced),
         Command::Compare { a, b } => compare(&a, &b),
         Command::Convert { input, output } => convert(&input, &output),
     }
 }
 
-fn load(path: &Path) -> Result<CsrGraph, String> {
-    io::load_path(path).map_err(|e| format!("loading {}: {e}", path.display()))
+fn load(path: &Path) -> Result<CsrGraph, CliError> {
+    io::load_path(path)
+        .map_err(|e| CliError::from_io(format_args!("loading {}", path.display()), e))
 }
 
 /// A disconnected union of planted-partition blocks plus trailing isolated
@@ -167,20 +198,21 @@ fn generate_family(input: &str, scale: f64, seed: u64) -> Option<(&'static str, 
     }
 }
 
-fn generate(input: &str, scale: f64, seed: u64, output: &Path) -> Result<(), String> {
+fn generate(input: &str, scale: f64, seed: u64, output: &Path) -> Result<(), CliError> {
     let t = Instant::now();
     let (name, g) = if let Some((name, g)) = generate_family(input, scale, seed) {
         (name, g)
     } else {
         let proxy = PaperInput::from_id(input).ok_or_else(|| {
-            format!(
+            CliError::invalid(format!(
                 "unknown input id `{input}`; valid: er, planted, rmat, blocks, {}",
                 PaperInput::ALL.map(|p| p.id()).join(", ")
-            )
+            ))
         })?;
         (proxy.reference().name, proxy.generate(scale, seed))
     };
-    io::save_path(&g, output).map_err(|e| format!("writing {}: {e}", output.display()))?;
+    io::save_path(&g, output)
+        .map_err(|e| CliError::from_io(format_args!("writing {}", output.display()), e))?;
     println!(
         "generated {} proxy: n={} M={} → {} in {:.2?}",
         name,
@@ -192,7 +224,7 @@ fn generate(input: &str, scale: f64, seed: u64, output: &Path) -> Result<(), Str
     Ok(())
 }
 
-fn stats(path: &Path) -> Result<(), String> {
+fn stats(path: &Path) -> Result<(), CliError> {
     let g = load(path)?;
     let s = GraphStats::compute(&g);
     println!("graph          {}", path.display());
@@ -210,7 +242,7 @@ fn stats(path: &Path) -> Result<(), String> {
 /// The `components` subcommand: the weakly-connected-component profile of a
 /// stored graph — the numbers that decide whether `--split-components` is
 /// worth switching on.
-fn components(path: &Path) -> Result<(), String> {
+fn components(path: &Path) -> Result<(), CliError> {
     let g = load(path)?;
     let t = Instant::now();
     let labeling = grappolo_graph::connected_components(&g);
@@ -253,7 +285,7 @@ fn detect(
     vertex_epsilon: f64,
     refine: RefineMode,
     split_components: bool,
-) -> Result<(), String> {
+) -> Result<(), CliError> {
     let g = load(path)?;
     // Per-vertex gains live on the 1/m scale; the geometric gate derives
     // its parameters from this graph's total weight.
@@ -272,7 +304,8 @@ fn detect(
         .schedule(schedule_spec)
         .refine(refine)
         .threads(threads)
-        .build()?;
+        .build()
+        .map_err(CliError::invalid)?;
     // Scale the paper's 100 K coloring cutoff down for small inputs so the
     // colored scheme stays meaningful on laptop-sized graphs.
     config.coloring_vertex_cutoff = config
@@ -298,13 +331,15 @@ fn detect(
         for (v, c) in result.assignment.iter().enumerate() {
             text.push_str(&format!("{v} {c}\n"));
         }
-        std::fs::write(out, text).map_err(|e| format!("writing {}: {e}", out.display()))?;
+        io::write_bytes_atomic(out, text.as_bytes())
+            .map_err(|e| CliError::from_io(format_args!("writing {}", out.display()), e))?;
         println!("assignments → {}", out.display());
     }
     if let Some(out) = trace {
         let json = serde_json::to_string_pretty(&result.trace)
-            .map_err(|e| format!("serializing trace: {e}"))?;
-        std::fs::write(out, json).map_err(|e| format!("writing {}: {e}", out.display()))?;
+            .map_err(|e| CliError::runtime(format!("serializing trace: {e}")))?;
+        io::write_bytes_atomic(out, json.as_bytes())
+            .map_err(|e| CliError::from_io(format_args!("writing {}", out.display()), e))?;
         println!("trace → {}", out.display());
     }
     if refine == RefineMode::Leiden {
@@ -323,15 +358,20 @@ fn detect(
 
 /// The `audit` subcommand: the connectivity report for a stored
 /// `(graph, assignment)` pair, on the whole assignment.
-fn audit(graph: &Path, assignments: &Path) -> Result<(), String> {
+///
+/// Exit codes separate the two failure classes: "could not run" (3/4:
+/// missing or malformed inputs) from "ran and found internally
+/// disconnected communities" (5) — so CI gates can fail on findings
+/// without mistaking them for environment breakage.
+fn audit(graph: &Path, assignments: &Path) -> Result<(), CliError> {
     let g = load(graph)?;
     let assignment = read_assignments(assignments)?;
     if assignment.len() > g.num_vertices() {
-        return Err(format!(
+        return Err(CliError::invalid(format!(
             "assignment has {} entries, graph has {} vertices",
             assignment.len(),
             g.num_vertices()
-        ));
+        )));
     }
     // Files may omit trailing isolated vertices; pad them as singletons
     // with fresh labels so the audit covers the whole graph, and say so.
@@ -364,6 +404,12 @@ fn audit(graph: &Path, assignments: &Path) -> Result<(), String> {
         }
     );
     println!("audit time                {:.2?}", t.elapsed());
+    if report.disconnected > 0 {
+        return Err(CliError::audit_finding(format!(
+            "audit: {} of {} communities are internally disconnected",
+            report.disconnected, report.num_communities
+        )));
+    }
     Ok(())
 }
 
@@ -377,61 +423,13 @@ fn audit(graph: &Path, assignments: &Path) -> Result<(), String> {
 /// ```
 ///
 /// Errors carry `file:line:` prefixes so a bad batch points at itself.
-fn read_edge_batch(path: &Path) -> Result<Vec<EdgeDelta>, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
-    let mut batch = Vec::new();
-    for (idx, raw) in text.lines().enumerate() {
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let lineno = idx + 1;
-        let at = |msg: String| format!("{}:{}: {msg}", path.display(), lineno);
-        let mut it = line.split_whitespace();
-        let op = it.next().unwrap();
-        let mut vertex = |name: &str| -> Result<u32, String> {
-            it.next()
-                .ok_or_else(|| at(format!("missing {name} vertex")))?
-                .parse()
-                .map_err(|e| at(format!("bad {name} vertex: {e}")))
-        };
-        let u = vertex("source")?;
-        let v = vertex("target")?;
-        let mut weight = |required: bool| -> Result<Option<f64>, String> {
-            match it.next() {
-                Some(tok) => tok
-                    .parse()
-                    .map(Some)
-                    .map_err(|e| at(format!("bad weight: {e}"))),
-                None if required => Err(at("missing weight".into())),
-                None => Ok(None),
-            }
-        };
-        let delta = match op {
-            "+" => EdgeDelta::Insert {
-                u,
-                v,
-                weight: weight(false)?.unwrap_or(1.0),
-            },
-            "-" => EdgeDelta::Delete { u, v },
-            "=" => EdgeDelta::Reweight {
-                u,
-                v,
-                weight: weight(true)?.unwrap(),
-            },
-            other => {
-                return Err(at(format!(
-                    "unknown operation `{other}` (expected `+`, `-`, or `=`)"
-                )))
-            }
-        };
-        if it.next().is_some() {
-            return Err(at("trailing tokens after operation".into()));
-        }
-        batch.push(delta);
-    }
-    Ok(batch)
+/// (Parsing itself lives in [`grappolo_graph::parse_edge_batch`], shared
+/// with the serve daemon's `update` path.)
+fn read_edge_batch(path: &Path) -> Result<Vec<EdgeDelta>, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::io(format!("reading {}: {e}", path.display())))?;
+    grappolo_graph::parse_edge_batch(&text)
+        .map_err(|e| CliError::invalid(format!("{}:{}: {}", path.display(), e.line, e.message)))
 }
 
 /// The `update` subcommand: apply a batch of edge deltas to a stored
@@ -446,15 +444,15 @@ fn update(
     threads: Option<usize>,
     gamma: f64,
     fallback: f64,
-) -> Result<(), String> {
+) -> Result<(), CliError> {
     let g = load(graph)?;
     let assignment = read_assignments(assignments)?;
     if assignment.len() != g.num_vertices() {
-        return Err(format!(
+        return Err(CliError::invalid(format!(
             "assignment has {} entries, graph has {} vertices",
             assignment.len(),
             g.num_vertices()
-        ));
+        )));
     }
     let deltas = read_edge_batch(batch)?;
     let config = LouvainConfig::builder()
@@ -462,7 +460,8 @@ fn update(
         .resolution(gamma)
         .threads(threads)
         .dynamic_fallback(fallback)
-        .build()?;
+        .build()
+        .map_err(CliError::invalid)?;
     let t = Instant::now();
     let outcome = update_communities(&g, &assignment, None, &deltas, &config)?;
     println!(
@@ -485,18 +484,19 @@ fn update(
         for (v, c) in outcome.assignment.iter().enumerate() {
             text.push_str(&format!("{v} {c}\n"));
         }
-        std::fs::write(out, text).map_err(|e| format!("writing {}: {e}", out.display()))?;
+        io::write_bytes_atomic(out, text.as_bytes())
+            .map_err(|e| CliError::from_io(format_args!("writing {}", out.display()), e))?;
         println!("assignments → {}", out.display());
     }
     if let Some(out) = graph_out {
         io::save_path(&outcome.graph, out)
-            .map_err(|e| format!("writing {}: {e}", out.display()))?;
+            .map_err(|e| CliError::from_io(format_args!("writing {}", out.display()), e))?;
         println!("graph → {}", out.display());
     }
     Ok(())
 }
 
-fn color(path: &Path, balanced: bool) -> Result<(), String> {
+fn color(path: &Path, balanced: bool) -> Result<(), CliError> {
     let g = load(path)?;
     let t = Instant::now();
     let mut coloring = color_parallel(&g, &ParallelColoringConfig::default());
@@ -528,9 +528,10 @@ fn color(path: &Path, balanced: bool) -> Result<(), String> {
 /// the largest id that appears). A duplicate vertex line or a hole in
 /// the id space is a formatting error reported with line numbers, not
 /// something to paper over with a sentinel label.
-pub fn read_assignments(path: &Path) -> Result<Vec<u32>, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+pub fn read_assignments(path: &Path) -> Result<Vec<u32>, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::io(format!("reading {}: {e}", path.display())))?;
+    let invalid = CliError::invalid;
     let mut pairs: Vec<(usize, u32, usize)> = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
@@ -538,16 +539,30 @@ pub fn read_assignments(path: &Path) -> Result<Vec<u32>, String> {
             continue;
         }
         let mut it = line.split_whitespace();
-        let v: usize = it
-            .next()
-            .unwrap()
-            .parse()
-            .map_err(|e| format!("{}:{}: bad vertex: {e}", path.display(), lineno + 1))?;
+        let v: usize = it.next().unwrap().parse().map_err(|e| {
+            invalid(format!(
+                "{}:{}: bad vertex: {e}",
+                path.display(),
+                lineno + 1
+            ))
+        })?;
         let c: u32 = it
             .next()
-            .ok_or_else(|| format!("{}:{}: missing community", path.display(), lineno + 1))?
+            .ok_or_else(|| {
+                invalid(format!(
+                    "{}:{}: missing community",
+                    path.display(),
+                    lineno + 1
+                ))
+            })?
             .parse()
-            .map_err(|e| format!("{}:{}: bad community: {e}", path.display(), lineno + 1))?;
+            .map_err(|e| {
+                invalid(format!(
+                    "{}:{}: bad community: {e}",
+                    path.display(),
+                    lineno + 1
+                ))
+            })?;
         pairs.push((v, c, lineno + 1));
     }
     let n = pairs.iter().map(|&(v, _, _)| v + 1).max().unwrap_or(0);
@@ -556,37 +571,37 @@ pub fn read_assignments(path: &Path) -> Result<Vec<u32>, String> {
     let mut seen_at = vec![0usize; n];
     for (v, c, lineno) in pairs {
         if seen_at[v] != 0 {
-            return Err(format!(
+            return Err(invalid(format!(
                 "{}:{}: duplicate assignment for vertex {v} (first assigned at line {})",
                 path.display(),
                 lineno,
                 seen_at[v]
-            ));
+            )));
         }
         seen_at[v] = lineno;
         out[v] = c;
     }
     if let Some(v) = seen_at.iter().position(|&l| l == 0) {
-        return Err(format!(
+        return Err(invalid(format!(
             "{}: vertex {v} has no assignment (the file names vertices up to {})",
             path.display(),
             n - 1
-        ));
+        )));
     }
     Ok(out)
 }
 
-fn compare(a: &Path, b: &Path) -> Result<(), String> {
+fn compare(a: &Path, b: &Path) -> Result<(), CliError> {
     let pa = read_assignments(a)?;
     let pb = read_assignments(b)?;
     if pa.len() != pb.len() {
-        return Err(format!(
+        return Err(CliError::invalid(format!(
             "assignment lengths differ: {} has {}, {} has {}",
             a.display(),
             pa.len(),
             b.display(),
             pb.len()
-        ));
+        )));
     }
     let m = pairwise_comparison(&pa, &pb);
     println!("specificity     {:.4}%", 100.0 * m.specificity());
@@ -600,9 +615,10 @@ fn compare(a: &Path, b: &Path) -> Result<(), String> {
     Ok(())
 }
 
-fn convert(input: &Path, output: &Path) -> Result<(), String> {
+fn convert(input: &Path, output: &Path) -> Result<(), CliError> {
     let g = load(input)?;
-    io::save_path(&g, output).map_err(|e| format!("writing {}: {e}", output.display()))?;
+    io::save_path(&g, output)
+        .map_err(|e| CliError::from_io(format_args!("writing {}", output.display()), e))?;
     println!(
         "converted {} → {} (n={}, M={})",
         input.display(),
@@ -611,6 +627,120 @@ fn convert(input: &Path, output: &Path) -> Result<(), String> {
         g.num_edges()
     );
     Ok(())
+}
+
+/// The `serve` subcommand: run the resident partition service until
+/// SIGTERM/SIGINT, then drain gracefully.
+#[allow(clippy::too_many_arguments)]
+fn serve(
+    graph: &Path,
+    addr: String,
+    server_threads: usize,
+    queue_depth: usize,
+    deadline_ms: u64,
+    retry: u32,
+    backoff_ms: u64,
+    threads: Option<usize>,
+    gamma: f64,
+    faults_spec: Option<&str>,
+) -> Result<(), CliError> {
+    let faults = match faults_spec {
+        Some(spec) => FaultPlan::parse(spec).map_err(CliError::invalid)?,
+        None => FaultPlan::from_env().map_err(CliError::invalid)?,
+    };
+    let detect = LouvainConfig::builder()
+        .sweep(SweepMode::Active)
+        .resolution(gamma)
+        .threads(threads)
+        .build()
+        .map_err(CliError::invalid)?;
+    let config = ServeConfig {
+        addr,
+        server_threads,
+        queue_depth,
+        deadline: Duration::from_millis(deadline_ms),
+        backoff: BackoffPolicy {
+            attempts: retry,
+            base: Duration::from_millis(backoff_ms),
+        },
+        detect,
+        faults,
+    };
+    let t = Instant::now();
+    let handle = Server::start_from_path(graph, config).map_err(|e| match &e {
+        ServeError::Bind(_) => CliError::io(e.to_string()),
+        ServeError::Load(io::IoError::Io(_)) => CliError::io(e.to_string()),
+        ServeError::Load(_) => CliError::invalid(e.to_string()),
+        ServeError::Config(_) => CliError::invalid(e.to_string()),
+    })?;
+    let snap = handle.snapshot();
+    // `listening <addr>` is the machine-readable readiness line scripts
+    // wait for (port 0 resolves here), so flush it out immediately.
+    println!("listening {}", handle.addr());
+    println!(
+        "serving n={} m={} communities={} modularity={:.6} (startup {:.2?})",
+        snap.graph.num_vertices(),
+        snap.graph.num_edges(),
+        snap.num_communities,
+        snap.modularity,
+        t.elapsed()
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    signal::install_term_handler();
+    handle.serve_until(signal::term_requested, Duration::from_millis(25));
+    println!("drained; exiting");
+    Ok(())
+}
+
+/// The `query` subcommand: one-shot protocol client.
+fn query(addr: &str, script: Option<&Path>, command: Option<&str>) -> Result<(), CliError> {
+    use std::io::{BufRead, BufReader, Write as _};
+    let lines: Vec<String> = match (script, command) {
+        (Some(path), _) => std::fs::read_to_string(path)
+            .map_err(|e| CliError::io(format!("reading {}: {e}", path.display())))?
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(String::from)
+            .collect(),
+        (None, Some(cmd)) => vec![cmd.to_string()],
+        (None, None) => return Err(CliError::invalid("nothing to send")),
+    };
+    let stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| CliError::io(format!("connecting {addr}: {e}")))?;
+    // One small packet per direction per request: without nodelay the
+    // Nagle/delayed-ACK interaction adds ~40ms to every round trip.
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| CliError::io(format!("cloning socket: {e}")))?,
+    );
+    let mut writer = stream;
+    let mut failed = false;
+    for line in &lines {
+        writer
+            .write_all(format!("{line}\n").as_bytes())
+            .and_then(|_| writer.flush())
+            .map_err(|e| CliError::io(format!("sending to {addr}: {e}")))?;
+        let mut response = String::new();
+        let n = reader
+            .read_line(&mut response)
+            .map_err(|e| CliError::io(format!("reading from {addr}: {e}")))?;
+        if n == 0 {
+            return Err(CliError::io(format!(
+                "{addr} closed the connection before answering `{line}`"
+            )));
+        }
+        print!("{response}");
+        failed |= response.starts_with("err ");
+    }
+    if failed {
+        Err(CliError::runtime("one or more requests failed"))
+    } else {
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -806,7 +936,7 @@ mod tests {
             split_components: false,
         })
         .unwrap_err();
-        assert!(err.contains("vertex_epsilon"), "{err}");
+        assert!(err.message().contains("vertex_epsilon"), "{err}");
     }
 
     #[test]
@@ -976,7 +1106,10 @@ mod tests {
         let p = tmp("holes.txt");
         std::fs::write(&p, "0 1\n2 1\n").unwrap(); // vertex 1 missing
         let err = read_assignments(&p).unwrap_err();
-        assert!(err.contains("vertex 1 has no assignment"), "{err}");
+        assert!(
+            err.message().contains("vertex 1 has no assignment"),
+            "{err}"
+        );
         let q = tmp("bad.txt");
         std::fs::write(&q, "x y\n").unwrap();
         assert!(read_assignments(&q).is_err());
@@ -988,9 +1121,12 @@ mod tests {
         std::fs::write(&p, "0 1\n1 2\n# comment\n1 3\n2 0\n").unwrap();
         let err = read_assignments(&p).unwrap_err();
         // Both the offending line and the original are named.
-        assert!(err.contains(":4:"), "{err}");
-        assert!(err.contains("duplicate assignment for vertex 1"), "{err}");
-        assert!(err.contains("line 2"), "{err}");
+        assert!(err.message().contains(":4:"), "{err}");
+        assert!(
+            err.message().contains("duplicate assignment for vertex 1"),
+            "{err}"
+        );
+        assert!(err.message().contains("line 2"), "{err}");
     }
 
     #[test]
@@ -1018,8 +1154,9 @@ mod tests {
         })
         .unwrap_err();
         assert!(
-            err.contains(&format!("assignment has {} entries", n + 1))
-                && err.contains(&format!("graph has {n} vertices")),
+            err.message()
+                .contains(&format!("assignment has {} entries", n + 1))
+                && err.message().contains(&format!("graph has {n} vertices")),
             "{err}"
         );
     }
@@ -1064,7 +1201,7 @@ mod tests {
             let p = tmp(name);
             std::fs::write(&p, content).unwrap();
             let err = read_edge_batch(&p).unwrap_err();
-            assert!(err.contains(needle), "{name}: {err}");
+            assert!(err.message().contains(needle), "{name}: {err}");
         }
     }
 
@@ -1155,7 +1292,8 @@ mod tests {
         })
         .unwrap_err();
         assert!(
-            err.contains("assignment has 3 entries") && err.contains("graph has"),
+            err.message().contains("assignment has 3 entries")
+                && err.message().contains("graph has"),
             "{err}"
         );
     }
@@ -1221,7 +1359,10 @@ mod tests {
             split_components: false,
         })
         .unwrap_err();
-        assert!(err.contains("refine") || err.contains("rescan"), "{err}");
+        assert!(
+            err.message().contains("refine") || err.message().contains("rescan"),
+            "{err}"
+        );
     }
 
     #[test]

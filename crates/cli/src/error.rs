@@ -1,0 +1,131 @@
+//! Typed CLI errors with distinct process exit codes, so scripts and CI
+//! can tell failure classes apart without parsing stderr:
+//!
+//! | code | meaning                                            |
+//! |------|----------------------------------------------------|
+//! | 0    | success                                            |
+//! | 1    | generic runtime failure                            |
+//! | 2    | usage / argument parse error                       |
+//! | 3    | I/O failure (missing file, permission, disk)       |
+//! | 4    | invalid input or configuration (parse, validation) |
+//! | 5    | `audit` found internally disconnected communities  |
+
+use grappolo_graph::io::IoError;
+
+/// Exit code: generic runtime failure.
+pub const EXIT_RUNTIME: i32 = 1;
+/// Exit code: usage / argument parse error (set by `run`, not here).
+pub const EXIT_USAGE: i32 = 2;
+/// Exit code: I/O failure.
+pub const EXIT_IO: i32 = 3;
+/// Exit code: invalid input or configuration.
+pub const EXIT_INVALID: i32 = 4;
+/// Exit code: `audit` ran fine but found disconnected communities.
+pub const EXIT_AUDIT_FINDING: i32 = 5;
+
+/// A command failure carrying its process exit code.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CliError {
+    code: i32,
+    message: String,
+}
+
+impl CliError {
+    /// An error with an explicit exit code.
+    pub fn new(code: i32, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// Generic runtime failure (exit 1).
+    pub fn runtime(message: impl Into<String>) -> Self {
+        Self::new(EXIT_RUNTIME, message)
+    }
+
+    /// I/O failure (exit 3).
+    pub fn io(message: impl Into<String>) -> Self {
+        Self::new(EXIT_IO, message)
+    }
+
+    /// Invalid input or configuration (exit 4).
+    pub fn invalid(message: impl Into<String>) -> Self {
+        Self::new(EXIT_INVALID, message)
+    }
+
+    /// `audit` finding (exit 5): the run succeeded, the assignment did not.
+    pub fn audit_finding(message: impl Into<String>) -> Self {
+        Self::new(EXIT_AUDIT_FINDING, message)
+    }
+
+    /// Classifies a graph-layer [`IoError`] under `context`: underlying
+    /// I/O failures exit 3, parse/validation failures exit 4.
+    pub fn from_io(context: impl std::fmt::Display, e: IoError) -> Self {
+        let code = match e {
+            IoError::Io(_) => EXIT_IO,
+            IoError::Parse { .. } | IoError::Build(_) => EXIT_INVALID,
+        };
+        Self::new(code, format!("{context}: {e}"))
+    }
+
+    /// The process exit code.
+    pub fn code(&self) -> i32 {
+        self.code
+    }
+
+    /// The human-readable message (printed to stderr by `run`).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Bare strings (library validation messages reached through `?`) count
+/// as generic runtime failures; classify explicitly where it matters.
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        Self::runtime(message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_codes() {
+        assert_eq!(CliError::runtime("x").code(), 1);
+        assert_eq!(CliError::io("x").code(), 3);
+        assert_eq!(CliError::invalid("x").code(), 4);
+        assert_eq!(CliError::audit_finding("x").code(), 5);
+        assert_eq!(CliError::new(7, "x").code(), 7);
+    }
+
+    #[test]
+    fn io_errors_classify_by_variant() {
+        let io = IoError::Io(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        let e = CliError::from_io("loading g.grb", io);
+        assert_eq!(e.code(), EXIT_IO);
+        assert!(e.message().contains("loading g.grb"), "{e}");
+        let parse = IoError::Parse {
+            line: 3,
+            message: "bad".into(),
+        };
+        assert_eq!(CliError::from_io("x", parse).code(), EXIT_INVALID);
+    }
+
+    #[test]
+    fn strings_become_runtime_errors() {
+        let e: CliError = String::from("boom").into();
+        assert_eq!(e.code(), EXIT_RUNTIME);
+        assert_eq!(e.message(), "boom");
+    }
+}

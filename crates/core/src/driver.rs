@@ -2,6 +2,7 @@
 //! unordered or serial) → graph rebuild, repeated until the modularity
 //! converges.
 
+use crate::cancel::{CancelToken, Cancelled};
 use crate::config::{ColoringSchedule, LouvainConfig, Scheme};
 use crate::dendrogram::{Dendrogram, DendrogramLevel};
 use crate::history::{IterationRecord, PhaseRecord, PhaseTimings, RunTrace};
@@ -40,33 +41,60 @@ pub struct CommunityResult {
 /// 1-thread pool (so "serial" never silently parallelizes) and a parallel
 /// run uses the ambient pool.
 pub fn detect_communities(g: &CsrGraph, config: &LouvainConfig) -> CommunityResult {
+    detect_communities_cancellable(g, config, &CancelToken::new())
+        .expect("a fresh CancelToken is never cancelled")
+}
+
+/// [`detect_communities`] with cooperative cancellation: the multi-phase
+/// driver polls `token` at every phase boundary and stops early when it is
+/// set, and the caller gets `Err(Cancelled)` instead of the partial result.
+/// A run that completes with the token unset is bitwise identical to a
+/// plain [`detect_communities`] run.
+///
+/// This is the hook long-lived supervisors (the `grappolo serve` detect
+/// worker draining on SIGTERM) use to abandon an in-flight re-detection
+/// without tearing down the thread pool.
+pub fn detect_communities_cancellable(
+    g: &CsrGraph,
+    config: &LouvainConfig,
+    token: &CancelToken,
+) -> Result<CommunityResult, Cancelled> {
     config.validate().expect("invalid LouvainConfig");
-    match config.num_threads {
+    if token.is_cancelled() {
+        return Err(Cancelled);
+    }
+    let result = match config.num_threads {
         Some(t) => {
             let pool = rayon::ThreadPoolBuilder::new()
                 .num_threads(t.max(1))
                 .build()
                 .expect("failed to build rayon pool");
-            pool.install(|| run_entry(g, config))
+            pool.install(|| run_entry(g, config, token))
         }
         None if !config.parallel => {
             let pool = rayon::ThreadPoolBuilder::new()
                 .num_threads(1)
                 .build()
                 .expect("failed to build rayon pool");
-            pool.install(|| run_entry(g, config))
+            pool.install(|| run_entry(g, config, token))
         }
-        None => run_entry(g, config),
+        None => run_entry(g, config, token),
+    };
+    if token.is_cancelled() {
+        Err(Cancelled)
+    } else {
+        Ok(result)
     }
 }
 
 /// Entry point inside the chosen pool: component splitting when requested,
-/// the plain multi-phase driver otherwise.
-fn run_entry(g: &CsrGraph, config: &LouvainConfig) -> CommunityResult {
+/// the plain multi-phase driver otherwise. The split path checks the token
+/// only between components (each per-component run is itself bounded).
+fn run_entry(g: &CsrGraph, config: &LouvainConfig, token: &CancelToken) -> CommunityResult {
     if config.split_components {
         crate::split::detect_split(g, config)
     } else {
-        run_inner(g, config)
+        run_inner_cancellable(g, config, token)
     }
 }
 
@@ -76,6 +104,18 @@ pub fn detect_with_scheme(g: &CsrGraph, scheme: Scheme) -> CommunityResult {
 }
 
 pub(crate) fn run_inner(g: &CsrGraph, config: &LouvainConfig) -> CommunityResult {
+    run_inner_cancellable(g, config, &CancelToken::new())
+}
+
+/// The multi-phase loop, polling `token` at each phase boundary. On
+/// cancellation the loop breaks immediately; the partial hierarchy is still
+/// flattened so the return value is well-formed, but cancellable callers
+/// discard it (see [`detect_communities_cancellable`]).
+fn run_inner_cancellable(
+    g: &CsrGraph,
+    config: &LouvainConfig,
+    token: &CancelToken,
+) -> CommunityResult {
     let t_start = Instant::now();
     let mut trace = RunTrace::default();
 
@@ -109,6 +149,9 @@ pub(crate) fn run_inner(g: &CsrGraph, config: &LouvainConfig) -> CommunityResult
     let mut prev_phase_end_q = f64::NEG_INFINITY;
 
     for phase_idx in 0..config.max_phases {
+        if token.is_cancelled() {
+            break;
+        }
         let n = work.num_vertices();
         let m_edges = work.num_edges();
 

@@ -27,8 +27,9 @@
 //! mostly invalidated and local moving would do full-sweep work for worse
 //! quality.
 
+use crate::cancel::{CancelToken, Cancelled};
 use crate::config::LouvainConfig;
-use crate::driver::detect_communities;
+use crate::driver::detect_communities_cancellable;
 use crate::modularity::{
     community_degrees, community_sizes, det_sum, intra_community_weight, Community,
     ModularityTracker,
@@ -83,31 +84,90 @@ pub fn update_communities(
     batch: &[EdgeDelta],
     config: &LouvainConfig,
 ) -> Result<DynamicOutcome, String> {
-    config.validate()?;
+    update_communities_cancellable(
+        g,
+        assignment,
+        prev_modularity,
+        batch,
+        config,
+        &CancelToken::new(),
+    )
+    .map_err(|e| match e {
+        DynamicError::Failed(msg) => msg,
+        DynamicError::Cancelled(_) => unreachable!("fresh token cannot be cancelled"),
+    })
+}
+
+/// Why a cancellable dynamic update did not produce an outcome.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DynamicError {
+    /// The supervisor set the [`CancelToken`] before the update finished;
+    /// the carried assignment was discarded, nothing was mutated.
+    Cancelled(Cancelled),
+    /// Invalid input or config (same messages as [`update_communities`]).
+    Failed(String),
+}
+
+impl std::fmt::Display for DynamicError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DynamicError::Cancelled(c) => c.fmt(f),
+            DynamicError::Failed(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for DynamicError {}
+
+/// [`update_communities`] with cooperative cancellation: the token is
+/// polled after the batch is applied and around the resume phase (the
+/// from-scratch fallback polls it at every phase boundary via
+/// [`detect_communities_cancellable`]). A run that completes with the
+/// token unset is bitwise identical to the uncancellable entry point.
+pub fn update_communities_cancellable(
+    g: &CsrGraph,
+    assignment: &[Community],
+    prev_modularity: Option<f64>,
+    batch: &[EdgeDelta],
+    config: &LouvainConfig,
+    token: &CancelToken,
+) -> Result<DynamicOutcome, DynamicError> {
+    config.validate().map_err(DynamicError::Failed)?;
+    let fail = DynamicError::Failed;
+    let check = |token: &CancelToken| -> Result<(), DynamicError> {
+        if token.is_cancelled() {
+            Err(DynamicError::Cancelled(Cancelled))
+        } else {
+            Ok(())
+        }
+    };
+    check(token)?;
     let old_n = g.num_vertices();
     if assignment.len() != old_n {
-        return Err(format!(
+        return Err(fail(format!(
             "assignment has {} entries, graph has {} vertices",
             assignment.len(),
             old_n
-        ));
+        )));
     }
     if let Some(&c) = assignment.iter().find(|&&c| c as usize >= old_n.max(1)) {
-        return Err(format!(
+        return Err(fail(format!(
             "assignment label {c} out of range for a {old_n}-vertex graph"
-        ));
+        )));
     }
 
     let (g_new, changes) = g
         .apply_edge_batch_diff(batch, MergePolicy::Sum)
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| fail(e.to_string()))?;
+    check(token)?;
 
     // Dense batches invalidate the carried state: rerun from scratch.
     let edges_after = g_new.num_edges();
     if edges_after > 0
         && changes.len() as f64 > config.dynamic_fallback_fraction * edges_after as f64
     {
-        let result = detect_communities(&g_new, config);
+        let result = detect_communities_cancellable(&g_new, config, token)
+            .map_err(DynamicError::Cancelled)?;
         return Ok(DynamicOutcome {
             modularity: result.modularity,
             num_communities: result.num_communities,
@@ -132,7 +192,7 @@ pub fn update_communities(
     seeds.sort_unstable();
     seeds.dedup();
 
-    match config.num_threads {
+    let outcome = match config.num_threads {
         Some(t) => {
             let pool = rayon::ThreadPoolBuilder::new()
                 .num_threads(t.max(1))
@@ -153,6 +213,11 @@ pub fn update_communities(
         }
         None => resume_inner(g, &g_new, carried, prev_modularity, &changes, seeds, config),
     }
+    .map_err(fail)?;
+    // The resume phase itself is short and bounded; a cancellation that
+    // arrived while it ran discards the outcome here.
+    check(token)?;
+    Ok(outcome)
 }
 
 fn resume_inner(
@@ -235,6 +300,7 @@ fn resume_inner(
 mod tests {
     use super::*;
     use crate::config::{LouvainConfigBuilder, SweepMode};
+    use crate::driver::detect_communities;
     use grappolo_graph::gen::{
         erdos_renyi, planted_partition, rmat, ErConfig, PlantedConfig, RmatConfig,
     };

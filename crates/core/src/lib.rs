@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod active;
+pub mod cancel;
 pub mod config;
 pub mod dendrogram;
 pub mod driver;
@@ -55,13 +56,18 @@ pub mod split;
 pub mod vf;
 
 pub use active::ActiveSet;
+pub use cancel::{CancelToken, Cancelled};
 pub use config::{
     geometric_for, ColoredAccounting, ColoringSchedule, LouvainConfig, LouvainConfigBuilder,
     RebuildStrategy, RefineMode, RenumberStrategy, ScheduleSpec, Scheme, SweepMode,
 };
 pub use dendrogram::{Dendrogram, DendrogramLevel};
-pub use driver::{detect_communities, detect_with_scheme, CommunityResult};
-pub use dynamic::{update_communities, DynamicOutcome};
+pub use driver::{
+    detect_communities, detect_communities_cancellable, detect_with_scheme, CommunityResult,
+};
+pub use dynamic::{
+    update_communities, update_communities_cancellable, DynamicError, DynamicOutcome,
+};
 pub use history::{IterationRecord, PhaseRecord, PhaseTimings, RunTrace};
 pub use modularity::{modularity, modularity_with_resolution, Community};
 pub use phase::{IterationStats, PhaseDriver, PhaseOutcome};

@@ -132,6 +132,91 @@ impl std::fmt::Display for DeltaError {
 
 impl std::error::Error for DeltaError {}
 
+/// Line-anchored parse error from [`parse_edge_batch`]. `line` is 1-based.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for BatchParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for BatchParseError {}
+
+/// Parses the textual edge-delta batch format shared by `grappolo update`
+/// and `grappolo serve`: one operation per line, `#` comments and blank
+/// lines skipped.
+///
+/// ```text
+/// + u v [w]   insert (weight defaults to 1; duplicates of an existing
+///             edge merge per the caller's MergePolicy)
+/// - u v       delete an existing edge
+/// = u v w     set the weight of an existing edge
+/// ```
+pub fn parse_edge_batch(text: &str) -> Result<Vec<EdgeDelta>, BatchParseError> {
+    let mut batch = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let lineno = idx + 1;
+        let at = |message: String| BatchParseError {
+            line: lineno,
+            message,
+        };
+        let mut it = line.split_whitespace();
+        let op = it.next().unwrap();
+        let mut vertex = |name: &str| -> Result<VertexId, BatchParseError> {
+            it.next()
+                .ok_or_else(|| at(format!("missing {name} vertex")))?
+                .parse()
+                .map_err(|e| at(format!("bad {name} vertex: {e}")))
+        };
+        let u = vertex("source")?;
+        let v = vertex("target")?;
+        let mut weight = |required: bool| -> Result<Option<f64>, BatchParseError> {
+            match it.next() {
+                Some(tok) => tok
+                    .parse()
+                    .map(Some)
+                    .map_err(|e| at(format!("bad weight: {e}"))),
+                None if required => Err(at("missing weight".into())),
+                None => Ok(None),
+            }
+        };
+        let delta = match op {
+            "+" => EdgeDelta::Insert {
+                u,
+                v,
+                weight: weight(false)?.unwrap_or(DEFAULT_WEIGHT),
+            },
+            "-" => EdgeDelta::Delete { u, v },
+            "=" => EdgeDelta::Reweight {
+                u,
+                v,
+                weight: weight(true)?.unwrap(),
+            },
+            other => {
+                return Err(at(format!(
+                    "unknown operation `{other}` (expected `+`, `-`, or `=`)"
+                )))
+            }
+        };
+        if it.next().is_some() {
+            return Err(at("trailing tokens after operation".into()));
+        }
+        batch.push(delta);
+    }
+    Ok(batch)
+}
+
 /// Net outcome for one undirected edge after a batch resolves: `old` is the
 /// weight before the batch (`None` if absent), `new` the weight after.
 /// Changes are reported in ascending `(u, v)` order with `u <= v`, and only

@@ -811,9 +811,12 @@ fn parse_grb_v2(data: &[u8]) -> Result<CsrGraph, IoError> {
 }
 
 /// Saves `g` to `path` in the current sectioned `.grb` format (see
-/// [`write_grb_v2`]); [`load_binary`] reads either version.
+/// [`write_grb_v2`]); [`load_binary`] reads either version. The write is
+/// crash-safe: it streams into a temp sibling and atomically renames over
+/// `path` (see [`write_atomic`]), so a crash mid-write can never leave a
+/// truncated `.grb` behind.
 pub fn save_binary(g: &CsrGraph, path: impl AsRef<Path>) -> Result<(), IoError> {
-    write_grb_v2(g, std::fs::File::create(path)?)
+    write_atomic(path, |w| write_grb_v2(g, w))
 }
 
 /// Loads a `.grb` file in O(read) time — v2 sections decode in parallel
@@ -902,6 +905,85 @@ pub fn from_binary(data: &[u8]) -> Result<CsrGraph, IoError> {
 // Path helpers
 // ---------------------------------------------------------------------------
 
+/// Monotone discriminator for temp-file names, so concurrent writers in one
+/// process never collide on the same sibling.
+static TMP_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// A hidden temp sibling in the same directory as `path` (same filesystem,
+/// so the final rename is atomic). The name carries the pid and a counter;
+/// collisions across crashed runs are harmless because the temp is always
+/// recreated with `File::create` (truncate).
+fn temp_sibling(path: &Path) -> std::path::PathBuf {
+    let name = path
+        .file_name()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "out".to_string());
+    let k = TMP_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    path.with_file_name(format!(".{name}.tmp.{}.{k}", std::process::id()))
+}
+
+/// Crash-safe file replacement: `write` streams into a temp sibling, the
+/// temp is flushed and fsynced, and only then renamed over `path`. A crash,
+/// power cut, or injected fault at any point leaves either the old file
+/// intact or no file — never a truncated one. On any error the temp is
+/// removed before the error propagates.
+///
+/// The containing directory is fsynced after the rename (best effort) so
+/// the new directory entry is durable too.
+pub fn write_atomic(
+    path: impl AsRef<Path>,
+    write: impl FnOnce(&mut BufWriter<std::fs::File>) -> Result<(), IoError>,
+) -> Result<(), IoError> {
+    let path = path.as_ref();
+    let tmp = temp_sibling(path);
+    let result = (|| -> Result<(), IoError> {
+        let f = std::fs::File::create(&tmp)?;
+        let mut w = BufWriter::new(f);
+        write(&mut w)?;
+        w.flush()?;
+        w.get_ref().sync_all()?;
+        Ok(())
+    })();
+    if let Err(e) = result {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e.into());
+    }
+    if let Some(dir) = path.parent() {
+        let dir = if dir.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            dir
+        };
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// [`write_atomic`] for a prepared byte buffer — the crash-safe replacement
+/// for `std::fs::write` used by assignment/trace emitters.
+pub fn write_bytes_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> Result<(), IoError> {
+    write_atomic(path, |w| Ok(w.write_all(bytes)?))
+}
+
+/// Test/CI support: names of [`write_atomic`] temp siblings left in `dir`.
+/// A clean run — even one whose writes were crashed or fault-injected —
+/// leaves this empty.
+pub fn list_tmp_siblings(dir: &Path) -> Vec<String> {
+    std::fs::read_dir(dir)
+        .into_iter()
+        .flatten()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.contains(".tmp."))
+        .collect()
+}
+
 /// Loads a graph, dispatching on extension: `.txt`/`.edges` edge list,
 /// `.graph`/`.metis` METIS, `.grb` versioned binary, `.bin` legacy binary.
 pub fn load_path(path: impl AsRef<Path>) -> Result<CsrGraph, IoError> {
@@ -919,20 +1001,18 @@ pub fn load_path(path: impl AsRef<Path>) -> Result<CsrGraph, IoError> {
     }
 }
 
-/// Saves a graph, dispatching on extension like [`load_path`].
+/// Saves a graph, dispatching on extension like [`load_path`]. Every
+/// format goes through [`write_atomic`]: the bytes land in a temp sibling
+/// that is fsynced and atomically renamed over `path`, so a crash or an
+/// injected fault mid-write leaves the previous file (or nothing), never a
+/// truncated graph.
 pub fn save_path(g: &CsrGraph, path: impl AsRef<Path>) -> Result<(), IoError> {
     let path = path.as_ref();
-    let f = std::fs::File::create(path)?;
     match path.extension().and_then(|e| e.to_str()) {
-        Some("graph") | Some("metis") => write_metis(g, f),
-        Some("grb") => write_grb_v2(g, f),
-        Some("bin") => {
-            let mut w = BufWriter::new(f);
-            w.write_all(&to_binary(g))?;
-            w.flush()?;
-            Ok(())
-        }
-        _ => write_edge_list(g, f),
+        Some("graph") | Some("metis") => write_atomic(path, |w| write_metis(g, w)),
+        Some("grb") => write_atomic(path, |w| write_grb_v2(g, w)),
+        Some("bin") => write_atomic(path, |w| Ok(w.write_all(&to_binary(g))?)),
+        _ => write_atomic(path, |w| write_edge_list(g, w)),
     }
 }
 
@@ -1375,5 +1455,76 @@ mod tests {
         let targets_at = GRB_HEADER_LEN + (g.num_vertices() + 1) * 8;
         buf[targets_at] ^= 0x01;
         assert!(read_grb(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn write_atomic_leaves_no_temp_on_success() {
+        let dir = std::env::temp_dir().join("grappolo_io_atomic_ok");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = sample();
+        for name in ["a.grb", "a.bin", "a.graph", "a.edges"] {
+            let p = dir.join(name);
+            save_path(&g, &p).unwrap();
+            assert!(
+                load_path(&p).unwrap().num_edges() == g.num_edges(),
+                "{name}"
+            );
+        }
+        assert!(
+            list_tmp_siblings(&dir).is_empty(),
+            "temp siblings leaked: {:?}",
+            list_tmp_siblings(&dir)
+        );
+    }
+
+    #[test]
+    fn write_atomic_failed_write_preserves_old_file_and_cleans_temp() {
+        // A writer that fails mid-stream must leave the previous contents
+        // bitwise intact and remove its temp sibling — the crash-safety
+        // contract `grappolo_serve`'s failpoint tests lean on.
+        let dir = std::env::temp_dir().join("grappolo_io_atomic_fail");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("keep.grb");
+        save_binary(&sample(), &p).unwrap();
+        let before = std::fs::read(&p).unwrap();
+        let err = write_atomic(&p, |w| {
+            // Partial bytes, then a failure — simulating a torn write.
+            w.write_all(b"partial garbage")?;
+            Err(parse_err(0, "injected mid-write failure"))
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("injected mid-write failure"));
+        assert_eq!(std::fs::read(&p).unwrap(), before, "target was touched");
+        assert!(
+            list_tmp_siblings(&dir).is_empty(),
+            "failed write leaked temp files"
+        );
+        // The surviving file still loads.
+        assert!(load_binary(&p).is_ok());
+    }
+
+    #[test]
+    fn write_bytes_atomic_round_trip_and_replace() {
+        let dir = std::env::temp_dir().join("grappolo_io_atomic_bytes");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("assign.txt");
+        write_bytes_atomic(&p, b"0 0\n1 1\n").unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"0 0\n1 1\n");
+        // Replacement is whole-file: no blend of old and new.
+        write_bytes_atomic(&p, b"0 7\n").unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"0 7\n");
+        assert!(list_tmp_siblings(&dir).is_empty());
+    }
+
+    #[test]
+    fn write_atomic_errors_on_missing_directory() {
+        let p = std::env::temp_dir()
+            .join("grappolo_io_atomic_missing")
+            .join("no_such_subdir")
+            .join("x.grb");
+        assert!(save_binary(&sample(), &p).is_err());
     }
 }

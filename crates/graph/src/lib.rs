@@ -38,6 +38,6 @@ pub use components::{
     connected_components, extract_components, ComponentLabeling, ComponentSubgraph,
 };
 pub use csr::{CsrGraph, VertexId, DEFAULT_WEIGHT};
-pub use delta::{DeltaError, EdgeChange, EdgeDelta};
+pub use delta::{parse_edge_batch, BatchParseError, DeltaError, EdgeChange, EdgeDelta};
 pub use shared::SharedSlice;
 pub use stats::GraphStats;

@@ -1,0 +1,173 @@
+//! Bounded request queue with explicit load shedding.
+//!
+//! Connection handlers [`try_push`](BoundedQueue::try_push) work items;
+//! a full queue sheds the request immediately (the client gets an
+//! explicit `err busy`, never an unbounded wait), and worker threads
+//! [`pop`](BoundedQueue::pop) until the queue is closed *and* drained —
+//! which is exactly the graceful-shutdown contract: accepted requests
+//! complete, new ones are refused.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Outcome of a [`BoundedQueue::try_push`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Push {
+    /// The item was queued and a worker will process it.
+    Accepted,
+    /// The queue was full; the item was dropped (backpressure).
+    Shed,
+    /// The queue is closed (shutdown in progress); the item was dropped.
+    Closed,
+}
+
+#[derive(Debug)]
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A fixed-capacity multi-producer multi-consumer queue.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    capacity: usize,
+    state: Mutex<State<T>>,
+    ready: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items. Capacity 0 sheds every
+    /// push — useful for forcing the `busy` path in tests.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Attempts to enqueue without blocking.
+    pub fn try_push(&self, item: T) -> Push {
+        let mut state = self.lock();
+        if state.closed {
+            return Push::Closed;
+        }
+        if state.items.len() >= self.capacity {
+            return Push::Shed;
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.ready.notify_one();
+        Push::Accepted
+    }
+
+    /// Blocks until an item is available or the queue is closed and
+    /// drained (then returns `None` — the worker's exit signal).
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.lock();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Closes the queue: pending items still drain, new pushes are
+    /// refused, and idle workers wake up to exit.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Number of queued (unclaimed) items.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sheds_exactly_at_capacity() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_push(1), Push::Accepted);
+        assert_eq!(q.try_push(2), Push::Accepted);
+        assert_eq!(q.try_push(3), Push::Shed);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(4), Push::Accepted, "slot freed");
+    }
+
+    #[test]
+    fn zero_capacity_sheds_everything() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.try_push(1), Push::Shed);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn close_drains_then_signals_exit() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1);
+        q.try_push(2);
+        q.close();
+        assert_eq!(q.try_push(3), Push::Closed);
+        assert_eq!(q.pop(), Some(1), "pending items still drain");
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None, "drained + closed = exit");
+    }
+
+    #[test]
+    fn close_wakes_blocked_workers() {
+        let q = Arc::new(BoundedQueue::<u32>::new(4));
+        let worker = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        // Give the worker a moment to block, then close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(worker.join().unwrap(), None);
+    }
+
+    #[test]
+    fn items_cross_threads_in_order() {
+        let q = Arc::new(BoundedQueue::new(64));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut seen = Vec::new();
+                while let Some(v) = q.pop() {
+                    seen.push(v);
+                }
+                seen
+            })
+        };
+        for i in 0..32 {
+            while q.try_push(i) != Push::Accepted {
+                std::thread::yield_now();
+            }
+        }
+        q.close();
+        let seen = consumer.join().unwrap();
+        assert_eq!(seen, (0..32).collect::<Vec<_>>());
+    }
+}
